@@ -1,0 +1,133 @@
+//! Token-ring bus arbitration (paper §2.3).
+
+use crate::error::ArbiterConfigError;
+use socsim::{Arbiter, Cycle, Grant, MasterId, RequestMap, MAX_MASTERS};
+
+/// Token-ring arbiter: a token circulates among the masters; only the
+/// token holder may use the bus, and passing the token to the next
+/// master costs one bus cycle.
+///
+/// The paper's §2.3 mentions token rings as a high-clock-rate alternative
+/// used in ATM switches. The distributed token pass avoids a centralized
+/// arbiter but wastes a cycle per hop, so sparse traffic pays a latency
+/// penalty proportional to the ring size.
+///
+/// ```
+/// use arbiters::TokenRingArbiter;
+/// use socsim::{Arbiter, RequestMap, MasterId, Cycle};
+///
+/// # fn main() -> Result<(), arbiters::ArbiterConfigError> {
+/// let mut arb = TokenRingArbiter::new(3)?;
+/// let mut map = RequestMap::new(3);
+/// map.set_pending(MasterId::new(1), 4);
+/// // The token starts at master 0, which is idle: one hop cycle…
+/// assert!(arb.arbitrate(&map, Cycle::ZERO).is_none());
+/// // …then master 1 holds the token and wins.
+/// assert_eq!(arb.arbitrate(&map, Cycle::new(1)).unwrap().master, MasterId::new(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenRingArbiter {
+    masters: usize,
+    holder: usize,
+    /// Set after a grant so the token moves on before the holder can win
+    /// again (release-after-transmission).
+    must_pass: bool,
+}
+
+impl TokenRingArbiter {
+    /// Creates a token-ring arbiter for `masters` masters; the token
+    /// starts at master 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `masters` is zero or exceeds [`MAX_MASTERS`].
+    pub fn new(masters: usize) -> Result<Self, ArbiterConfigError> {
+        if masters == 0 {
+            return Err(ArbiterConfigError::NoMasters);
+        }
+        if masters > MAX_MASTERS {
+            return Err(ArbiterConfigError::TooManyMasters { got: masters, max: MAX_MASTERS });
+        }
+        Ok(TokenRingArbiter { masters, holder: 0, must_pass: false })
+    }
+
+    /// The master currently holding the token.
+    pub fn holder(&self) -> MasterId {
+        MasterId::new(self.holder)
+    }
+}
+
+impl Arbiter for TokenRingArbiter {
+    fn arbitrate(&mut self, requests: &RequestMap, _now: Cycle) -> Option<Grant> {
+        if self.must_pass {
+            self.holder = (self.holder + 1) % self.masters;
+            self.must_pass = false;
+        }
+        let holder = MasterId::new(self.holder);
+        if requests.is_pending(holder) {
+            self.must_pass = true;
+            Some(Grant::whole_burst(holder))
+        } else {
+            // Idle holder: the token hops to the next master, consuming
+            // this bus cycle.
+            self.holder = (self.holder + 1) % self.masters;
+            None
+        }
+    }
+
+    fn name(&self) -> &str {
+        "token-ring"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_hops_cost_cycles() {
+        let mut arb = TokenRingArbiter::new(4).expect("valid");
+        let mut map = RequestMap::new(4);
+        map.set_pending(MasterId::new(3), 2);
+        // Hops through masters 0, 1, 2 (three idle cycles)…
+        for c in 0..3 {
+            assert!(arb.arbitrate(&map, Cycle::new(c)).is_none());
+        }
+        // …then master 3 wins.
+        assert_eq!(arb.arbitrate(&map, Cycle::new(3)).unwrap().master, MasterId::new(3));
+    }
+
+    #[test]
+    fn holder_must_release_after_grant() {
+        let mut arb = TokenRingArbiter::new(2).expect("valid");
+        let mut map = RequestMap::new(2);
+        map.set_pending(MasterId::new(0), 8);
+        map.set_pending(MasterId::new(1), 8);
+        let first = arb.arbitrate(&map, Cycle::ZERO).unwrap().master;
+        let second = arb.arbitrate(&map, Cycle::new(1)).unwrap().master;
+        assert_ne!(first, second, "token must pass between grants");
+    }
+
+    #[test]
+    fn saturated_ring_alternates_fairly() {
+        let mut arb = TokenRingArbiter::new(3).expect("valid");
+        let mut map = RequestMap::new(3);
+        for m in 0..3 {
+            map.set_pending(MasterId::new(m), 1);
+        }
+        let mut wins = [0u32; 3];
+        for c in 0..300 {
+            if let Some(g) = arb.arbitrate(&map, Cycle::new(c)) {
+                wins[g.master.index()] += 1;
+            }
+        }
+        assert_eq!(wins, [100, 100, 100]);
+    }
+
+    #[test]
+    fn zero_masters_rejected() {
+        assert_eq!(TokenRingArbiter::new(0).unwrap_err(), ArbiterConfigError::NoMasters);
+    }
+}

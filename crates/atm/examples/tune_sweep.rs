@@ -1,0 +1,35 @@
+//! Development aid: sweeps switch parameters to locate a regime that
+//! reproduces the paper's Table 1 shape (static ≈ lottery ≪ TDMA for
+//! port-4 latency; 1:2:4 bandwidth only under lottery).
+
+use atm_switch::{CellArrivals, SwitchArbiter, SwitchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for tdma_block in [1u32, 6, 12, 24, 48] {
+        for (bmin, bmax) in [(1u32, 2u32), (2, 4), (4, 6)] {
+            let mut cfg = SwitchConfig::paper_setup();
+            cfg.tdma_block = tdma_block;
+            cfg.arrivals[3] =
+                CellArrivals::Bursty { burst_min: bmin, burst_max: bmax, off_min: 300, off_max: 900 };
+            let mut row = format!("block={tdma_block:>2} burst={bmin}-{bmax}:");
+            for arch in [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery] {
+                let r = cfg.run(arch, 200_000, 11)?;
+                row += &format!(
+                    "  {}: L4={:5.2} bw=[{:.0}%,{:.0}%,{:.0}%,{:.0}%]",
+                    match arch {
+                        SwitchArbiter::StaticPriority => "SP",
+                        SwitchArbiter::Tdma => "TD",
+                        SwitchArbiter::Lottery => "LO",
+                    },
+                    r.latency(3).unwrap_or(f64::NAN),
+                    r.bandwidth_fraction(0) * 100.0,
+                    r.bandwidth_fraction(1) * 100.0,
+                    r.bandwidth_fraction(2) * 100.0,
+                    r.bandwidth_fraction(3) * 100.0,
+                );
+            }
+            println!("{row}");
+        }
+    }
+    Ok(())
+}

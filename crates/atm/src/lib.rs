@@ -1,0 +1,42 @@
+//! # atm-switch — the paper's output-queued ATM switch case study (§5.3)
+//!
+//! Models the cell-forwarding unit of a 4-port output-queued ATM switch:
+//! arriving cell payloads are written into a dual-ported shared memory
+//! (consuming no bus bandwidth, since the write side uses the memory's
+//! second port), while the starting address of each cell is pushed onto
+//! the destination port's local queue. Each output port polls its queue,
+//! dequeues a cell address, acquires the shared system bus, reads the
+//! payload from the shared memory, and forwards the cell onto its output
+//! link.
+//!
+//! Quality-of-service goals (paper §5.3):
+//!
+//! * traffic through port 4 must cross the switch with minimum latency;
+//! * ports 1, 2 and 3 must share the bus bandwidth in a 1:2:4 ratio.
+//!
+//! The switch is assembled on the [`socsim`] bus with any arbitration
+//! protocol; [`SwitchConfig::run`] reproduces one row of the paper's
+//! Table 1.
+//!
+//! ```
+//! use atm_switch::{SwitchConfig, SwitchArbiter};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = SwitchConfig::paper_setup().run(SwitchArbiter::Lottery, 200_000, 7)?;
+//! // Port 3 (highest-weight data port) receives the largest share.
+//! assert!(report.bandwidth_fraction(2) > report.bandwidth_fraction(0));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cell;
+pub mod port;
+pub mod report;
+pub mod scheduler;
+pub mod switch;
+
+pub use cell::AtmCell;
+pub use port::OutputPort;
+pub use report::AtmReport;
+pub use scheduler::{CellArrivals, CellScheduler};
+pub use switch::{SwitchArbiter, SwitchConfig};

@@ -1,0 +1,94 @@
+//! Property-based tests for the ATM switch: cell conservation and
+//! report sanity under randomized configurations.
+
+use atm_switch::{CellArrivals, CellScheduler, SwitchArbiter, SwitchConfig};
+use proptest::prelude::*;
+use socsim::Cycle;
+
+fn arrivals_strategy() -> impl Strategy<Value = CellArrivals> {
+    prop_oneof![
+        (0.001f64..0.05).prop_map(|rate| CellArrivals::Bernoulli { rate }),
+        (1u32..4, 0u32..4, 50u64..300, 0u64..300).prop_map(|(bmin, extra, omin, oextra)| {
+            CellArrivals::Bursty {
+                burst_min: bmin,
+                burst_max: bmin + extra,
+                off_min: omin,
+                off_max: omin + oextra,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cells_are_conserved_by_the_scheduler(
+        patterns in prop::collection::vec(arrivals_strategy(), 1..5),
+        horizon in 1_000u64..20_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = patterns.len();
+        let mut scheduler = CellScheduler::new(patterns, seed);
+        scheduler.advance_to(Cycle::new(horizon));
+        let queued: usize = (0..n).map(|p| scheduler.queue(p).borrow().len()).sum();
+        prop_assert_eq!(scheduler.scheduled(), queued as u64);
+        // Every queued cell is stamped within the generated horizon and
+        // addressed to its own port.
+        for p in 0..n {
+            let queue = scheduler.queue(p);
+            let mut last = 0u64;
+            for cell in queue.borrow().iter() {
+                prop_assert_eq!(cell.port, p);
+                prop_assert!(cell.arrived_at.index() <= horizon);
+                prop_assert!(cell.arrived_at.index() >= last, "FIFO order per port");
+                last = cell.arrived_at.index();
+            }
+        }
+    }
+
+    #[test]
+    fn switch_reports_are_sane_for_any_architecture(
+        patterns in prop::collection::vec(arrivals_strategy(), 2..5),
+        seed in 0u64..1_000_000,
+    ) {
+        let n = patterns.len();
+        let cfg = SwitchConfig {
+            arrivals: patterns,
+            weights: (1..=n as u32).collect(),
+            bus: socsim::BusConfig::default(),
+            warmup: 0,
+            tdma_block: 8,
+            queue_capacity: None,
+        };
+        for arch in [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery] {
+            let report = cfg.run(arch, 20_000, seed).expect("switch runs");
+            let bw_total: f64 = report.bandwidth.iter().sum();
+            prop_assert!((bw_total - report.utilization).abs() < 1e-9, "{}", arch.name());
+            prop_assert!(report.utilization <= 1.0 + 1e-9);
+            for p in 0..n {
+                if let Some(lat) = report.latency_cycles_per_word[p] {
+                    prop_assert!(lat >= 1.0, "{}: port {} latency {}", arch.name(), p, lat);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_priority_weights_must_be_unique(
+        dup in 1u32..5,
+    ) {
+        let cfg = SwitchConfig {
+            arrivals: vec![CellArrivals::Bernoulli { rate: 0.01 }; 2],
+            weights: vec![dup, dup],
+            bus: socsim::BusConfig::default(),
+            warmup: 0,
+            tdma_block: 4,
+            queue_capacity: None,
+        };
+        prop_assert!(cfg.build_arbiter(SwitchArbiter::StaticPriority, 1).is_err());
+        // TDMA and lottery tolerate equal weights.
+        prop_assert!(cfg.build_arbiter(SwitchArbiter::Tdma, 1).is_ok());
+        prop_assert!(cfg.build_arbiter(SwitchArbiter::Lottery, 1).is_ok());
+    }
+}

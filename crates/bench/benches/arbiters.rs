@@ -1,0 +1,76 @@
+//! Single-decision throughput of each arbitration protocol under full
+//! contention — the software analogue of the paper's arbitration-delay
+//! comparison (§5.2).
+
+use arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout};
+use bench::saturated_requests;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
+use socsim::{Arbiter, Cycle};
+use std::hint::black_box;
+
+fn arbiter_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbitrate_4_masters");
+    let requests = saturated_requests(4);
+
+    let mut fixed: Vec<(&str, Box<dyn Arbiter>)> = vec![
+        ("static-priority", Box::new(StaticPriorityArbiter::new(vec![1, 2, 3, 4]).unwrap())),
+        ("round-robin", Box::new(RoundRobinArbiter::new(4).unwrap())),
+        ("token-ring", Box::new(TokenRingArbiter::new(4).unwrap())),
+        (
+            "tdma-2level",
+            Box::new(TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).unwrap()),
+        ),
+        (
+            "lottery-static",
+            Box::new(
+                StaticLotteryArbiter::with_seed(
+                    TicketAssignment::new(vec![1, 2, 3, 4]).unwrap(),
+                    7,
+                )
+                .unwrap(),
+            ),
+        ),
+        (
+            "lottery-dynamic",
+            Box::new(
+                DynamicLotteryArbiter::with_seed(
+                    TicketAssignment::new(vec![1, 2, 3, 4]).unwrap(),
+                    7,
+                )
+                .unwrap(),
+            ),
+        ),
+    ];
+
+    for (name, arbiter) in fixed.iter_mut() {
+        let mut cycle = 0u64;
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                cycle += 1;
+                black_box(arbiter.arbitrate(black_box(&requests), Cycle::new(cycle)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lottery_scaling_with_masters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lottery_static_vs_masters");
+    for n in [2usize, 4, 8, 12] {
+        let tickets = TicketAssignment::new((1..=n as u32).collect()).unwrap();
+        let mut arbiter = StaticLotteryArbiter::with_seed(tickets, 5).unwrap();
+        let requests = saturated_requests(n);
+        let mut cycle = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                cycle += 1;
+                black_box(arbiter.arbitrate(black_box(&requests), Cycle::new(cycle)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, arbiter_decisions, lottery_scaling_with_masters);
+criterion_main!(benches);

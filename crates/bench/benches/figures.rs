@@ -1,0 +1,49 @@
+//! End-to-end regeneration cost of every paper table and figure, at a
+//! reduced simulation scale so `cargo bench` stays tractable. The
+//! full-scale series are produced by `cargo run -p experiments --bin all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::RunSettings;
+use std::hint::black_box;
+
+fn reduced() -> RunSettings {
+    RunSettings { warmup: 2_000, measure: 10_000, ..RunSettings::new() }
+}
+
+fn figure_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    let s = reduced();
+    group.bench_function("fig4_priority_bandwidth", |b| {
+        b.iter(|| black_box(experiments::fig4::run(&s)))
+    });
+    group.bench_function("fig5_tdma_alignment", |b| {
+        b.iter(|| black_box(experiments::fig5::run()))
+    });
+    group.bench_function("fig6a_lottery_bandwidth", |b| {
+        b.iter(|| black_box(experiments::fig6::run_bandwidth(&s)))
+    });
+    group.bench_function("fig6b_latency_t6", |b| {
+        b.iter(|| {
+            black_box(experiments::fig6::run_latency(traffic_gen::TrafficClass::T6, &s))
+        })
+    });
+    group.bench_function("fig12a_class_bandwidth", |b| {
+        b.iter(|| black_box(experiments::fig12::run_bandwidth(&s)))
+    });
+    group.bench_function("fig12b_tdma_latency", |b| {
+        b.iter(|| black_box(experiments::fig12::run_tdma_latency(&s)))
+    });
+    group.bench_function("fig12c_lottery_latency", |b| {
+        b.iter(|| black_box(experiments::fig12::run_lottery_latency(&s)))
+    });
+    group.bench_function("table1_atm_switch", |b| {
+        b.iter(|| black_box(experiments::table1::run(10_000, 17).expect("runs")))
+    });
+    group.bench_function("hw_table", |b| b.iter(|| black_box(experiments::hw_table::run())));
+    group.finish();
+}
+
+criterion_group!(benches, figure_benches);
+criterion_main!(benches);

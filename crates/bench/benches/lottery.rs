@@ -1,0 +1,67 @@
+//! The lottery datapath in isolation: draw generation, range LUT
+//! construction and the design-choice ablations called out in DESIGN.md
+//! (LFSR vs ideal uniform draws, static LUT vs dynamic adder tree).
+
+use bench::saturated_requests;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lotterybus::{
+    draw_winner, partial_sums, Lfsr, LfsrSource, RandomSource, StaticLotteryArbiter,
+    StdRngSource, TicketAssignment,
+};
+use std::hint::black_box;
+
+fn lfsr_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfsr");
+    let mut lfsr = Lfsr::new(32, 0xACE1);
+    group.bench_function("step", |b| b.iter(|| black_box(lfsr.step())));
+    group.bench_function("next_bits_16", |b| b.iter(|| black_box(lfsr.next_bits(16))));
+    group.finish();
+}
+
+fn draw_sources(c: &mut Criterion) {
+    // Ablation: hardware-faithful LFSR draws vs ideal uniform draws.
+    let mut group = c.benchmark_group("draw_source");
+    let mut lfsr = LfsrSource::new(32, 0xACE1);
+    let mut std = StdRngSource::new(7);
+    for bound in [16u32, 100] {
+        group.bench_with_input(BenchmarkId::new("lfsr", bound), &bound, |b, &bound| {
+            b.iter(|| black_box(lfsr.draw(bound)))
+        });
+        group.bench_with_input(BenchmarkId::new("stdrng", bound), &bound, |b, &bound| {
+            b.iter(|| black_box(std.draw(bound)))
+        });
+    }
+    group.finish();
+}
+
+fn ticket_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tickets");
+    let tickets = TicketAssignment::new(vec![3, 5, 7, 11, 13, 17, 19, 23]).unwrap();
+    group.bench_function("scale_to_power_of_two", |b| {
+        b.iter(|| black_box(tickets.scaled_to_power_of_two()))
+    });
+    group.bench_function("build_8_master_lut", |b| {
+        b.iter(|| {
+            black_box(
+                StaticLotteryArbiter::with_seed(tickets.clone(), 3).expect("8 masters fit"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn winner_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("winner_selection");
+    let requests = saturated_requests(8);
+    let tickets: Vec<u32> = (1..=8).collect();
+    group.bench_function("partial_sums_8", |b| {
+        b.iter(|| black_box(partial_sums(black_box(&requests), black_box(&tickets))))
+    });
+    group.bench_function("draw_winner_8", |b| {
+        b.iter(|| black_box(draw_winner(black_box(&requests), black_box(&tickets), 17)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lfsr_steps, draw_sources, ticket_operations, winner_selection);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Simulator throughput and the burst-size / master-count / wheel-layout
+//! ablations from DESIGN.md.
+
+use arbiters::{DeficitRoundRobinArbiter, TdmaArbiter, WheelLayout};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lotterybus::{StaticLotteryArbiter, TicketAssignment};
+use socsim::{Arbiter, BusConfig, SystemBuilder};
+use std::hint::black_box;
+use traffic_gen::classes::saturating_specs;
+
+const CYCLES: u64 = 10_000;
+
+fn run_cycles(masters: usize, bus: BusConfig, arbiter: Box<dyn Arbiter>) -> f64 {
+    let mut builder = SystemBuilder::new(bus);
+    for (i, spec) in saturating_specs(masters).into_iter().enumerate() {
+        builder = builder.master(format!("m{i}"), spec.build_source(i as u64 + 1));
+    }
+    let mut system = builder.arbiter(arbiter).build().expect("valid");
+    system.run(CYCLES);
+    system.stats().bus_utilization()
+}
+
+fn lottery_arbiter(masters: usize) -> Box<dyn Arbiter> {
+    let tickets = TicketAssignment::new((1..=masters as u32).collect()).unwrap();
+    Box::new(StaticLotteryArbiter::with_seed(tickets, 7).unwrap())
+}
+
+fn throughput_vs_masters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_cycles_vs_masters");
+    group.throughput(Throughput::Elements(CYCLES));
+    for masters in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(masters), &masters, |b, &m| {
+            b.iter(|| black_box(run_cycles(m, BusConfig::default(), lottery_arbiter(m))))
+        });
+    }
+    group.finish();
+}
+
+fn burst_size_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: how the max burst size affects simulation
+    // behaviour (and cost): smaller bursts mean more arbitration events.
+    let mut group = c.benchmark_group("burst_size_ablation");
+    group.throughput(Throughput::Elements(CYCLES));
+    for burst in [1u32, 4, 16, 64] {
+        let bus = BusConfig { max_burst: burst, ..BusConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(burst), &burst, |b, _| {
+            b.iter(|| black_box(run_cycles(4, bus, lottery_arbiter(4))))
+        });
+    }
+    group.finish();
+}
+
+fn wheel_layout_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: contiguous vs interleaved TDMA wheels.
+    let mut group = c.benchmark_group("tdma_wheel_layout");
+    group.throughput(Throughput::Elements(CYCLES));
+    for (name, layout) in
+        [("contiguous", WheelLayout::Contiguous), ("interleaved", WheelLayout::Interleaved)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let arb =
+                    TdmaArbiter::new(&[6, 12, 18, 24], layout).expect("valid wheel");
+                black_box(run_cycles(4, BusConfig::default(), Box::new(arb)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn drr_vs_lottery(c: &mut Criterion) {
+    // Decision-cost comparison of the two weighted protocols end to end.
+    let mut group = c.benchmark_group("weighted_protocols");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("lottery", |b| {
+        b.iter(|| black_box(run_cycles(4, BusConfig::default(), lottery_arbiter(4))))
+    });
+    group.bench_function("deficit-rr", |b| {
+        b.iter(|| {
+            let arb = DeficitRoundRobinArbiter::new(&[1, 2, 3, 4], 8).expect("valid");
+            black_box(run_cycles(4, BusConfig::default(), Box::new(arb)))
+        })
+    });
+    group.finish();
+}
+
+fn split_and_multichannel(c: &mut Criterion) {
+    use socsim::multichannel::{ChannelId, MultiChannelBuilder};
+    use socsim::split::SplitSystemBuilder;
+    use socsim::{Slave, SlaveId};
+
+    let mut group = c.benchmark_group("extended_topologies");
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("split_transactions", |b| {
+        b.iter(|| {
+            let mut system = SplitSystemBuilder::new(BusConfig::default())
+                .master("a", saturating_specs(1).remove(0).build_source(1))
+                .master("b", saturating_specs(1).remove(0).build_source(2))
+                .split_slave("mem", 8, 4)
+                .arbiter(lottery_arbiter(3))
+                .build()
+                .expect("valid");
+            system.run(CYCLES);
+            black_box(system.master_stats(0).completed_words)
+        })
+    });
+    group.bench_function("two_channel_bridge", |b| {
+        b.iter(|| {
+            let mut system = MultiChannelBuilder::new()
+                .channel(BusConfig::default(), lottery_arbiter(2))
+                .channel(BusConfig::default(), lottery_arbiter(2))
+                .master(
+                    "local",
+                    ChannelId::new(0),
+                    saturating_specs(1).remove(0).to_slave(0).build_source(1),
+                )
+                .master(
+                    "remote",
+                    ChannelId::new(1),
+                    saturating_specs(1).remove(0).to_slave(0).build_source(2),
+                )
+                .slave(Slave::new(SlaveId::new(0), "mem"), ChannelId::new(0))
+                .bridge(ChannelId::new(1), ChannelId::new(0), 4)
+                .build()
+                .expect("valid");
+            system.run(CYCLES);
+            black_box(system.master_stats(1).completed_words)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    throughput_vs_masters,
+    burst_size_ablation,
+    wheel_layout_ablation,
+    drr_vs_lottery,
+    split_and_multichannel
+);
+criterion_main!(benches);

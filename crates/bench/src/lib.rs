@@ -1,0 +1,36 @@
+//! # bench — criterion benchmarks for the LOTTERYBUS reproduction
+//!
+//! Shared helpers for the benchmark targets:
+//!
+//! * `arbiters` — single-decision throughput of every arbitration
+//!   protocol under full contention.
+//! * `lottery` — the lottery datapath in isolation: LFSR draws, LUT
+//!   construction, power-of-two scaling, and the LFSR-vs-ideal-RNG
+//!   ablation.
+//! * `figures` — end-to-end regeneration cost of each paper figure and
+//!   table at reduced scale.
+//! * `simulation` — simulator throughput, including the burst-size and
+//!   master-count ablations.
+
+use socsim::{MasterId, RequestMap};
+
+/// A fully-contended request map for `n` masters (everyone pending with
+/// a deep backlog) — the worst case for every arbiter's decision logic.
+pub fn saturated_requests(n: usize) -> RequestMap {
+    let mut map = RequestMap::new(n);
+    for i in 0..n {
+        map.set_pending(MasterId::new(i), 64);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_map_has_everyone_pending() {
+        let map = saturated_requests(5);
+        assert_eq!(map.pending_count(), 5);
+    }
+}

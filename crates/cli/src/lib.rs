@@ -1,0 +1,40 @@
+//! # lotterybus-cli — run custom bus simulations from a plain-text spec
+//!
+//! The `lotterybus-sim` binary reads a small declarative spec describing
+//! a single-bus system — arbiter, bus parameters, and one line per
+//! master — runs it, and prints the bandwidth/latency report. It is the
+//! quickest way to try the LOTTERYBUS protocol on your own workload
+//! without writing Rust.
+//!
+//! ## Spec format
+//!
+//! Line-oriented; `#` starts a comment. Keys before the first `master`
+//! line configure the system:
+//!
+//! ```text
+//! # system keys
+//! arbiter  = lottery          # lottery | lottery-dynamic | priority |
+//!                             # tdma | rr | token
+//! burst    = 16               # max words per grant
+//! cycles   = 200000           # measured cycles
+//! warmup   = 20000            # discarded warm-up cycles
+//! seed     = 7
+//! tdma-block = 6              # slots per weight unit (tdma only)
+//!
+//! # one line per master:
+//! #   master <name> weight=<w> load=<words/cycle> size=<words> [burst|periodic]
+//! master cpu   weight=4 load=0.30 size=16
+//! master dsp   weight=2 load=0.20 size=16 burst
+//! master dma   weight=1 load=0.10 size=8  periodic
+//! ```
+//!
+//! `weight` feeds the arbiter (tickets / priority / slot count), `load`
+//! is the offered load in words per cycle, `size` the message size, and
+//! the optional trailing word selects the arrival process (default:
+//! memoryless).
+
+pub mod report;
+pub mod spec;
+
+pub use report::render_report;
+pub use spec::{ArbiterKind, MasterSpec, ParseSpecError, SimSpec};

@@ -1,0 +1,69 @@
+//! Rendering simulation results for the terminal.
+
+use crate::spec::SimSpec;
+use socsim::{BusStats, MasterId};
+
+/// Renders the end-of-run report: one row per master plus totals, with
+/// an ASCII bandwidth bar.
+pub fn render_report(spec: &SimSpec, stats: &BusStats) -> String {
+    let mut out = String::new();
+    let total_weight: u32 = spec.masters.iter().map(|m| m.weight).sum();
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>9} {:>9} {:>12} {:>10}  bandwidth\n",
+        "master", "weight", "entitled", "measured", "cyc/word", "p99 lat"
+    ));
+    for (i, master) in spec.masters.iter().enumerate() {
+        let id = MasterId::new(i);
+        let m = stats.master(id);
+        let share = stats.bandwidth_fraction(id);
+        let entitled = f64::from(master.weight) / f64::from(total_weight.max(1));
+        let bar_len = (share * 40.0).round() as usize;
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>8.1}% {:>8.1}% {:>12} {:>10}  {}\n",
+            master.name,
+            master.weight,
+            entitled * 100.0,
+            share * 100.0,
+            m.cycles_per_word().map_or("-".into(), |v| format!("{v:.2}")),
+            m.latency_quantile(0.99).map_or("-".into(), |v| format!("<{v}")),
+            "#".repeat(bar_len),
+        ));
+    }
+    out.push_str(&format!(
+        "bus utilization {:.1}%  ({} grants over {} cycles)\n",
+        stats.bus_utilization() * 100.0,
+        stats.grants,
+        stats.cycles,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SimSpec;
+    use socsim::SystemBuilder;
+
+    #[test]
+    fn report_contains_every_master_and_totals() {
+        let text = "arbiter = lottery\ncycles = 5000\nwarmup = 0\n\
+                    master cpu weight=3 load=0.4 size=16\n\
+                    master dsp weight=1 load=0.3 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        let mut builder = SystemBuilder::new(spec.bus_config());
+        for (i, master) in spec.masters.iter().enumerate() {
+            builder = builder.master(
+                master.name.clone(),
+                master.generator(i).build_source(spec.seed + i as u64),
+            );
+        }
+        let mut system =
+            builder.arbiter(spec.build_arbiter().expect("builds")).build().expect("valid");
+        system.run(spec.cycles);
+        let report = render_report(&spec, system.stats());
+        assert!(report.contains("cpu"));
+        assert!(report.contains("dsp"));
+        assert!(report.contains("bus utilization"));
+        assert!(report.contains('#'), "bandwidth bars rendered");
+    }
+}

@@ -1,0 +1,363 @@
+//! The plain-text simulation spec and its parser.
+
+use arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout};
+use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
+use socsim::{Arbiter, BusConfig};
+use std::error::Error;
+use std::fmt;
+use traffic_gen::{GeneratorSpec, SizeDist};
+
+/// Which arbitration protocol the spec selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterKind {
+    /// Static lottery manager (`lottery`).
+    Lottery,
+    /// Dynamic lottery manager (`lottery-dynamic`).
+    LotteryDynamic,
+    /// Static priority (`priority`); weights must be unique.
+    Priority,
+    /// Two-level TDMA (`tdma`); weights become slot counts.
+    Tdma,
+    /// Round robin (`rr`); weights are ignored.
+    RoundRobin,
+    /// Token ring (`token`); weights are ignored.
+    TokenRing,
+}
+
+impl ArbiterKind {
+    fn parse(word: &str) -> Option<Self> {
+        Some(match word {
+            "lottery" => ArbiterKind::Lottery,
+            "lottery-dynamic" => ArbiterKind::LotteryDynamic,
+            "priority" => ArbiterKind::Priority,
+            "tdma" => ArbiterKind::Tdma,
+            "rr" | "round-robin" => ArbiterKind::RoundRobin,
+            "token" | "token-ring" => ArbiterKind::TokenRing,
+            _ => return None,
+        })
+    }
+
+    /// The spec keyword for this protocol.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ArbiterKind::Lottery => "lottery",
+            ArbiterKind::LotteryDynamic => "lottery-dynamic",
+            ArbiterKind::Priority => "priority",
+            ArbiterKind::Tdma => "tdma",
+            ArbiterKind::RoundRobin => "rr",
+            ArbiterKind::TokenRing => "token",
+        }
+    }
+}
+
+/// One `master` line of the spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterSpec {
+    /// Component name.
+    pub name: String,
+    /// Arbiter weight (tickets / priority / slots).
+    pub weight: u32,
+    /// Offered load in words per cycle.
+    pub load: f64,
+    /// Message size in words.
+    pub size: u32,
+    /// Arrival process keyword: `""` (memoryless), `"burst"`, `"periodic"`.
+    pub arrival: String,
+}
+
+impl MasterSpec {
+    /// The traffic generator this master line describes.
+    pub fn generator(&self, index: usize) -> GeneratorSpec {
+        let size = SizeDist::fixed(self.size);
+        match self.arrival.as_str() {
+            "periodic" => {
+                let period = (f64::from(self.size) / self.load).round().max(1.0) as u64;
+                GeneratorSpec::periodic(period, 3 * index as u64, size)
+            }
+            "burst" => {
+                // Trains of ~4 messages with off periods sized for the load.
+                let words_per_train = 4.0 * f64::from(self.size);
+                let off = (words_per_train / self.load - 1.0).max(1.0);
+                GeneratorSpec::bursty(
+                    2,
+                    6,
+                    0,
+                    (off * 0.5) as u64,
+                    (off * 1.5) as u64,
+                    7 * index as u64,
+                    size,
+                )
+            }
+            _ => GeneratorSpec::poisson(self.load / f64::from(self.size), size),
+        }
+    }
+}
+
+/// A parsed simulation spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Selected protocol.
+    pub arbiter: ArbiterKind,
+    /// Maximum burst size.
+    pub burst: u32,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Seed for generators and the lottery.
+    pub seed: u64,
+    /// TDMA slots per weight unit.
+    pub tdma_block: u32,
+    /// The masters, in declaration order.
+    pub masters: Vec<MasterSpec>,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        SimSpec {
+            arbiter: ArbiterKind::Lottery,
+            burst: 16,
+            cycles: 200_000,
+            warmup: 20_000,
+            seed: 7,
+            tdma_block: 6,
+            masters: Vec::new(),
+        }
+    }
+}
+
+/// Error produced when a spec cannot be parsed or realized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line of the offending input (0 for whole-spec errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "spec error: {}", self.message)
+        } else {
+            write!(f, "spec error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseSpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseSpecError {
+    ParseSpecError { line, message: message.into() }
+}
+
+impl SimSpec {
+    /// Parses a spec from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax or semantic problem with its line number.
+    pub fn parse(text: &str) -> Result<SimSpec, ParseSpecError> {
+        let mut spec = SimSpec::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("master ") {
+                spec.masters.push(parse_master(line_no, rest)?);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(line_no, format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "arbiter" => {
+                    spec.arbiter = ArbiterKind::parse(value)
+                        .ok_or_else(|| err(line_no, format!("unknown arbiter `{value}`")))?;
+                }
+                "burst" => spec.burst = parse_num(line_no, key, value)?,
+                "cycles" => spec.cycles = parse_num(line_no, key, value)?,
+                "warmup" => spec.warmup = parse_num(line_no, key, value)?,
+                "seed" => spec.seed = parse_num(line_no, key, value)?,
+                "tdma-block" => spec.tdma_block = parse_num(line_no, key, value)?,
+                _ => return Err(err(line_no, format!("unknown key `{key}`"))),
+            }
+        }
+        if spec.masters.is_empty() {
+            return Err(err(0, "spec declares no masters"));
+        }
+        if spec.burst == 0 {
+            return Err(err(0, "burst must be at least 1"));
+        }
+        Ok(spec)
+    }
+
+    /// Builds the arbiter the spec selects.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weights are invalid for the protocol
+    /// (e.g. duplicate priorities).
+    pub fn build_arbiter(&self) -> Result<Box<dyn Arbiter>, ParseSpecError> {
+        let weights: Vec<u32> = self.masters.iter().map(|m| m.weight).collect();
+        let fail = |e: &dyn fmt::Display| err(0, format!("cannot build arbiter: {e}"));
+        Ok(match self.arbiter {
+            ArbiterKind::Lottery => {
+                let tickets = TicketAssignment::new(weights).map_err(|e| fail(&e))?;
+                Box::new(
+                    StaticLotteryArbiter::with_seed(tickets, self.seed as u32 | 1)
+                        .map_err(|e| fail(&e))?,
+                )
+            }
+            ArbiterKind::LotteryDynamic => {
+                let tickets = TicketAssignment::new(weights).map_err(|e| fail(&e))?;
+                Box::new(
+                    DynamicLotteryArbiter::with_seed(tickets, self.seed as u32 | 1)
+                        .map_err(|e| fail(&e))?,
+                )
+            }
+            ArbiterKind::Priority => {
+                Box::new(StaticPriorityArbiter::new(weights).map_err(|e| fail(&e))?)
+            }
+            ArbiterKind::Tdma => {
+                let slots: Vec<u32> = weights.iter().map(|w| w * self.tdma_block).collect();
+                Box::new(
+                    TdmaArbiter::new(&slots, WheelLayout::Contiguous).map_err(|e| fail(&e))?,
+                )
+            }
+            ArbiterKind::RoundRobin => {
+                Box::new(RoundRobinArbiter::new(self.masters.len()).map_err(|e| fail(&e))?)
+            }
+            ArbiterKind::TokenRing => {
+                Box::new(TokenRingArbiter::new(self.masters.len()).map_err(|e| fail(&e))?)
+            }
+        })
+    }
+
+    /// The bus configuration the spec selects.
+    pub fn bus_config(&self) -> BusConfig {
+        BusConfig { max_burst: self.burst, ..BusConfig::default() }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, key: &str, value: &str) -> Result<T, ParseSpecError> {
+    value.parse().map_err(|_| err(line, format!("invalid number for `{key}`: `{value}`")))
+}
+
+fn parse_master(line: usize, rest: &str) -> Result<MasterSpec, ParseSpecError> {
+    let mut words = rest.split_whitespace();
+    let name = words.next().ok_or_else(|| err(line, "master line needs a name"))?.to_owned();
+    let mut master =
+        MasterSpec { name, weight: 1, load: 0.1, size: 16, arrival: String::new() };
+    let mut saw_load = false;
+    for word in words {
+        if let Some((key, value)) = word.split_once('=') {
+            match key {
+                "weight" => master.weight = parse_num(line, key, value)?,
+                "load" => {
+                    master.load = parse_num(line, key, value)?;
+                    saw_load = true;
+                }
+                "size" => master.size = parse_num(line, key, value)?,
+                _ => return Err(err(line, format!("unknown master key `{key}`"))),
+            }
+        } else if matches!(word, "burst" | "periodic" | "poisson") {
+            master.arrival = if word == "poisson" { String::new() } else { word.to_owned() };
+        } else {
+            return Err(err(line, format!("unknown master token `{word}`")));
+        }
+    }
+    if master.size == 0 {
+        return Err(err(line, "size must be at least 1"));
+    }
+    if !(0.0..=1.0).contains(&master.load) || master.load <= 0.0 {
+        return Err(err(line, format!("load must be in (0, 1], got {}", master.load)));
+    }
+    let _ = saw_load;
+    Ok(master)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\n\
+        # a comment\n\
+        arbiter = lottery\n\
+        burst = 8\n\
+        cycles = 1000   # trailing comment\n\
+        warmup = 100\n\
+        master cpu weight=4 load=0.3 size=16\n\
+        master dsp weight=2 load=0.2 size=16 burst\n\
+        master dma weight=1 load=0.1 size=8 periodic\n";
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = SimSpec::parse(SAMPLE).expect("valid spec");
+        assert_eq!(spec.arbiter, ArbiterKind::Lottery);
+        assert_eq!(spec.burst, 8);
+        assert_eq!(spec.cycles, 1000);
+        assert_eq!(spec.masters.len(), 3);
+        assert_eq!(spec.masters[0].name, "cpu");
+        assert_eq!(spec.masters[0].weight, 4);
+        assert_eq!(spec.masters[1].arrival, "burst");
+        assert_eq!(spec.masters[2].size, 8);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = SimSpec::parse("arbiter = bogus\nmaster m weight=1 load=0.1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = SimSpec::parse("burst = x\nmaster m load=0.1").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = SimSpec::parse("master m load=2.0").unwrap_err();
+        assert!(e.message.contains("load"));
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let e = SimSpec::parse("# nothing\n").unwrap_err();
+        assert!(e.message.contains("no masters"));
+    }
+
+    #[test]
+    fn every_arbiter_kind_builds() {
+        for kind in ["lottery", "lottery-dynamic", "priority", "tdma", "rr", "token"] {
+            let text = format!(
+                "arbiter = {kind}\nmaster a weight=1 load=0.2 size=8\nmaster b weight=2 load=0.2 size=8\n"
+            );
+            let spec = SimSpec::parse(&text).expect("valid");
+            assert!(spec.build_arbiter().is_ok(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn duplicate_priorities_fail_at_build() {
+        let text = "arbiter = priority\n\
+                    master a weight=1 load=0.1\n\
+                    master b weight=1 load=0.1\n";
+        let spec = SimSpec::parse(text).expect("parses");
+        assert!(spec.build_arbiter().is_err());
+    }
+
+    #[test]
+    fn generators_match_requested_loads() {
+        let spec = SimSpec::parse(SAMPLE).expect("valid");
+        for (i, master) in spec.masters.iter().enumerate() {
+            let generator = master.generator(i);
+            let load = generator.offered_load();
+            assert!(
+                (load - master.load).abs() < master.load * 0.25,
+                "{}: generator load {load:.3} vs requested {:.3}",
+                master.name,
+                master.load,
+            );
+        }
+    }
+}

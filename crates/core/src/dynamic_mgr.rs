@@ -1,0 +1,331 @@
+//! The dynamic lottery manager (paper §4.4, Figure 10).
+
+use crate::error::LotteryError;
+use crate::lottery::{draw_winner, partial_sums};
+use crate::policy::TicketPolicy;
+use crate::rng::{LfsrSource, RandomSource};
+use crate::tickets::{TicketAssignment, MAX_TICKETS_PER_MASTER};
+use socsim::{Arbiter, Cycle, Grant, RequestMap};
+use std::fmt;
+
+/// Lottery-manager hardware with **dynamically assigned tickets**.
+///
+/// Unlike the static design, ticket holdings are inputs: the manager
+/// cannot precompute ranges, so each lottery recomputes the partial sums
+/// `Σ r_j·t_j` with a bitwise-AND stage and an adder tree, and the random
+/// draw is reduced into `[0, T)` by modulo hardware (Figure 10). The rest
+/// of the datapath (parallel comparators + priority selector) matches the
+/// static manager.
+///
+/// Ticket updates arrive in two ways:
+///
+/// * externally, via [`DynamicLotteryArbiter::set_tickets`] — "the number
+///   of tickets … is periodically communicated by the component to the
+///   lottery manager";
+/// * or from an attached [`TicketPolicy`] re-evaluated every
+///   `update_period` cycles, modelling component-side logic such as
+///   backlog-proportional shares.
+///
+/// ```
+/// use lotterybus::{DynamicLotteryArbiter, TicketAssignment};
+/// use socsim::{Arbiter, RequestMap, MasterId, Cycle};
+///
+/// # fn main() -> Result<(), lotterybus::LotteryError> {
+/// let tickets = TicketAssignment::new(vec![1, 1])?;
+/// let mut arb = DynamicLotteryArbiter::with_seed(tickets, 9)?;
+/// // Shift all weight onto master 1 at run time.
+/// arb.set_tickets(vec![0, 8])?;
+/// let mut map = RequestMap::new(2);
+/// map.set_pending(MasterId::new(0), 4);
+/// map.set_pending(MasterId::new(1), 4);
+/// assert_eq!(arb.arbitrate(&map, Cycle::ZERO).unwrap().master, MasterId::new(1));
+/// # Ok(())
+/// # }
+/// ```
+pub struct DynamicLotteryArbiter {
+    tickets: Vec<u32>,
+    policy: Option<Box<dyn TicketPolicy>>,
+    update_period: u64,
+    source: Box<dyn RandomSource>,
+    /// Compensation-ticket quantum in words (`None` = disabled).
+    compensation_quantum: Option<u32>,
+    /// Per-master compensation multiplier (×256 fixed point), active
+    /// until the master's next win.
+    boost: Vec<u32>,
+}
+
+impl fmt::Debug for DynamicLotteryArbiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynamicLotteryArbiter")
+            .field("tickets", &self.tickets)
+            .field("policy", &self.policy.as_ref().map(|p| p.name()))
+            .field("update_period", &self.update_period)
+            .field("source", &self.source.name())
+            .finish()
+    }
+}
+
+impl DynamicLotteryArbiter {
+    /// Creates a dynamic lottery manager with initial holdings `tickets`,
+    /// no update policy, drawing from a 32-bit LFSR seeded with 1.
+    pub fn new(tickets: TicketAssignment) -> Self {
+        Self::with_seed_infallible(tickets, 1)
+    }
+
+    /// Creates a dynamic lottery manager drawing from a 32-bit LFSR with
+    /// the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for any valid [`TicketAssignment`]; the
+    /// `Result` keeps the signature parallel to the static manager.
+    pub fn with_seed(tickets: TicketAssignment, seed: u32) -> Result<Self, LotteryError> {
+        Ok(Self::with_seed_infallible(tickets, seed))
+    }
+
+    fn with_seed_infallible(tickets: TicketAssignment, seed: u32) -> Self {
+        let n = tickets.masters();
+        DynamicLotteryArbiter {
+            tickets: tickets.tickets().to_vec(),
+            policy: None,
+            update_period: 1,
+            source: Box::new(LfsrSource::new(32, seed)),
+            compensation_quantum: None,
+            boost: vec![256; n],
+        }
+    }
+
+    /// Enables Waldspurger-style *compensation tickets* (the lottery
+    /// scheduling technique of the paper's reference [16]) with the
+    /// given quantum in words — typically the bus's maximum burst size.
+    ///
+    /// A master that consumes only a fraction `f` of the quantum when it
+    /// wins has its tickets inflated by `1/f` until its next win, so
+    /// components with short messages still receive their full
+    /// ticket-proportional share of *bandwidth*, not merely of wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn enable_compensation(&mut self, quantum: u32) {
+        assert!(quantum > 0, "compensation quantum must be nonzero");
+        self.compensation_quantum = Some(quantum);
+    }
+
+    /// Replaces the draw source (for ablations).
+    pub fn set_source(&mut self, source: Box<dyn RandomSource>) {
+        self.source = source;
+    }
+
+    /// Attaches a ticket-update policy re-evaluated every `period`
+    /// arbitration cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_policy(&mut self, policy: Box<dyn TicketPolicy>, period: u64) {
+        assert!(period > 0, "update period must be nonzero");
+        self.policy = Some(policy);
+        self.update_period = period;
+    }
+
+    /// The current ticket holdings.
+    pub fn tickets(&self) -> &[u32] {
+        &self.tickets
+    }
+
+    /// Overwrites the ticket holdings (an external ticket communication).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the master count changes, the total is zero,
+    /// or a holding exceeds [`MAX_TICKETS_PER_MASTER`].
+    pub fn set_tickets(&mut self, tickets: Vec<u32>) -> Result<(), LotteryError> {
+        if tickets.len() != self.tickets.len() {
+            return Err(LotteryError::MasterCountChanged {
+                got: tickets.len(),
+                expected: self.tickets.len(),
+            });
+        }
+        let validated = TicketAssignment::new(tickets)?;
+        self.tickets = validated.tickets().to_vec();
+        Ok(())
+    }
+}
+
+impl Arbiter for DynamicLotteryArbiter {
+    fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+        if let Some(policy) = self.policy.as_mut() {
+            if now.index().is_multiple_of(self.update_period) {
+                policy.update(requests, now, &mut self.tickets);
+                for t in &mut self.tickets {
+                    *t = (*t).min(MAX_TICKETS_PER_MASTER);
+                }
+            }
+        }
+        if requests.is_empty() {
+            return None;
+        }
+        // Apply compensation multipliers (×256 fixed point) if enabled.
+        let effective: Vec<u32> = if self.compensation_quantum.is_some() {
+            self.tickets
+                .iter()
+                .zip(&self.boost)
+                // Boost is always ≥ 1.0 (×256), so nonzero holdings stay
+                // nonzero and the product stays well inside u32.
+                .map(|(&t, &b)| ((u64::from(t) * u64::from(b)) / 256) as u32)
+                .collect()
+        } else {
+            self.tickets.clone()
+        };
+        let (_, total) = partial_sums(requests, &effective);
+        if total == 0 {
+            // Zero-ticket contenders only: default grant, as in the
+            // static manager, to avoid livelock.
+            return requests.iter_pending().next().map(Grant::whole_burst);
+        }
+        let draw = u64::from(self.source.draw(total as u32));
+        let winner =
+            draw_winner(requests, &effective, draw).expect("draw below total has a winner");
+        if let Some(quantum) = self.compensation_quantum {
+            // The winner will transfer min(quantum, pending) words; if
+            // that underuses the quantum, inflate its tickets by the
+            // inverse fraction until it wins again.
+            let served = requests.pending_words(winner).min(quantum).max(1);
+            self.boost[winner.index()] =
+                ((u64::from(quantum) * 256) / u64::from(served)).min(256 * 64) as u32;
+        }
+        Some(Grant::whole_burst(winner))
+    }
+
+    fn name(&self) -> &str {
+        "lottery-dynamic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::QueueProportionalPolicy;
+    use socsim::MasterId;
+
+    fn map_with(masters: usize, pending: &[(usize, u32)]) -> RequestMap {
+        let mut map = RequestMap::new(masters);
+        for &(m, w) in pending {
+            map.set_pending(MasterId::new(m), w);
+        }
+        map
+    }
+
+    fn arbiter(tickets: Vec<u32>) -> DynamicLotteryArbiter {
+        DynamicLotteryArbiter::with_seed(TicketAssignment::new(tickets).expect("valid"), 0xBEEF)
+            .expect("valid")
+    }
+
+    #[test]
+    fn win_frequencies_track_current_tickets() {
+        let mut arb = arbiter(vec![3, 1]);
+        let map = map_with(2, &[(0, 8), (1, 8)]);
+        let mut wins = [0u32; 2];
+        for c in 0..20_000u64 {
+            wins[arb.arbitrate(&map, Cycle::new(c)).unwrap().master.index()] += 1;
+        }
+        let share0 = f64::from(wins[0]) / 20_000.0;
+        assert!((share0 - 0.75).abs() < 0.03, "share {share0}");
+    }
+
+    #[test]
+    fn set_tickets_changes_shares_mid_run() {
+        let mut arb = arbiter(vec![1, 1]);
+        arb.set_tickets(vec![1, 9]).expect("valid update");
+        let map = map_with(2, &[(0, 8), (1, 8)]);
+        let mut wins = [0u32; 2];
+        for c in 0..10_000u64 {
+            wins[arb.arbitrate(&map, Cycle::new(c)).unwrap().master.index()] += 1;
+        }
+        let share1 = f64::from(wins[1]) / 10_000.0;
+        assert!((share1 - 0.9).abs() < 0.03, "share {share1}");
+    }
+
+    #[test]
+    fn set_tickets_validates() {
+        let mut arb = arbiter(vec![1, 1]);
+        assert!(matches!(
+            arb.set_tickets(vec![1, 2, 3]).unwrap_err(),
+            LotteryError::MasterCountChanged { .. }
+        ));
+        assert_eq!(arb.set_tickets(vec![0, 0]).unwrap_err(), LotteryError::ZeroTotalTickets);
+        assert_eq!(arb.tickets(), &[1, 1], "failed updates leave holdings unchanged");
+    }
+
+    #[test]
+    fn queue_proportional_policy_biases_toward_backlog() {
+        let mut arb = arbiter(vec![1, 1]);
+        arb.set_policy(Box::new(QueueProportionalPolicy::new(vec![1, 1])), 1);
+        // Master 1 has a 15-word backlog, master 0 a single word.
+        let map = map_with(2, &[(0, 1), (1, 15)]);
+        let mut wins = [0u32; 2];
+        for c in 0..10_000u64 {
+            wins[arb.arbitrate(&map, Cycle::new(c)).unwrap().master.index()] += 1;
+        }
+        // Expected shares 2/18 vs 16/18.
+        let share1 = f64::from(wins[1]) / 10_000.0;
+        assert!(share1 > 0.8, "share {share1}");
+    }
+
+    #[test]
+    fn empty_requests_grant_nothing() {
+        let mut arb = arbiter(vec![1, 1]);
+        assert!(arb.arbitrate(&RequestMap::new(2), Cycle::ZERO).is_none());
+    }
+
+    #[test]
+    fn compensation_restores_bandwidth_for_short_messages() {
+        // Master 0 always has 4-word messages pending; master 1 always
+        // 16-word messages; equal tickets and a 16-word quantum. Without
+        // compensation master 1 moves ~4x the words; with compensation
+        // master 0's win rate quadruples, equalizing word shares.
+        let measure = |compensate: bool| -> (u64, u64) {
+            let mut arb = arbiter(vec![1, 1]);
+            if compensate {
+                arb.enable_compensation(16);
+            }
+            let mut words = [0u64; 2];
+            let map = map_with(2, &[(0, 4), (1, 16)]);
+            for c in 0..40_000u64 {
+                let g = arb.arbitrate(&map, Cycle::new(c)).expect("grant");
+                // The bus would serve min(quantum, pending) words.
+                words[g.master.index()] += u64::from(map.pending_words(g.master).min(16));
+            }
+            (words[0], words[1])
+        };
+        let (plain_short, plain_long) = measure(false);
+        let ratio_plain = plain_long as f64 / plain_short as f64;
+        assert!((ratio_plain - 4.0).abs() < 0.5, "plain ratio {ratio_plain:.2}");
+
+        let (comp_short, comp_long) = measure(true);
+        let ratio_comp = comp_long as f64 / comp_short as f64;
+        assert!(ratio_comp < 1.3, "compensated ratio {ratio_comp:.2}");
+        assert!(comp_short > plain_short, "short-message master gained bandwidth");
+    }
+
+    #[test]
+    fn compensation_is_neutral_for_homogeneous_sizes() {
+        let mut arb = arbiter(vec![1, 3]);
+        arb.enable_compensation(16);
+        let map = map_with(2, &[(0, 16), (1, 16)]);
+        let mut wins = [0u32; 2];
+        for c in 0..20_000u64 {
+            wins[arb.arbitrate(&map, Cycle::new(c)).unwrap().master.index()] += 1;
+        }
+        let share1 = f64::from(wins[1]) / 20_000.0;
+        assert!((share1 - 0.75).abs() < 0.03, "share {share1}");
+    }
+
+    #[test]
+    fn zero_ticket_contenders_fall_back() {
+        let mut arb = arbiter(vec![0, 1]);
+        let map = map_with(2, &[(0, 4)]);
+        assert_eq!(arb.arbitrate(&map, Cycle::ZERO).unwrap().master, MasterId::new(0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for lottery-manager construction and reconfiguration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a lottery manager is configured with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LotteryError {
+    /// No masters were given tickets.
+    NoMasters,
+    /// More masters than the bus supports.
+    TooManyMasters {
+        /// Number of masters requested.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// Every ticket count is zero, so no lottery can ever be drawn.
+    ZeroTotalTickets,
+    /// A single ticket count exceeds the supported width.
+    TicketTooLarge {
+        /// Offending master index.
+        master: usize,
+        /// The oversized count.
+        tickets: u32,
+        /// Largest supported count.
+        max: u32,
+    },
+    /// The static manager's look-up table would be too large for this
+    /// many masters (it has `2^n` entries).
+    LutTooLarge {
+        /// Number of masters requested.
+        masters: usize,
+        /// Largest number of masters the LUT design supports.
+        max: usize,
+    },
+    /// Ticket updates must keep the number of masters fixed.
+    MasterCountChanged {
+        /// Masters in the new assignment.
+        got: usize,
+        /// Masters the manager was built for.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for LotteryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LotteryError::NoMasters => write!(f, "no masters hold tickets"),
+            LotteryError::TooManyMasters { got, max } => {
+                write!(f, "{got} masters hold tickets but at most {max} supported")
+            }
+            LotteryError::ZeroTotalTickets => write!(f, "total ticket count is zero"),
+            LotteryError::TicketTooLarge { master, tickets, max } => {
+                write!(f, "master {master} holds {tickets} tickets, more than the supported {max}")
+            }
+            LotteryError::LutTooLarge { masters, max } => {
+                write!(
+                    f,
+                    "static lottery LUT for {masters} masters would have 2^{masters} entries; \
+                     at most {max} masters supported"
+                )
+            }
+            LotteryError::MasterCountChanged { got, expected } => {
+                write!(f, "ticket update has {got} masters but the manager serves {expected}")
+            }
+        }
+    }
+}
+
+impl Error for LotteryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(LotteryError::ZeroTotalTickets.to_string().contains("zero"));
+        let e = LotteryError::TicketTooLarge { master: 1, tickets: 99, max: 10 };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<LotteryError>();
+    }
+}

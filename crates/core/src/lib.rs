@@ -1,0 +1,63 @@
+//! # lotterybus — lottery-based SoC bus arbitration (the paper's contribution)
+//!
+//! This crate implements the LOTTERYBUS communication architecture of
+//! Lahiri, Raghunathan and Lakshminarayana (DAC 2001): a randomized bus
+//! arbitration protocol in which each master holds a number of *lottery
+//! tickets* and, every arbitration, a centralized *lottery manager* picks
+//! a winning ticket uniformly among the tickets of the currently
+//! requesting masters. A master with `t` of the `T` current tickets wins
+//! with probability `t/T`, so:
+//!
+//! * bus **bandwidth shares converge to the ticket ratios** under load
+//!   (fine-grained proportional allocation, unlike static priority), and
+//! * expected **waiting time is low and phase-independent** (unlike TDMA,
+//!   whose latency depends on request/slot alignment), while the
+//!   probability of a master waiting more than `n` lotteries decays
+//!   geometrically — no starvation.
+//!
+//! Two hardware embodiments are provided, mirroring the paper's §4.3/§4.4:
+//!
+//! * [`StaticLotteryArbiter`] — tickets fixed at design time; all ticket
+//!   ranges are precomputed into a look-up table indexed by the request
+//!   map, and the random draw comes from a maximal-length LFSR over a
+//!   power-of-two range (Figure 9).
+//! * [`DynamicLotteryArbiter`] — tickets vary at run time; partial sums
+//!   are formed by an AND stage and adder tree, and the draw is reduced
+//!   into `[0, T)` by modulo hardware (Figure 10). Ticket-update policies
+//!   plug in via [`TicketPolicy`].
+//!
+//! ```
+//! use lotterybus::{StaticLotteryArbiter, TicketAssignment};
+//! use socsim::{Arbiter, RequestMap, MasterId, Cycle};
+//!
+//! # fn main() -> Result<(), lotterybus::LotteryError> {
+//! let tickets = TicketAssignment::new(vec![1, 2, 3, 4])?;
+//! let mut arb = StaticLotteryArbiter::with_seed(tickets, 42)?;
+//! let mut map = RequestMap::new(4);
+//! map.set_pending(MasterId::new(0), 8);
+//! map.set_pending(MasterId::new(3), 8);
+//! let grant = arb.arbitrate(&map, Cycle::ZERO).expect("someone pending");
+//! assert!(grant.master == MasterId::new(0) || grant.master == MasterId::new(3));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod dynamic_mgr;
+pub mod error;
+pub mod lfsr;
+pub mod lottery;
+pub mod policy;
+pub mod rng;
+pub mod static_mgr;
+pub mod tickets;
+
+pub use analysis::{expected_lotteries_to_win, win_within_probability};
+pub use dynamic_mgr::DynamicLotteryArbiter;
+pub use error::LotteryError;
+pub use lfsr::Lfsr;
+pub use lottery::{draw_winner, partial_sums};
+pub use policy::{ConstantPolicy, QueueProportionalPolicy, TicketPolicy};
+pub use rng::{LfsrSource, RandomSource, StdRngSource};
+pub use static_mgr::StaticLotteryArbiter;
+pub use tickets::TicketAssignment;

@@ -1,0 +1,137 @@
+//! The core lottery draw: partial ticket sums and winner selection.
+//!
+//! Implements the paper's §4.2 principle of operation: with pending
+//! request indicators `r_i` and ticket holdings `t_i`, the current ticket
+//! total is `T = Σ r_i·t_i`, and a draw `r ∈ [0, T)` selects the unique
+//! component `C_{i+1}` whose range `[Σ_{k≤i} r_k·t_k, Σ_{k≤i+1} r_k·t_k)`
+//! contains `r`.
+
+use socsim::{MasterId, RequestMap, MAX_MASTERS};
+
+/// Computes the running partial sums `Σ_{k≤i} r_k·t_k` for every master,
+/// plus the grand total of currently contending tickets.
+///
+/// Masters whose request line is idle contribute zero — this is the
+/// bitwise-AND stage of the dynamic manager's datapath (Figure 10).
+///
+/// ```
+/// use lotterybus::partial_sums;
+/// use socsim::{RequestMap, MasterId};
+/// let mut map = RequestMap::new(4);
+/// map.set_pending(MasterId::new(0), 1);
+/// map.set_pending(MasterId::new(2), 1);
+/// map.set_pending(MasterId::new(3), 1);
+/// // Paper Figure 8: tickets 1,2,3,4; request map 1011 (M1, M3, M4).
+/// let (sums, total) = partial_sums(&map, &[1, 2, 3, 4]);
+/// assert_eq!(&sums[..4], &[1, 1, 4, 8]);
+/// assert_eq!(total, 8);
+/// ```
+pub fn partial_sums(requests: &RequestMap, tickets: &[u32]) -> ([u64; MAX_MASTERS], u64) {
+    let mut sums = [0u64; MAX_MASTERS];
+    let mut acc = 0u64;
+    for (i, &t) in tickets.iter().enumerate().take(MAX_MASTERS) {
+        if requests.is_pending(MasterId::new(i)) {
+            acc += u64::from(t);
+        }
+        sums[i] = acc;
+    }
+    (sums, acc)
+}
+
+/// Selects the lottery winner for a given draw.
+///
+/// Returns the master whose ticket range contains `draw`, or `None` when
+/// no requesting master holds tickets or `draw` falls outside `[0, T)`.
+/// The scan mirrors the hardware's parallel comparators followed by a
+/// priority selector: the *first* partial sum exceeding the draw wins.
+///
+/// ```
+/// use lotterybus::draw_winner;
+/// use socsim::{RequestMap, MasterId};
+/// let mut map = RequestMap::new(4);
+/// for m in [0, 2, 3] { map.set_pending(MasterId::new(m), 1); }
+/// // Paper Figure 8: draw 5 falls in C4's range [4, 8).
+/// assert_eq!(draw_winner(&map, &[1, 2, 3, 4], 5), Some(MasterId::new(3)));
+/// // A draw of 0 lands in C1's range [0, 1).
+/// assert_eq!(draw_winner(&map, &[1, 2, 3, 4], 0), Some(MasterId::new(0)));
+/// ```
+pub fn draw_winner(requests: &RequestMap, tickets: &[u32], draw: u64) -> Option<MasterId> {
+    let mut acc = 0u64;
+    for (i, &t) in tickets.iter().enumerate().take(MAX_MASTERS) {
+        let id = MasterId::new(i);
+        if requests.is_pending(id) {
+            acc += u64::from(t);
+            if draw < acc {
+                return Some(id);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with(masters: usize, pending: &[usize]) -> RequestMap {
+        let mut map = RequestMap::new(masters);
+        for &m in pending {
+            map.set_pending(MasterId::new(m), 1);
+        }
+        map
+    }
+
+    #[test]
+    fn figure8_example_end_to_end() {
+        // Components hold 1, 2, 3, 4 tickets; C1, C3, C4 pending; the
+        // draw 5 lies between r1t1+r2t2+r3t3 = 4 and +r4t4 = 8 => C4.
+        let map = map_with(4, &[0, 2, 3]);
+        let (sums, total) = partial_sums(&map, &[1, 2, 3, 4]);
+        assert_eq!(total, 8);
+        assert_eq!(&sums[..4], &[1, 1, 4, 8]);
+        assert_eq!(draw_winner(&map, &[1, 2, 3, 4], 5), Some(MasterId::new(3)));
+    }
+
+    #[test]
+    fn winner_is_never_an_idle_master() {
+        let map = map_with(4, &[1, 3]);
+        for draw in 0..6 {
+            let winner = draw_winner(&map, &[1, 2, 3, 4], draw).expect("in range");
+            assert!(map.is_pending(winner), "draw {draw} granted idle {winner}");
+        }
+    }
+
+    #[test]
+    fn draw_out_of_range_selects_nobody() {
+        let map = map_with(2, &[0, 1]);
+        assert_eq!(draw_winner(&map, &[3, 4], 7), None);
+        assert_eq!(draw_winner(&map, &[3, 4], 6), Some(MasterId::new(1)));
+    }
+
+    #[test]
+    fn empty_request_map_has_no_winner() {
+        let map = RequestMap::new(3);
+        let (_, total) = partial_sums(&map, &[1, 1, 1]);
+        assert_eq!(total, 0);
+        assert_eq!(draw_winner(&map, &[1, 1, 1], 0), None);
+    }
+
+    #[test]
+    fn zero_ticket_masters_cannot_win() {
+        let map = map_with(3, &[0, 1, 2]);
+        let tickets = [0, 5, 0];
+        for draw in 0..5 {
+            assert_eq!(draw_winner(&map, &tickets, draw), Some(MasterId::new(1)));
+        }
+    }
+
+    #[test]
+    fn boundaries_are_inclusive_exclusive() {
+        // Ranges per the paper footnote: [a, b) includes a, excludes b.
+        let map = map_with(2, &[0, 1]);
+        let tickets = [2, 3];
+        assert_eq!(draw_winner(&map, &tickets, 1), Some(MasterId::new(0)));
+        assert_eq!(draw_winner(&map, &tickets, 2), Some(MasterId::new(1)));
+        assert_eq!(draw_winner(&map, &tickets, 4), Some(MasterId::new(1)));
+    }
+}

@@ -1,0 +1,124 @@
+//! Ticket-update policies for the dynamic lottery manager.
+//!
+//! In the dynamic architecture (§4.4) the number of tickets a component
+//! holds "varies dynamically, and is periodically communicated by the
+//! component to the lottery manager". A [`TicketPolicy`] models the
+//! component-side logic that decides those updates.
+
+use crate::tickets::MAX_TICKETS_PER_MASTER;
+use socsim::{Cycle, MasterId, RequestMap};
+
+/// Component-side logic that periodically recomputes ticket holdings for
+/// the dynamic lottery manager.
+pub trait TicketPolicy {
+    /// Rewrites `tickets` in place based on the current request state.
+    /// Called by the manager every update period.
+    fn update(&mut self, requests: &RequestMap, now: Cycle, tickets: &mut [u32]);
+
+    /// A short policy name for reports.
+    fn name(&self) -> &str;
+}
+
+impl<T: TicketPolicy + ?Sized> TicketPolicy for Box<T> {
+    fn update(&mut self, requests: &RequestMap, now: Cycle, tickets: &mut [u32]) {
+        (**self).update(requests, now, tickets)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Keeps ticket holdings fixed — the dynamic datapath with static
+/// behaviour, useful for isolating the hardware difference in ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstantPolicy;
+
+impl TicketPolicy for ConstantPolicy {
+    fn update(&mut self, _requests: &RequestMap, _now: Cycle, _tickets: &mut [u32]) {}
+
+    fn name(&self) -> &str {
+        "constant"
+    }
+}
+
+/// Scales each master's base ticket holding by its current backlog, so
+/// congested components temporarily receive more bandwidth:
+/// `t_i = base_i · (1 + pending_words_i)`, clamped to the supported
+/// maximum.
+///
+/// ```
+/// use lotterybus::{QueueProportionalPolicy, TicketPolicy};
+/// use socsim::{RequestMap, MasterId, Cycle};
+/// let mut policy = QueueProportionalPolicy::new(vec![1, 2]);
+/// let mut map = RequestMap::new(2);
+/// map.set_pending(MasterId::new(0), 9);
+/// let mut tickets = vec![1, 2];
+/// policy.update(&map, Cycle::ZERO, &mut tickets);
+/// assert_eq!(tickets, vec![10, 2]); // 1·(1+9), 2·(1+0)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueProportionalPolicy {
+    base: Vec<u32>,
+}
+
+impl QueueProportionalPolicy {
+    /// Creates a policy with per-master base holdings `base`.
+    pub fn new(base: Vec<u32>) -> Self {
+        QueueProportionalPolicy { base }
+    }
+
+    /// The base holdings the backlog multiplies.
+    pub fn base(&self) -> &[u32] {
+        &self.base
+    }
+}
+
+impl TicketPolicy for QueueProportionalPolicy {
+    fn update(&mut self, requests: &RequestMap, _now: Cycle, tickets: &mut [u32]) {
+        for (i, ticket) in tickets.iter_mut().enumerate() {
+            let base = self.base.get(i).copied().unwrap_or(1);
+            let backlog = u64::from(requests.pending_words(MasterId::new(i)));
+            let scaled = u64::from(base) * (1 + backlog);
+            *ticket = scaled.min(u64::from(MAX_TICKETS_PER_MASTER)) as u32;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "queue-proportional"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_policy_changes_nothing() {
+        let mut policy = ConstantPolicy;
+        let mut tickets = vec![3, 4];
+        policy.update(&RequestMap::new(2), Cycle::ZERO, &mut tickets);
+        assert_eq!(tickets, vec![3, 4]);
+        assert_eq!(policy.name(), "constant");
+    }
+
+    #[test]
+    fn queue_proportional_scales_with_backlog() {
+        let mut policy = QueueProportionalPolicy::new(vec![2, 2]);
+        let mut map = RequestMap::new(2);
+        map.set_pending(MasterId::new(1), 4);
+        let mut tickets = vec![0, 0];
+        policy.update(&map, Cycle::ZERO, &mut tickets);
+        assert_eq!(tickets, vec![2, 10]);
+    }
+
+    #[test]
+    fn queue_proportional_clamps_at_max() {
+        let mut policy = QueueProportionalPolicy::new(vec![MAX_TICKETS_PER_MASTER]);
+        let mut map = RequestMap::new(1);
+        map.set_pending(MasterId::new(0), 1000);
+        let mut tickets = vec![0];
+        policy.update(&map, Cycle::ZERO, &mut tickets);
+        assert_eq!(tickets, vec![MAX_TICKETS_PER_MASTER]);
+    }
+}

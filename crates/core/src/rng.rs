@@ -1,0 +1,159 @@
+//! Random draw sources for the lottery managers.
+
+use crate::lfsr::Lfsr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A source of bounded uniform random draws — the "pick a winning
+/// ticket" step of the lottery.
+pub trait RandomSource {
+    /// Draws a value uniformly from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `bound` is zero.
+    fn draw(&mut self, bound: u32) -> u32;
+
+    /// A short name for reports ("lfsr", "stdrng", …).
+    fn name(&self) -> &str;
+}
+
+impl<T: RandomSource + ?Sized> RandomSource for Box<T> {
+    fn draw(&mut self, bound: u32) -> u32 {
+        (**self).draw(bound)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Hardware-faithful draw source: a maximal-length [`Lfsr`].
+///
+/// For power-of-two bounds it collects `log2(bound)` output bits — the
+/// static manager's fast path (§4.3). For other bounds it collects
+/// `ceil(log2(bound))` bits and reduces them with a modulo, mirroring the
+/// dynamic manager's modulo hardware (§4.4). The modulo introduces the
+/// same slight bias the hardware would have; use a power-of-two bound
+/// (via ticket scaling) when exact proportionality matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LfsrSource {
+    lfsr: Lfsr,
+}
+
+impl LfsrSource {
+    /// Creates a source backed by a `width`-bit LFSR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=32`.
+    pub fn new(width: u32, seed: u32) -> Self {
+        LfsrSource { lfsr: Lfsr::new(width, seed) }
+    }
+
+    /// Access to the underlying register (e.g. to inspect its state).
+    pub fn lfsr(&self) -> &Lfsr {
+        &self.lfsr
+    }
+}
+
+impl RandomSource for LfsrSource {
+    fn draw(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "draw bound must be nonzero");
+        if bound == 1 {
+            return 0;
+        }
+        if bound.is_power_of_two() {
+            // Static-manager fast path: exactly log2(bound) output bits.
+            self.lfsr.next_bits(31 - (bound - 1).leading_zeros() + 1)
+        } else {
+            // Dynamic-manager path: reduce a full-width register value
+            // modulo the bound. Using all 32 bits keeps the modulo bias
+            // below bound / 2^32.
+            self.lfsr.next_bits(32) % bound
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lfsr"
+    }
+}
+
+/// Software draw source backed by [`rand::rngs::StdRng`]; produces
+/// exactly uniform draws for any bound. Used in ablations to isolate the
+/// effect of LFSR-based draws.
+pub struct StdRngSource {
+    rng: StdRng,
+}
+
+impl StdRngSource {
+    /// Creates a source seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        StdRngSource { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl fmt::Debug for StdRngSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StdRngSource").finish_non_exhaustive()
+    }
+}
+
+impl RandomSource for StdRngSource {
+    fn draw(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "draw bound must be nonzero");
+        self.rng.gen_range(0..bound)
+    }
+
+    fn name(&self) -> &str {
+        "stdrng"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bounds(source: &mut dyn RandomSource) {
+        for bound in [1u32, 2, 3, 7, 8, 10, 100, 1 << 16] {
+            for _ in 0..200 {
+                assert!(source.draw(bound) < bound, "draw out of range for bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn lfsr_draws_stay_in_bounds() {
+        check_bounds(&mut LfsrSource::new(20, 7));
+    }
+
+    #[test]
+    fn stdrng_draws_stay_in_bounds() {
+        check_bounds(&mut StdRngSource::new(3));
+    }
+
+    #[test]
+    fn lfsr_power_of_two_draws_are_balanced() {
+        let mut source = LfsrSource::new(16, 0xACE1);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[source.draw(4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bound_panics() {
+        LfsrSource::new(8, 1).draw(0);
+    }
+
+    #[test]
+    fn names_identify_sources() {
+        assert_eq!(LfsrSource::new(8, 1).name(), "lfsr");
+        assert_eq!(StdRngSource::new(1).name(), "stdrng");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the lottery managers: statistical
+//! proportionality, LUT structure, and static/dynamic agreement.
+
+use lotterybus::{
+    DynamicLotteryArbiter, StaticLotteryArbiter, StdRngSource, TicketAssignment,
+};
+use proptest::prelude::*;
+use socsim::{Arbiter, Cycle, MasterId, RequestMap};
+
+fn full_map(n: usize) -> RequestMap {
+    let mut map = RequestMap::new(n);
+    for i in 0..n {
+        map.set_pending(MasterId::new(i), 16);
+    }
+    map
+}
+
+fn win_shares(arbiter: &mut dyn Arbiter, n: usize, draws: u32) -> Vec<f64> {
+    let map = full_map(n);
+    let mut wins = vec![0u32; n];
+    for k in 0..draws {
+        let grant = arbiter.arbitrate(&map, Cycle::new(u64::from(k))).expect("grant");
+        wins[grant.master.index()] += 1;
+    }
+    wins.into_iter().map(|w| f64::from(w) / f64::from(draws)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn static_manager_win_rates_track_ticket_fractions(
+        tickets in prop::collection::vec(1u32..20, 2..6),
+        seed in 1u32..u32::MAX,
+    ) {
+        let n = tickets.len();
+        let assignment = TicketAssignment::new(tickets.clone()).unwrap();
+        let mut arbiter = StaticLotteryArbiter::with_seed(assignment, seed).unwrap();
+        let shares = win_shares(&mut arbiter, n, 30_000);
+        let total: u32 = tickets.iter().sum();
+        for i in 0..n {
+            let entitled = f64::from(tickets[i]) / f64::from(total);
+            prop_assert!(
+                (shares[i] - entitled).abs() < 0.05,
+                "master {}: share {:.3} vs entitled {:.3} (tickets {:?})",
+                i, shares[i], entitled, tickets,
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_manager_agrees_with_static_distribution(
+        tickets in prop::collection::vec(1u32..20, 2..6),
+        seed in 1u32..u32::MAX,
+    ) {
+        let n = tickets.len();
+        let assignment = TicketAssignment::new(tickets).unwrap();
+        let mut s = StaticLotteryArbiter::with_seed(assignment.clone(), seed).unwrap();
+        let mut d = DynamicLotteryArbiter::with_seed(assignment, seed).unwrap();
+        let s_shares = win_shares(&mut s, n, 20_000);
+        let d_shares = win_shares(&mut d, n, 20_000);
+        for i in 0..n {
+            prop_assert!(
+                (s_shares[i] - d_shares[i]).abs() < 0.06,
+                "master {}: static {:.3} vs dynamic {:.3}",
+                i, s_shares[i], d_shares[i],
+            );
+        }
+    }
+
+    #[test]
+    fn lfsr_draws_match_ideal_rng_distribution(
+        tickets in prop::collection::vec(1u32..10, 2..5),
+        seed in 1u64..1_000_000,
+    ) {
+        // Ablation property: the hardware LFSR draw source produces the
+        // same long-run allocation as an ideal uniform source.
+        let n = tickets.len();
+        let assignment = TicketAssignment::new(tickets).unwrap();
+        let mut hw = StaticLotteryArbiter::with_seed(assignment.clone(), seed as u32 | 1).unwrap();
+        let mut ideal = StaticLotteryArbiter::with_source(
+            assignment,
+            Box::new(StdRngSource::new(seed)),
+        )
+        .unwrap();
+        let hw_shares = win_shares(&mut hw, n, 20_000);
+        let ideal_shares = win_shares(&mut ideal, n, 20_000);
+        for i in 0..n {
+            prop_assert!(
+                (hw_shares[i] - ideal_shares[i]).abs() < 0.05,
+                "master {}: lfsr {:.3} vs ideal {:.3}",
+                i, hw_shares[i], ideal_shares[i],
+            );
+        }
+    }
+
+    #[test]
+    fn lut_scales_every_contending_subset_to_a_power_of_two(
+        tickets in prop::collection::vec(1u32..50, 2..6),
+    ) {
+        let n = tickets.len();
+        let assignment = TicketAssignment::new(tickets).unwrap();
+        let arbiter = StaticLotteryArbiter::with_seed(assignment, 1).unwrap();
+        for bits in 1u32..(1 << n) {
+            let scaled = arbiter.scaled_tickets(bits);
+            let total: u32 = scaled.iter().sum();
+            prop_assert!(total.is_power_of_two(), "map {:b}: total {}", bits, total);
+            for (i, &t) in scaled.iter().enumerate() {
+                if (bits >> i) & 1 == 0 {
+                    prop_assert_eq!(t, 0, "idle master {} holds scaled tickets", i);
+                } else {
+                    prop_assert!(t > 0, "contender {} lost all tickets", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ticket_updates_take_effect_immediately(
+        before in prop::collection::vec(1u32..10, 3),
+        after in prop::collection::vec(1u32..10, 3),
+        seed in 1u32..u32::MAX,
+    ) {
+        let mut arbiter =
+            DynamicLotteryArbiter::with_seed(TicketAssignment::new(before).unwrap(), seed)
+                .unwrap();
+        arbiter.set_tickets(after.clone()).unwrap();
+        let shares = win_shares(&mut arbiter, 3, 20_000);
+        let total: u32 = after.iter().sum();
+        for i in 0..3 {
+            let entitled = f64::from(after[i]) / f64::from(total);
+            prop_assert!(
+                (shares[i] - entitled).abs() < 0.06,
+                "master {}: share {:.3} vs new entitlement {:.3}",
+                i, shares[i], entitled,
+            );
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Unlike the figure experiments (which reproduce the paper), these
+//! quantify how the reproduction's own knobs affect the results:
+//!
+//! * **burst size** — proportionality and latency vs `max_burst`;
+//! * **draw source** — hardware LFSR draws vs ideal uniform draws;
+//! * **scaling resolution** — ratio error of power-of-two ticket
+//!   scaling vs the number of extra resolution bits;
+//! * **ticket-update period** — how stale dynamic tickets may get before
+//!   the backlog-proportional policy stops helping;
+//! * **TDMA wheel layout** — contiguous blocks vs interleaved slots.
+
+use crate::common::{self, RunSettings};
+use arbiters::{TdmaArbiter, WheelLayout};
+use lotterybus::{
+    DynamicLotteryArbiter, QueueProportionalPolicy, StaticLotteryArbiter, StdRngSource,
+    TicketAssignment,
+};
+use serde::{Deserialize, Serialize};
+use socsim::{BusConfig, MasterId};
+use traffic_gen::classes::saturating_specs;
+use traffic_gen::TrafficClass;
+
+/// The weights used throughout the ablations.
+const WEIGHTS: [u32; 4] = [1, 2, 3, 4];
+
+fn weight_tickets() -> TicketAssignment {
+    TicketAssignment::new(WEIGHTS.to_vec()).expect("valid")
+}
+
+/// Worst |measured − entitled| bandwidth error across components.
+fn proportionality_error(fractions: &[f64]) -> f64 {
+    let total: u32 = WEIGHTS.iter().sum();
+    fractions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f - f64::from(WEIGHTS[i]) / f64::from(total)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// One row of the burst-size ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstRow {
+    /// Maximum burst size in words.
+    pub max_burst: u32,
+    /// Worst bandwidth-proportionality error under saturation.
+    pub proportionality_error: f64,
+    /// Cycles/word of the highest-weight component under class T6.
+    pub t6_latency_w4: Option<f64>,
+}
+
+/// Burst-size ablation: the maximum transfer size trades arbitration
+/// frequency against head-of-line blocking.
+pub fn burst_size(settings: &RunSettings) -> Vec<BurstRow> {
+    [1u32, 4, 16, 64]
+        .into_iter()
+        .map(|max_burst| {
+            let s = RunSettings {
+                bus: BusConfig { max_burst, ..settings.bus },
+                ..*settings
+            };
+            let sat = common::run_system(
+                &saturating_specs(4),
+                Box::new(StaticLotteryArbiter::with_seed(weight_tickets(), 3).expect("valid")),
+                &s,
+            );
+            let t6 = common::run_system(
+                &TrafficClass::T6.specs_with_frame(&WEIGHTS, crate::fig6::TDMA_BLOCK),
+                Box::new(StaticLotteryArbiter::with_seed(weight_tickets(), 3).expect("valid")),
+                &s,
+            );
+            BurstRow {
+                max_burst,
+                proportionality_error: proportionality_error(&common::bandwidth_fractions(&sat, 4)),
+                t6_latency_w4: t6.master(MasterId::new(3)).cycles_per_word(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the draw-source ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrawSourceRow {
+    /// Source name (`"lfsr"` or `"stdrng"`).
+    pub source: String,
+    /// Worst bandwidth-proportionality error under saturation.
+    pub proportionality_error: f64,
+}
+
+/// Draw-source ablation: the hardware LFSR vs an ideal uniform RNG.
+pub fn draw_source(settings: &RunSettings) -> Vec<DrawSourceRow> {
+    let lfsr = StaticLotteryArbiter::with_seed(weight_tickets(), 0xACE1).expect("valid");
+    let ideal =
+        StaticLotteryArbiter::with_source(weight_tickets(), Box::new(StdRngSource::new(7)))
+            .expect("valid");
+    [("lfsr", lfsr), ("stdrng", ideal)]
+        .into_iter()
+        .map(|(name, arbiter)| {
+            let stats = common::run_system(&saturating_specs(4), Box::new(arbiter), settings);
+            DrawSourceRow {
+                source: name.into(),
+                proportionality_error: proportionality_error(&common::bandwidth_fractions(
+                    &stats, 4,
+                )),
+            }
+        })
+        .collect()
+}
+
+/// One row of the scaling-resolution ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Extra resolution bits used by the power-of-two scaling.
+    pub extra_bits: u32,
+    /// Scaled total for the 1:2:3:4 assignment.
+    pub scaled_total: u32,
+    /// Worst |scaled fraction − original fraction| across components.
+    pub ratio_error: f64,
+}
+
+/// Scaling-resolution ablation: how many extra bits the power-of-two
+/// rescaling needs before ratio distortion becomes negligible.
+pub fn scaling_resolution() -> Vec<ScalingRow> {
+    let original = weight_tickets();
+    (0..=6)
+        .map(|extra_bits| {
+            let scaled = original.scaled_to_power_of_two_with_resolution(extra_bits);
+            let ratio_error = (0..4)
+                .map(|i| {
+                    let id = MasterId::new(i);
+                    (original.fraction(id) - scaled.fraction(id)).abs()
+                })
+                .fold(0.0, f64::max);
+            ScalingRow { extra_bits, scaled_total: scaled.total(), ratio_error }
+        })
+        .collect()
+}
+
+/// One row of the ticket-update-period ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdatePeriodRow {
+    /// Cycles between policy re-evaluations.
+    pub period: u64,
+    /// Cycles/word of the bursty component.
+    pub bursty_latency: Option<f64>,
+}
+
+/// Ticket-update-period ablation for the dynamic manager's
+/// backlog-proportional policy: a bursty component competes with a
+/// steady one; frequent updates let its backlog win tickets quickly.
+pub fn update_period(settings: &RunSettings) -> Vec<UpdatePeriodRow> {
+    use traffic_gen::{GeneratorSpec, SizeDist};
+    let specs = [
+        GeneratorSpec::bursty(6, 10, 0, 400, 900, 0, SizeDist::fixed(16)),
+        GeneratorSpec::poisson(0.045, SizeDist::fixed(16)),
+    ];
+    [1u64, 16, 256, 4096]
+        .into_iter()
+        .map(|period| {
+            let tickets = TicketAssignment::new(vec![1, 1]).expect("valid");
+            let mut arbiter = DynamicLotteryArbiter::with_seed(tickets, 5).expect("valid");
+            arbiter.set_policy(Box::new(QueueProportionalPolicy::new(vec![1, 1])), period);
+            let stats = common::run_system(&specs, Box::new(arbiter), settings);
+            UpdatePeriodRow {
+                period,
+                bursty_latency: stats.master(MasterId::new(0)).cycles_per_word(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the wheel-layout ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WheelLayoutRow {
+    /// Layout name.
+    pub layout: String,
+    /// Per-component cycles/word under class T6.
+    pub t6_latency: Vec<Option<f64>>,
+}
+
+/// TDMA wheel-layout ablation: contiguous reservation blocks vs evenly
+/// interleaved slots, on the TDMA-hostile class T6.
+pub fn wheel_layout(settings: &RunSettings) -> Vec<WheelLayoutRow> {
+    let slots: Vec<u32> = WEIGHTS.iter().map(|w| w * crate::fig6::TDMA_BLOCK).collect();
+    [("contiguous", WheelLayout::Contiguous), ("interleaved", WheelLayout::Interleaved)]
+        .into_iter()
+        .map(|(name, layout)| {
+            let arbiter = TdmaArbiter::new(&slots, layout).expect("valid wheel");
+            let stats = common::run_system(
+                &TrafficClass::T6.specs_with_frame(&WEIGHTS, crate::fig6::TDMA_BLOCK),
+                Box::new(arbiter),
+                settings,
+            );
+            WheelLayoutRow { layout: name.into(), t6_latency: common::latencies(&stats, 4) }
+        })
+        .collect()
+}
+
+/// All ablations bundled for printing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ablations {
+    /// Burst-size sweep.
+    pub burst: Vec<BurstRow>,
+    /// LFSR vs ideal RNG.
+    pub draw: Vec<DrawSourceRow>,
+    /// Power-of-two scaling resolution.
+    pub scaling: Vec<ScalingRow>,
+    /// Dynamic ticket-update period.
+    pub update: Vec<UpdatePeriodRow>,
+    /// TDMA wheel layout.
+    pub wheel: Vec<WheelLayoutRow>,
+}
+
+/// Runs every ablation.
+pub fn run(settings: &RunSettings) -> Ablations {
+    Ablations {
+        burst: burst_size(settings),
+        draw: draw_source(settings),
+        scaling: scaling_resolution(),
+        update: update_period(settings),
+        wheel: wheel_layout(settings),
+    }
+}
+
+impl std::fmt::Display for Ablations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Ablation: maximum burst size (lottery, tickets 1:2:3:4)")?;
+        writeln!(f, "{:>10} {:>12} {:>16}", "max_burst", "bw error", "T6 w=4 latency")?;
+        for row in &self.burst {
+            writeln!(
+                f,
+                "{:>10} {:>11.2}% {:>16}",
+                row.max_burst,
+                row.proportionality_error * 100.0,
+                row.t6_latency_w4.map_or("-".into(), |v| format!("{v:.2}")),
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Ablation: random draw source")?;
+        for row in &self.draw {
+            writeln!(f, "  {:<8} worst bandwidth error {:.2}%", row.source, row.proportionality_error * 100.0)?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Ablation: power-of-two scaling resolution (tickets 1:2:3:4, T=10)")?;
+        writeln!(f, "{:>10} {:>13} {:>12}", "extra bits", "scaled total", "ratio error")?;
+        for row in &self.scaling {
+            writeln!(
+                f,
+                "{:>10} {:>13} {:>11.2}%",
+                row.extra_bits, row.scaled_total, row.ratio_error * 100.0
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Ablation: dynamic ticket-update period (bursty vs steady master)")?;
+        writeln!(f, "{:>10} {:>16}", "period", "bursty latency")?;
+        for row in &self.update {
+            writeln!(
+                f,
+                "{:>10} {:>16}",
+                row.period,
+                row.bursty_latency.map_or("-".into(), |v| format!("{v:.2}")),
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Ablation: TDMA wheel layout on class T6 (cycles/word per component)")?;
+        for row in &self.wheel {
+            let cells: Vec<String> = row
+                .t6_latency
+                .iter()
+                .map(|v| v.map_or("-".into(), |x| format!("{x:.2}")))
+                .collect();
+            writeln!(f, "  {:<12} {}", row.layout, cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings() -> RunSettings {
+        RunSettings { measure: 40_000, warmup: 5_000, ..RunSettings::quick() }
+    }
+
+    #[test]
+    fn scaling_error_shrinks_with_resolution() {
+        let rows = scaling_resolution();
+        assert!(rows[0].ratio_error >= rows.last().expect("rows").ratio_error);
+        assert!(rows.last().expect("rows").ratio_error < 0.01);
+        for row in &rows {
+            assert!(row.scaled_total.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn proportionality_holds_for_all_burst_sizes() {
+        for row in burst_size(&settings()) {
+            assert!(
+                row.proportionality_error < 0.05,
+                "burst {}: error {:.3}",
+                row.max_burst,
+                row.proportionality_error
+            );
+        }
+    }
+
+    #[test]
+    fn lfsr_matches_ideal_rng_allocation() {
+        let rows = draw_source(&settings());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.proportionality_error < 0.04, "{}: {}", row.source, row.proportionality_error);
+        }
+    }
+
+    #[test]
+    fn frequent_updates_do_not_hurt() {
+        let rows = update_period(&settings());
+        let fast = rows[0].bursty_latency.expect("served");
+        let slow = rows.last().expect("rows").bursty_latency.expect("served");
+        // Stale tickets should never *help* the bursty master.
+        assert!(fast <= slow * 1.5, "fast {fast:.2} vs slow {slow:.2}");
+    }
+
+    #[test]
+    fn wheel_layout_changes_t6_latency_profile() {
+        let rows = wheel_layout(&settings());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.t6_latency.iter().all(Option::is_some), "{}", row.layout);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Runs the design-choice ablations (burst size, draw source, scaling
+//! resolution, ticket-update period, TDMA wheel layout).
+fn main() {
+    println!("{}", experiments::ablations::run(&experiments::RunSettings::new()));
+}

@@ -1,0 +1,18 @@
+//! Runs every experiment in sequence - the data behind EXPERIMENTS.md.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let settings = experiments::RunSettings::new();
+    println!("{}\n", experiments::fig4::run(&settings));
+    println!("{}\n", experiments::fig5::run());
+    println!("{}\n", experiments::fig6::run_bandwidth(&settings));
+    println!("{}\n", experiments::fig6::run_latency(traffic_gen::TrafficClass::T6, &settings));
+    println!("{}\n", experiments::fig12::run_bandwidth(&settings));
+    println!("{}\n", experiments::fig12::run_tdma_latency(&settings));
+    println!("{}\n", experiments::fig12::run_lottery_latency(&settings));
+    println!("{}\n", experiments::table1::run(200_000, 17)?);
+    println!("{}\n", experiments::hw_table::run());
+    println!("{}\n", experiments::starvation::run(&settings));
+    println!("{}\n", experiments::sweeps::run(&settings));
+    println!("{}\n", experiments::energy::run(&settings));
+    println!("{}", experiments::ablations::run(&settings));
+    Ok(())
+}

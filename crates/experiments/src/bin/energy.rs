@@ -1,0 +1,4 @@
+//! Runs the energy comparison across architectures.
+fn main() {
+    println!("{}", experiments::energy::run(&experiments::RunSettings::new()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 12(a): lottery bandwidth across classes T1-T9.
+fn main() {
+    println!("{}", experiments::fig12::run_bandwidth(&experiments::RunSettings::new()));
+}

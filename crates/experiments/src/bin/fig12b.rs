@@ -1,0 +1,4 @@
+//! Regenerates Figure 12(b): TDMA latency across classes T1-T6.
+fn main() {
+    println!("{}", experiments::fig12::run_tdma_latency(&experiments::RunSettings::new()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: bandwidth sharing under static priority.
+fn main() {
+    println!("{}", experiments::fig4::run(&experiments::RunSettings::new()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5: TDMA wait times vs request alignment.
+fn main() {
+    println!("{}", experiments::fig5::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6(a): lottery bandwidth sharing.
+fn main() {
+    println!("{}", experiments::fig6::run_bandwidth(&experiments::RunSettings::new()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 6(b): TDMA vs LOTTERYBUS latency (class T6).
+fn main() {
+    let fig = experiments::fig6::run_latency(
+        traffic_gen::TrafficClass::T6,
+        &experiments::RunSettings::new(),
+    );
+    println!("{fig}");
+}

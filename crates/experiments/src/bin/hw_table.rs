@@ -1,0 +1,4 @@
+//! Regenerates the hardware-complexity estimates of paper section 5.2.
+fn main() {
+    println!("{}", experiments::hw_table::run());
+}

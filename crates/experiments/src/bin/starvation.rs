@@ -1,0 +1,4 @@
+//! Runs the starvation-bound validation and fairness comparison.
+fn main() {
+    println!("{}", experiments::starvation::run(&experiments::RunSettings::new()));
+}

@@ -1,0 +1,4 @@
+//! Runs the extension sweeps: share-vs-tickets and latency-vs-load.
+fn main() {
+    println!("{}", experiments::sweeps::run(&experiments::RunSettings::new()));
+}

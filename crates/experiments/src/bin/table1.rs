@@ -1,0 +1,5 @@
+//! Regenerates Table 1: the ATM switch under all three architectures.
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", experiments::table1::run(200_000, 17)?);
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Shared experiment plumbing: system assembly, runs, permutations.
+
+use socsim::{Arbiter, BusConfig, BusStats, MasterId, SystemBuilder};
+use traffic_gen::GeneratorSpec;
+
+/// Simulation window settings shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSettings {
+    /// Warm-up cycles discarded before measurement.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Base seed; per-master seeds derive from it.
+    pub seed: u64,
+    /// Bus configuration.
+    pub bus: BusConfig,
+}
+
+impl RunSettings {
+    /// The full-length window used for published numbers.
+    pub fn new() -> Self {
+        RunSettings { warmup: 20_000, measure: 200_000, seed: 0xC0FFEE, bus: BusConfig::default() }
+    }
+
+    /// A shorter window for tests (same shapes, faster).
+    pub fn quick() -> Self {
+        RunSettings { measure: 60_000, ..RunSettings::new() }
+    }
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings::new()
+    }
+}
+
+/// Builds a single-bus system from per-master traffic specs and an
+/// arbiter, runs it, and returns the steady-state statistics.
+///
+/// # Panics
+///
+/// Panics if the system cannot be built (the experiment definitions are
+/// all statically valid).
+pub fn run_system(
+    specs: &[GeneratorSpec],
+    arbiter: Box<dyn Arbiter>,
+    settings: &RunSettings,
+) -> BusStats {
+    let mut builder = SystemBuilder::new(settings.bus);
+    for (i, spec) in specs.iter().enumerate() {
+        builder = builder.master(
+            format!("C{}", i + 1),
+            spec.build_source(settings.seed.wrapping_add(i as u64 * 0x9E37_79B9)),
+        );
+    }
+    let mut system = builder.arbiter(arbiter).build().expect("experiment system is valid");
+    system.warm_up(settings.warmup);
+    system.run(settings.measure);
+    system.stats().clone()
+}
+
+/// Per-master bandwidth fractions from a run.
+pub fn bandwidth_fractions(stats: &BusStats, masters: usize) -> Vec<f64> {
+    (0..masters).map(|i| stats.bandwidth_fraction(MasterId::new(i))).collect()
+}
+
+/// Per-master cycles/word latencies from a run.
+pub fn latencies(stats: &BusStats, masters: usize) -> Vec<Option<f64>> {
+    (0..masters).map(|i| stats.master(MasterId::new(i)).cycles_per_word()).collect()
+}
+
+/// All permutations of `1..=n` in lexicographic order — the x-axis of
+/// Figures 4 and 6(a) ("priority/ticket assignments to C1–C4").
+pub fn permutations(n: usize) -> Vec<Vec<u32>> {
+    let mut items: Vec<u32> = (1..=n as u32).collect();
+    let mut out = Vec::new();
+    heap_permute(&mut items, n, &mut out);
+    out.sort();
+    out
+}
+
+fn heap_permute(items: &mut Vec<u32>, k: usize, out: &mut Vec<Vec<u32>>) {
+    if k == 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Formats a permutation as the paper labels it, e.g. `[2,1,3,4]` →
+/// `"2134"` (the value at position *i* is component C*i+1*'s assignment).
+pub fn permutation_label(perm: &[u32]) -> String {
+    perm.iter().map(|d| d.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbiters::RoundRobinArbiter;
+    use traffic_gen::classes::saturating_specs;
+
+    #[test]
+    fn permutations_of_four_number_24() {
+        let perms = permutations(4);
+        assert_eq!(perms.len(), 24);
+        assert_eq!(perms[0], vec![1, 2, 3, 4]);
+        assert_eq!(perms[23], vec![4, 3, 2, 1]);
+        // All distinct.
+        let mut unique = perms.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 24);
+    }
+
+    #[test]
+    fn labels_concatenate_digits() {
+        assert_eq!(permutation_label(&[3, 1, 4, 2]), "3142");
+    }
+
+    #[test]
+    fn run_system_produces_saturated_stats() {
+        let settings = RunSettings { warmup: 1_000, measure: 10_000, ..RunSettings::quick() };
+        let stats = run_system(
+            &saturating_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings,
+        );
+        assert_eq!(stats.cycles, 10_000);
+        assert!(stats.bus_utilization() > 0.95, "util {}", stats.bus_utilization());
+        let fractions = bandwidth_fractions(&stats, 4);
+        // Round robin shares the saturated bus equally.
+        for f in &fractions {
+            assert!((f - 0.25).abs() < 0.05, "fractions {fractions:?}");
+        }
+    }
+}

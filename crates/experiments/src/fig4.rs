@@ -1,0 +1,136 @@
+//! Figure 4: bandwidth sharing under the static-priority architecture.
+//!
+//! Four masters with saturating traffic contend under every possible
+//! priority assignment. The paper's observations, which this experiment
+//! reproduces: the bandwidth fraction a component receives is extremely
+//! sensitive to its priority, and low-priority components are starved
+//! (C1 received an average of ~0.1% across the combinations where it is
+//! lowest priority).
+
+use crate::common::{self, RunSettings};
+use arbiters::StaticPriorityArbiter;
+use serde::{Deserialize, Serialize};
+
+/// One bar of Figure 4: a priority assignment and the measured
+/// per-component bandwidth fractions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Priority assignment label, e.g. `"1234"` (C1 lowest … C4 highest).
+    pub assignment: String,
+    /// Priority value per component (larger = higher priority).
+    pub priorities: Vec<u32>,
+    /// Measured bandwidth fraction per component.
+    pub bandwidth: Vec<f64>,
+}
+
+/// The full figure: one row per priority permutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// Rows in lexicographic assignment order (the paper's x-axis).
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Runs the Figure 4 experiment.
+pub fn run(settings: &RunSettings) -> Fig4 {
+    let specs = traffic_gen::classes::saturating_specs(4);
+    let rows = common::permutations(4)
+        .into_iter()
+        .map(|perm| {
+            let arbiter = StaticPriorityArbiter::new(perm.clone()).expect("unique priorities");
+            let stats = common::run_system(&specs, Box::new(arbiter), settings);
+            Fig4Row {
+                assignment: common::permutation_label(&perm),
+                priorities: perm,
+                bandwidth: common::bandwidth_fractions(&stats, 4),
+            }
+        })
+        .collect();
+    Fig4 { rows }
+}
+
+impl Fig4 {
+    /// Bandwidth fraction of component `c` (0-based) in row `row`.
+    pub fn fraction(&self, row: usize, c: usize) -> f64 {
+        self.rows[row].bandwidth[c]
+    }
+
+    /// Range (min, max) of a component's bandwidth fraction across all
+    /// priority assignments — the paper quotes C1 spanning 0.6%–77.8%.
+    pub fn component_range(&self, c: usize) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in &self.rows {
+            lo = lo.min(row.bandwidth[c]);
+            hi = hi.max(row.bandwidth[c]);
+        }
+        (lo, hi)
+    }
+
+    /// Mean bandwidth of component `c` over the rows where it holds the
+    /// lowest priority (the starvation statistic of Example 1).
+    pub fn mean_when_lowest_priority(&self, c: usize) -> f64 {
+        let rows: Vec<&Fig4Row> =
+            self.rows.iter().filter(|r| r.priorities[c] == 1).collect();
+        rows.iter().map(|r| r.bandwidth[c]).sum::<f64>() / rows.len() as f64
+    }
+}
+
+impl std::fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Figure 4: bandwidth sharing under static priority (saturated bus)")?;
+        writeln!(f, "{:>10} {:>8} {:>8} {:>8} {:>8}", "assign", "C1", "C2", "C3", "C4")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:>10} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+                row.assignment,
+                row.bandwidth[0] * 100.0,
+                row.bandwidth[1] * 100.0,
+                row.bandwidth[2] * 100.0,
+                row.bandwidth[3] * 100.0,
+            )?;
+        }
+        let (lo, hi) = self.component_range(0);
+        write!(
+            f,
+            "C1 bandwidth ranges from {:.1}% to {:.1}%; mean when lowest priority: {:.2}%",
+            lo * 100.0,
+            hi * 100.0,
+            self.mean_when_lowest_priority(0) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_steps_and_starvation() {
+        let fig = run(&RunSettings { measure: 30_000, warmup: 5_000, ..RunSettings::quick() });
+        assert_eq!(fig.rows.len(), 24);
+        // Bandwidth is a steep step function of priority: the range of
+        // C1's share across assignments must span a wide interval.
+        let (lo, hi) = fig.component_range(0);
+        assert!(lo < 0.05, "starved share {lo}");
+        assert!(hi > 0.30, "top-priority share {hi}");
+        // Starvation: when lowest priority, C1 gets a tiny share.
+        assert!(fig.mean_when_lowest_priority(0) < 0.05);
+    }
+
+    #[test]
+    fn highest_priority_component_dominates() {
+        let fig = run(&RunSettings { measure: 20_000, warmup: 5_000, ..RunSettings::quick() });
+        for row in &fig.rows {
+            let top = row.priorities.iter().position(|&p| p == 4).expect("has top");
+            let bottom = row.priorities.iter().position(|&p| p == 1).expect("has bottom");
+            assert!(
+                row.bandwidth[top] > row.bandwidth[bottom],
+                "row {}: top {} <= bottom {}",
+                row.assignment,
+                row.bandwidth[top],
+                row.bandwidth[bottom],
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Structural area/delay estimators for the arbiter building blocks.
+//!
+//! Each function composes library cells into one of the datapath blocks
+//! appearing in the paper's Figure 9 (static manager) and Figure 10
+//! (dynamic manager). Delay models use logarithmic tree depths for the
+//! blocks a competent implementation would build as trees (comparators,
+//! fast adders, selectors) and linear depth for the iterative modulo
+//! unit.
+
+use crate::cells::CellLibrary;
+use crate::estimate::HwEstimate;
+
+fn log2_ceil(n: usize) -> u32 {
+    usize::BITS - n.saturating_sub(1).leading_zeros()
+}
+
+/// An `width`-bit magnitude comparator (`a < b`), used to compare the
+/// random draw against each partial sum.
+pub fn comparator(lib: &CellLibrary, width: u32) -> HwEstimate {
+    // Per-bit compare (XOR + AOI) followed by a combining tree.
+    let per_bit = HwEstimate::new(lib.xor2.area_grids + lib.aoi.area_grids, lib.xor2.delay_ns);
+    let tree_depth = log2_ceil(width.max(1) as usize);
+    let tree = HwEstimate::new(
+        (width.saturating_sub(1)) as f64 * lib.aoi.area_grids,
+        f64::from(tree_depth) * lib.aoi.delay_ns,
+    );
+    per_bit.replicated(width as usize).then(tree)
+}
+
+/// A fast (carry-lookahead-class) `width`-bit adder.
+pub fn adder(lib: &CellLibrary, width: u32) -> HwEstimate {
+    // Lookahead costs ~30% area over ripple; delay grows with log width.
+    let area = f64::from(width) * lib.fa.area_grids * 1.3;
+    let delay = lib.fa.delay_ns * (1.0 + f64::from(log2_ceil(width as usize)) * 0.5);
+    HwEstimate::new(area, delay)
+}
+
+/// The adder tree of the dynamic manager: sums `inputs` operands of
+/// `width` bits into the partial sums `Σ r_j·t_j` (Figure 10).
+pub fn adder_tree(lib: &CellLibrary, inputs: usize, width: u32) -> HwEstimate {
+    if inputs <= 1 {
+        return HwEstimate::ZERO;
+    }
+    let levels = log2_ceil(inputs);
+    let mut total = HwEstimate::ZERO;
+    // Operand width grows by one bit per level.
+    for level in 0..levels {
+        let adders_at_level = (inputs >> (level + 1)).max(1);
+        let stage = adder(lib, width + level).replicated(adders_at_level);
+        total = HwEstimate::new(total.area_grids + stage.area_grids, total.delay_ns + stage.delay_ns);
+    }
+    total
+}
+
+/// The bitwise-AND stage masking ticket registers with request lines.
+pub fn and_stage(lib: &CellLibrary, masters: usize, width: u32) -> HwEstimate {
+    HwEstimate::new(
+        (masters as f64) * f64::from(width) * lib.nand2.area_grids,
+        lib.nand2.delay_ns + lib.inv.delay_ns,
+    )
+}
+
+/// A `depth`-entry, `width`-bit register file with a read port — the
+/// look-up table of the static manager, "implemented using a register
+/// file" (§5.2).
+pub fn register_file(lib: &CellLibrary, depth: usize, width: u32) -> HwEstimate {
+    let storage = HwEstimate::new(
+        depth as f64 * f64::from(width) * lib.dff.area_grids,
+        0.0,
+    );
+    let addr_bits = log2_ceil(depth);
+    let decoder = HwEstimate::new(
+        depth as f64 * lib.nand2.area_grids,
+        f64::from(addr_bits) * lib.nand2.delay_ns,
+    );
+    // Read multiplexer: (depth − 1) two-way muxes per output bit.
+    let mux_tree = HwEstimate::new(
+        (depth.saturating_sub(1)) as f64 * f64::from(width) * lib.mux2.area_grids,
+        f64::from(addr_bits) * lib.mux2.delay_ns,
+    );
+    storage.then(decoder).then(mux_tree)
+}
+
+/// A `width`-bit maximal-length LFSR (random number generator).
+///
+/// The registers update in parallel with the data transfer (the paper
+/// pipelines the RNG), so the returned delay is just the clock-to-Q cost
+/// of presenting the value.
+pub fn lfsr(lib: &CellLibrary, width: u32) -> HwEstimate {
+    HwEstimate::new(
+        f64::from(width) * lib.dff.area_grids + 4.0 * lib.xor2.area_grids,
+        lib.dff.delay_ns,
+    )
+}
+
+/// The priority selector asserting exactly one of `n` grant lines
+/// (Figure 9: multiple comparators may fire; the first wins).
+pub fn priority_selector(lib: &CellLibrary, n: usize) -> HwEstimate {
+    HwEstimate::new(
+        n as f64 * (lib.aoi.area_grids + lib.inv.area_grids),
+        f64::from(log2_ceil(n)) * lib.aoi.delay_ns + lib.inv.delay_ns,
+    )
+}
+
+/// The modulo-reduction unit of the dynamic manager: maps the raw random
+/// value into `[0, T)` for a runtime total `T` (Figure 10).
+///
+/// Modelled as an array of conditional-subtract stages — the standard
+/// restoring-division structure — whose delay is *linear* in the operand
+/// width. This is the block that makes the dynamic manager
+/// "considerably harder" (§4.4) and slower than the static design.
+pub fn modulo_unit(lib: &CellLibrary, width: u32) -> HwEstimate {
+    let stage = adder(lib, width).then(HwEstimate::new(
+        f64::from(width) * lib.mux2.area_grids,
+        lib.mux2.delay_ns,
+    ));
+    HwEstimate::new(
+        stage.area_grids * f64::from(width),
+        stage.delay_ns * f64::from(width) * 0.5, // overlapped carry chains
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> CellLibrary {
+        CellLibrary::cmos035()
+    }
+
+    #[test]
+    fn log2_ceil_boundaries() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+    }
+
+    #[test]
+    fn wider_blocks_cost_more() {
+        let lib = lib();
+        assert!(comparator(&lib, 16).area_grids > comparator(&lib, 8).area_grids);
+        assert!(adder(&lib, 16).delay_ns > adder(&lib, 8).delay_ns);
+        assert!(register_file(&lib, 32, 8).area_grids > register_file(&lib, 16, 8).area_grids);
+    }
+
+    #[test]
+    fn adder_tree_grows_with_inputs() {
+        let lib = lib();
+        let four = adder_tree(&lib, 4, 8);
+        let eight = adder_tree(&lib, 8, 8);
+        assert!(eight.area_grids > four.area_grids);
+        assert!(eight.delay_ns > four.delay_ns);
+        assert_eq!(adder_tree(&lib, 1, 8), HwEstimate::ZERO);
+    }
+
+    #[test]
+    fn modulo_is_much_slower_than_comparator() {
+        let lib = lib();
+        // The linear-depth modulo should dominate a log-depth comparator
+        // at the same width: this is the static design's advantage.
+        assert!(modulo_unit(&lib, 10).delay_ns > 2.0 * comparator(&lib, 10).delay_ns);
+    }
+
+    #[test]
+    fn lfsr_area_scales_with_width() {
+        let lib = lib();
+        let a = lfsr(&lib, 8).area_grids;
+        let b = lfsr(&lib, 16).area_grids;
+        assert!(b > a);
+        assert_eq!(lfsr(&lib, 8).delay_ns, lib.dff.delay_ns);
+    }
+}

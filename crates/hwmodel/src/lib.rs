@@ -1,0 +1,42 @@
+//! # hwmodel — standard-cell area/delay estimation for bus arbiters
+//!
+//! The paper's §5.2 maps the LOTTERYBUS controller onto NEC's 0.35 µm
+//! cell-based array technology and reports its area (in *cell grids*) and
+//! arbitration delay, concluding that arbitration fits in a single bus
+//! cycle for bus speeds up to a few hundred MHz.
+//!
+//! We cannot use the proprietary CB-C9 library, so this crate provides an
+//! abstract 0.35 µm-class standard-cell library ([`CellLibrary`]) and
+//! structural estimators that compose the datapaths of Figures 9 and 10
+//! block by block:
+//!
+//! * [`blocks`] — comparators, fast adders, adder trees, register files,
+//!   LFSRs, priority selectors, modulo-reduction units;
+//! * [`managers`] — full arbiters assembled from those blocks: the static
+//!   and dynamic lottery managers plus the static-priority and TDMA
+//!   baselines, each returning a [`ManagerReport`] with a per-block
+//!   breakdown, total area and critical-path delay.
+//!
+//! Absolute numbers depend on the (substituted) library constants, but
+//! relative comparisons — static vs dynamic lottery, lottery vs
+//! conventional arbiters, scaling with master count and ticket width —
+//! are structural and technology-independent.
+//!
+//! ```
+//! use hwmodel::{CellLibrary, managers};
+//! let lib = CellLibrary::cmos035();
+//! let report = managers::static_lottery_manager(&lib, 4, 8);
+//! // Single-cycle arbitration at a few hundred MHz, as in the paper.
+//! assert!(report.total.max_freq_mhz() > 200.0);
+//! ```
+
+pub mod blocks;
+pub mod cells;
+pub mod estimate;
+pub mod managers;
+pub mod power;
+
+pub use cells::{Cell, CellLibrary};
+pub use estimate::HwEstimate;
+pub use managers::{BlockCost, ManagerReport};
+pub use power::{ActivityCounts, EnergyModel, EnergyReport};

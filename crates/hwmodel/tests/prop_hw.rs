@@ -1,0 +1,79 @@
+//! Property-based tests for the hardware cost model: composition laws
+//! and monotonicity of the structural estimators.
+
+use hwmodel::{blocks, managers, CellLibrary, HwEstimate};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn composition_laws_hold(
+        a_area in 0.0f64..1e6, a_delay in 0.0f64..100.0,
+        b_area in 0.0f64..1e6, b_delay in 0.0f64..100.0,
+    ) {
+        let a = HwEstimate::new(a_area, a_delay);
+        let b = HwEstimate::new(b_area, b_delay);
+        // Series: delays add; parallel: slower path dominates.
+        prop_assert!((a.then(b).delay_ns - (a_delay + b_delay)).abs() < 1e-9);
+        prop_assert!((a.beside(b).delay_ns - a_delay.max(b_delay)).abs() < 1e-9);
+        // Area always adds, in either composition.
+        prop_assert!((a.then(b).area_grids - a.beside(b).area_grids).abs() < 1e-9);
+        // Composition with ZERO is the identity.
+        prop_assert_eq!(a.then(HwEstimate::ZERO), a);
+        prop_assert_eq!(a.beside(HwEstimate::ZERO), a);
+        // `then` and `beside` are commutative in area and delay.
+        prop_assert_eq!(a.beside(b), b.beside(a));
+        prop_assert!((a.then(b).delay_ns - b.then(a).delay_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_are_monotone_in_width(width in 1u32..63) {
+        let lib = CellLibrary::cmos035();
+        let wider = width + 1;
+        prop_assert!(
+            blocks::comparator(&lib, wider).area_grids >= blocks::comparator(&lib, width).area_grids
+        );
+        prop_assert!(blocks::adder(&lib, wider).area_grids > blocks::adder(&lib, width).area_grids);
+        prop_assert!(blocks::lfsr(&lib, wider).area_grids > blocks::lfsr(&lib, width).area_grids);
+        prop_assert!(
+            blocks::modulo_unit(&lib, wider).delay_ns > blocks::modulo_unit(&lib, width).delay_ns
+        );
+    }
+
+    #[test]
+    fn managers_are_monotone_in_masters(masters in 2usize..11, ticket_bits in 2u32..16) {
+        let lib = CellLibrary::cmos035();
+        let s1 = managers::static_lottery_manager(&lib, masters, ticket_bits);
+        let s2 = managers::static_lottery_manager(&lib, masters + 1, ticket_bits);
+        prop_assert!(s2.total.area_grids > s1.total.area_grids);
+        prop_assert!(s2.total.delay_ns >= s1.total.delay_ns);
+        let d1 = managers::dynamic_lottery_manager(&lib, masters, ticket_bits);
+        let d2 = managers::dynamic_lottery_manager(&lib, masters + 1, ticket_bits);
+        prop_assert!(d2.total.area_grids > d1.total.area_grids);
+        // The modulo unit keeps the dynamic design slower than static.
+        prop_assert!(d1.total.delay_ns > s1.total.delay_ns);
+    }
+
+    #[test]
+    fn totals_equal_block_sums(masters in 2usize..9, ticket_bits in 2u32..16) {
+        let lib = CellLibrary::cmos035();
+        for report in [
+            managers::static_lottery_manager(&lib, masters, ticket_bits),
+            managers::dynamic_lottery_manager(&lib, masters, ticket_bits),
+            managers::static_priority_arbiter(&lib, masters),
+            managers::tdma_arbiter(&lib, masters, masters * 6),
+        ] {
+            let area: f64 = report.blocks.iter().map(|b| b.estimate.area_grids).sum();
+            let delay: f64 = report
+                .blocks
+                .iter()
+                .filter(|b| b.on_critical_path)
+                .map(|b| b.estimate.delay_ns)
+                .sum();
+            prop_assert!((report.total.area_grids - area).abs() < 1e-9, "{}", report.name);
+            prop_assert!((report.total.delay_ns - delay).abs() < 1e-9, "{}", report.name);
+            prop_assert!(report.total.area_grids > 0.0);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The arbitration interface between the bus and a protocol implementation.
+
+use crate::cycle::Cycle;
+use crate::ids::MasterId;
+use crate::request::RequestMap;
+
+/// The outcome of one arbitration decision: which master owns the bus next
+/// and for at most how many words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// The master granted ownership of the bus.
+    pub master: MasterId,
+    /// Upper bound on the number of words this grant may transfer.
+    ///
+    /// The bus additionally caps every grant by its configured maximum
+    /// burst size and by the words remaining in the granted master's head
+    /// transaction. Use [`Grant::whole_burst`] for protocols that delegate
+    /// the cap entirely to the bus (priority, round-robin, lottery) and
+    /// [`Grant::single_word`] for slot-based protocols (TDMA).
+    pub max_words: u32,
+}
+
+impl Grant {
+    /// A grant limited only by the bus's burst size and the master's need.
+    pub fn whole_burst(master: MasterId) -> Self {
+        Grant { master, max_words: u32::MAX }
+    }
+
+    /// A grant for exactly one bus word (one TDMA slot).
+    pub fn single_word(master: MasterId) -> Self {
+        Grant { master, max_words: 1 }
+    }
+}
+
+/// A bus arbitration protocol.
+///
+/// The bus calls [`Arbiter::arbitrate`] exactly once per cycle in which the
+/// bus is not occupied by an in-flight burst, passing the current request
+/// map. Returning `None` leaves the bus idle for that cycle (e.g. a TDMA
+/// slot whose owner is idle and no other master requests, or a token-ring
+/// hop cycle).
+///
+/// Implementations must only grant masters whose request line is asserted;
+/// the bus enforces this with a debug assertion.
+pub trait Arbiter {
+    /// Decides bus ownership for the cycle `now`.
+    fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant>;
+
+    /// A short human-readable protocol name, e.g. `"static-priority"`.
+    fn name(&self) -> &str;
+}
+
+impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
+    fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+        (**self).arbitrate(requests, now)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The simplest possible arbiter: always grants the lowest-indexed pending
+/// master a whole burst.
+///
+/// Useful as a deterministic placeholder in tests and doc examples; it is
+/// equivalent to a static-priority arbiter in which lower master indices
+/// have higher priority.
+#[derive(Debug, Clone)]
+pub struct FixedOrderArbiter {
+    masters: usize,
+}
+
+impl FixedOrderArbiter {
+    /// Creates a fixed-order arbiter for `masters` masters.
+    pub fn new(masters: usize) -> Self {
+        FixedOrderArbiter { masters }
+    }
+
+    /// Number of masters this arbiter serves.
+    pub fn masters(&self) -> usize {
+        self.masters
+    }
+}
+
+impl Arbiter for FixedOrderArbiter {
+    fn arbitrate(&mut self, requests: &RequestMap, _now: Cycle) -> Option<Grant> {
+        requests.iter_pending().next().map(Grant::whole_burst)
+    }
+
+    fn name(&self) -> &str {
+        "fixed-order"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_order_prefers_lowest_index() {
+        let mut arb = FixedOrderArbiter::new(4);
+        let mut map = RequestMap::new(4);
+        map.set_pending(MasterId::new(3), 1);
+        map.set_pending(MasterId::new(1), 1);
+        let grant = arb.arbitrate(&map, Cycle::ZERO).expect("grant");
+        assert_eq!(grant.master, MasterId::new(1));
+        assert_eq!(grant.max_words, u32::MAX);
+    }
+
+    #[test]
+    fn fixed_order_idles_on_empty_map() {
+        let mut arb = FixedOrderArbiter::new(2);
+        let map = RequestMap::new(2);
+        assert!(arb.arbitrate(&map, Cycle::ZERO).is_none());
+    }
+
+    #[test]
+    fn grant_constructors() {
+        let m = MasterId::new(2);
+        assert_eq!(Grant::whole_burst(m).max_words, u32::MAX);
+        assert_eq!(Grant::single_word(m).max_words, 1);
+    }
+
+    #[test]
+    fn boxed_arbiter_delegates() {
+        let mut arb: Box<dyn Arbiter> = Box::new(FixedOrderArbiter::new(2));
+        let mut map = RequestMap::new(2);
+        map.set_pending(MasterId::new(0), 1);
+        assert!(arb.arbitrate(&map, Cycle::ZERO).is_some());
+        assert_eq!(arb.name(), "fixed-order");
+    }
+}

@@ -1,0 +1,274 @@
+//! The shared-bus transfer engine.
+
+use crate::arbiter::Arbiter;
+use crate::config::BusConfig;
+use crate::cycle::Cycle;
+use crate::ids::MasterId;
+use crate::master::{Completion, MasterPort};
+use crate::request::RequestMap;
+use crate::slave::Slave;
+use crate::stats::BusStats;
+use crate::trace::{BusTrace, TraceEvent};
+
+/// Internal transfer state of the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// No transfer in flight; arbitration happens this cycle.
+    Idle,
+    /// A grant was issued but arbitration overhead / slave wait states
+    /// are still being paid.
+    Stalled { master: MasterId, words: u32, stall_left: u32 },
+    /// A burst is transferring, one word per cycle.
+    Bursting { master: MasterId, words_left: u32 },
+}
+
+/// The shared bus: a single channel transferring one word per cycle,
+/// with burst-mode grants decided by a pluggable [`Arbiter`].
+///
+/// `Bus` is driven by [`crate::System`]; it is exposed so that custom
+/// drivers (like the ATM switch crate) can inspect its configuration.
+#[derive(Debug)]
+pub struct Bus {
+    config: BusConfig,
+    state: State,
+}
+
+impl Bus {
+    /// Creates an idle bus with the given configuration.
+    pub fn new(config: BusConfig) -> Self {
+        Bus { config, state: State::Idle }
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Whether a burst (or its setup stall) is currently in flight.
+    pub fn is_busy(&self) -> bool {
+        self.state != State::Idle
+    }
+
+    /// Simulates one bus cycle.
+    ///
+    /// When idle, the request map is built from the master ports and the
+    /// arbiter is consulted; a granted burst then occupies subsequent
+    /// cycles at one word per cycle. Arbitration is pipelined: the first
+    /// word of a zero-overhead grant transfers in the grant cycle itself.
+    ///
+    /// `blocked` is a bitmask of master indices whose request lines are
+    /// suppressed this cycle (used by multi-channel systems to apply
+    /// back-pressure from full bridges). Returns the transaction that
+    /// completed this cycle, if any — at most one, since the bus moves
+    /// one word per cycle.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step(
+        &mut self,
+        arbiter: &mut dyn Arbiter,
+        masters: &mut [MasterPort],
+        slaves: &[Slave],
+        now: Cycle,
+        blocked: u32,
+        stats: &mut BusStats,
+        trace: &mut BusTrace,
+    ) -> Option<(MasterId, Completion)> {
+        match self.state {
+            State::Stalled { master, words, stall_left } => {
+                stats.record_stall(1);
+                self.state = if stall_left <= 1 {
+                    State::Bursting { master, words_left: words }
+                } else {
+                    State::Stalled { master, words, stall_left: stall_left - 1 }
+                };
+                None
+            }
+            State::Bursting { master, words_left } => {
+                let done = self.transfer_word(master, masters, now, stats, trace);
+                self.state = if words_left <= 1 {
+                    State::Idle
+                } else {
+                    State::Bursting { master, words_left: words_left - 1 }
+                };
+                done
+            }
+            State::Idle => {
+                let mut map = RequestMap::new(masters.len());
+                for port in masters.iter() {
+                    if port.is_requesting() && (blocked >> port.id().index()) & 1 == 0 {
+                        map.set_pending(port.id(), port.pending_words());
+                    }
+                }
+                match arbiter.arbitrate(&map, now) {
+                    Some(grant) => {
+                        assert!(
+                            map.is_pending(grant.master),
+                            "arbiter `{}` granted idle master {}",
+                            arbiter.name(),
+                            grant.master
+                        );
+                        assert!(grant.max_words > 0, "arbiter granted zero words");
+                        let port = &mut masters[grant.master.index()];
+                        let words = grant
+                            .max_words
+                            .min(self.config.max_burst)
+                            .min(port.pending_words());
+                        stats.record_grant(grant.master);
+                        port.note_grant(now);
+                        trace.record(TraceEvent::Grant {
+                            cycle: now,
+                            master: grant.master,
+                            words,
+                        });
+                        let slave = port.head_slave().expect("pending master has head");
+                        let wait_states = slaves
+                            .iter()
+                            .find(|s| s.id() == slave)
+                            .map_or(self.config.slave_wait_states, Slave::wait_states);
+                        let stall = self.config.arbitration_overhead + wait_states;
+                        if stall > 0 {
+                            stats.record_stall(1);
+                            self.state = if stall == 1 {
+                                State::Bursting { master: grant.master, words_left: words }
+                            } else {
+                                State::Stalled {
+                                    master: grant.master,
+                                    words,
+                                    stall_left: stall - 1,
+                                }
+                            };
+                            None
+                        } else {
+                            let done =
+                                self.transfer_word(grant.master, masters, now, stats, trace);
+                            self.state = if words == 1 {
+                                State::Idle
+                            } else {
+                                State::Bursting { master: grant.master, words_left: words - 1 }
+                            };
+                            done
+                        }
+                    }
+                    None => {
+                        trace.record(TraceEvent::Idle { cycle: now });
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn transfer_word(
+        &self,
+        master: MasterId,
+        masters: &mut [MasterPort],
+        now: Cycle,
+        stats: &mut BusStats,
+        trace: &mut BusTrace,
+    ) -> Option<(MasterId, Completion)> {
+        stats.record_words(master, 1);
+        trace.record(TraceEvent::Word { cycle: now, master });
+        let done = masters[master.index()].transfer(1, now)?;
+        stats.record_completion(master, &done);
+        Some((master, done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::FixedOrderArbiter;
+    use crate::ids::SlaveId;
+    use crate::request::Transaction;
+
+    fn setup(masters: usize) -> (Bus, Vec<MasterPort>, BusStats, BusTrace) {
+        let bus = Bus::new(BusConfig::default());
+        let ports = (0..masters)
+            .map(|i| MasterPort::new(MasterId::new(i), format!("m{i}")))
+            .collect();
+        (bus, ports, BusStats::new(masters), BusTrace::enabled(1024))
+    }
+
+    #[test]
+    fn single_burst_transfers_back_to_back() {
+        let (mut bus, mut ports, mut stats, mut trace) = setup(1);
+        let mut arb = FixedOrderArbiter::new(1);
+        ports[0].enqueue(Transaction::new(SlaveId::new(0), 3, Cycle::ZERO));
+        for c in 0..4 {
+            bus.step(&mut arb, &mut ports, &[], Cycle::new(c), 0, &mut stats, &mut trace);
+            stats.record_cycle();
+        }
+        assert_eq!(stats.master(MasterId::new(0)).words, 3);
+        assert_eq!(stats.master(MasterId::new(0)).transactions, 1);
+        // 3 words in cycles 0..3 (pipelined arbitration), idle cycle 3.
+        assert_eq!(trace.render_owners(0..4), "000.");
+        assert_eq!(stats.master(MasterId::new(0)).cycles_per_word(), Some(1.0));
+    }
+
+    #[test]
+    fn burst_cap_forces_rearbitration() {
+        let cfg = BusConfig { max_burst: 2, ..BusConfig::default() };
+        let mut bus = Bus::new(cfg);
+        let mut ports = vec![
+            MasterPort::new(MasterId::new(0), "a"),
+            MasterPort::new(MasterId::new(1), "b"),
+        ];
+        let mut stats = BusStats::new(2);
+        let mut trace = BusTrace::enabled(64);
+        let mut arb = FixedOrderArbiter::new(2);
+        ports[0].enqueue(Transaction::new(SlaveId::new(0), 4, Cycle::ZERO));
+        ports[1].enqueue(Transaction::new(SlaveId::new(0), 2, Cycle::ZERO));
+        for c in 0..8 {
+            bus.step(&mut arb, &mut ports, &[], Cycle::new(c), 0, &mut stats, &mut trace);
+            stats.record_cycle();
+        }
+        // Master 0 (higher priority in fixed order) transfers in two
+        // 2-word bursts, then master 1 gets the bus.
+        assert_eq!(trace.render_owners(0..6), "000011");
+        assert_eq!(stats.grants, 3);
+    }
+
+    #[test]
+    fn arbitration_overhead_inserts_stalls() {
+        let cfg = BusConfig { arbitration_overhead: 2, ..BusConfig::default() };
+        let mut bus = Bus::new(cfg);
+        let mut ports = vec![MasterPort::new(MasterId::new(0), "a")];
+        let mut stats = BusStats::new(1);
+        let mut trace = BusTrace::enabled(64);
+        let mut arb = FixedOrderArbiter::new(1);
+        ports[0].enqueue(Transaction::new(SlaveId::new(0), 2, Cycle::ZERO));
+        for c in 0..5 {
+            bus.step(&mut arb, &mut ports, &[], Cycle::new(c), 0, &mut stats, &mut trace);
+            stats.record_cycle();
+        }
+        assert_eq!(stats.stall_cycles, 2);
+        assert_eq!(stats.master(MasterId::new(0)).words, 2);
+        // Words move in cycles 2 and 3.
+        assert_eq!(trace.render_owners(0..5), "  00.");
+    }
+
+    #[test]
+    fn slave_wait_states_apply_per_burst() {
+        let mut bus = Bus::new(BusConfig::default());
+        let slaves = vec![Slave::with_wait_states(SlaveId::new(0), "slow", 1)];
+        let mut ports = vec![MasterPort::new(MasterId::new(0), "a")];
+        let mut stats = BusStats::new(1);
+        let mut trace = BusTrace::disabled();
+        let mut arb = FixedOrderArbiter::new(1);
+        ports[0].enqueue(Transaction::new(SlaveId::new(0), 2, Cycle::ZERO));
+        for c in 0..4 {
+            bus.step(&mut arb, &mut ports, &slaves, Cycle::new(c), 0, &mut stats, &mut trace);
+            stats.record_cycle();
+        }
+        assert_eq!(stats.stall_cycles, 1);
+        assert_eq!(stats.master(MasterId::new(0)).words, 2);
+    }
+
+    #[test]
+    fn idle_bus_records_idle_events() {
+        let (mut bus, mut ports, mut stats, mut trace) = setup(1);
+        let mut arb = FixedOrderArbiter::new(1);
+        bus.step(&mut arb, &mut ports, &[], Cycle::ZERO, 0, &mut stats, &mut trace);
+        assert_eq!(trace.render_owners(0..1), ".");
+        assert!(!bus.is_busy());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for system construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`crate::SystemBuilder`] cannot produce a valid
+/// system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildSystemError {
+    /// No master was added to the system.
+    NoMasters,
+    /// More masters were added than the bus supports.
+    TooManyMasters {
+        /// Number of masters added.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// No arbiter was configured.
+    NoArbiter,
+    /// The bus configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for BuildSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSystemError::NoMasters => write!(f, "system has no masters"),
+            BuildSystemError::TooManyMasters { got, max } => {
+                write!(f, "system has {got} masters but the bus supports at most {max}")
+            }
+            BuildSystemError::NoArbiter => write!(f, "system has no arbiter"),
+            BuildSystemError::InvalidConfig(msg) => write!(f, "invalid bus config: {msg}"),
+        }
+    }
+}
+
+impl Error for BuildSystemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        assert_eq!(BuildSystemError::NoMasters.to_string(), "system has no masters");
+        let e = BuildSystemError::TooManyMasters { got: 40, max: 32 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("32"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync>() {}
+        assert_error::<BuildSystemError>();
+    }
+}

@@ -1,0 +1,218 @@
+//! Master-side bus interface: per-master transaction queues.
+
+use crate::cycle::Cycle;
+use crate::ids::MasterId;
+use crate::request::Transaction;
+use std::collections::VecDeque;
+
+/// A transaction that has been issued but not yet fully transferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight {
+    txn: Transaction,
+    remaining: u32,
+    first_grant: Option<Cycle>,
+}
+
+impl InFlight {
+    /// The underlying transaction.
+    pub fn transaction(&self) -> Transaction {
+        self.txn
+    }
+
+    /// Words still to transfer.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Cycle at which the transaction first received a grant, if any.
+    pub fn first_grant(&self) -> Option<Cycle> {
+        self.first_grant
+    }
+}
+
+/// A completed transaction together with its timing, reported to the
+/// statistics collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The finished transaction.
+    pub txn: Transaction,
+    /// Cycle at which the transaction first owned the bus.
+    pub first_grant: Cycle,
+    /// Cycle *after* the last word transferred (exclusive end).
+    pub finished_at: Cycle,
+}
+
+impl Completion {
+    /// Total latency in cycles: waiting plus transfer time.
+    pub fn latency(&self) -> u64 {
+        self.finished_at - self.txn.issued_at()
+    }
+
+    /// Cycles spent waiting before the first word moved.
+    pub fn wait(&self) -> u64 {
+        self.first_grant - self.txn.issued_at()
+    }
+}
+
+/// The bus-interface logic on the master side: a FIFO of outstanding
+/// transactions. The head of the queue drives the master's request line.
+///
+/// ```
+/// use socsim::{MasterPort, MasterId, Transaction, SlaveId, Cycle};
+/// let mut port = MasterPort::new(MasterId::new(0), "cpu");
+/// port.enqueue(Transaction::new(SlaveId::new(0), 2, Cycle::ZERO));
+/// assert_eq!(port.pending_words(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MasterPort {
+    id: MasterId,
+    name: String,
+    queue: VecDeque<InFlight>,
+    issued: u64,
+    issued_words: u64,
+}
+
+impl MasterPort {
+    /// Creates an empty port for master `id` labelled `name`.
+    pub fn new(id: MasterId, name: impl Into<String>) -> Self {
+        MasterPort { id, name: name.into(), queue: VecDeque::new(), issued: 0, issued_words: 0 }
+    }
+
+    /// This port's master id.
+    pub fn id(&self) -> MasterId {
+        self.id
+    }
+
+    /// The human-readable component name (e.g. `"cpu"`, `"port3"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a newly issued transaction to the queue.
+    pub fn enqueue(&mut self, txn: Transaction) {
+        self.issued += 1;
+        self.issued_words += u64::from(txn.words());
+        self.queue.push_back(InFlight { txn, remaining: txn.words(), first_grant: None });
+    }
+
+    /// Whether the request line is asserted (any transaction outstanding).
+    pub fn is_requesting(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Words remaining in the head transaction (zero when idle).
+    pub fn pending_words(&self) -> u32 {
+        self.queue.front().map_or(0, |f| f.remaining)
+    }
+
+    /// Slave addressed by the head transaction, if any.
+    pub fn head_slave(&self) -> Option<crate::ids::SlaveId> {
+        self.queue.front().map(|f| f.txn.slave())
+    }
+
+    /// Total words across all queued transactions (backlog depth).
+    pub fn backlog_words(&self) -> u64 {
+        self.queue.iter().map(|f| u64::from(f.remaining)).sum()
+    }
+
+    /// Number of outstanding transactions.
+    pub fn backlog_transactions(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Transactions issued over the port's lifetime.
+    pub fn issued_transactions(&self) -> u64 {
+        self.issued
+    }
+
+    /// Words issued over the port's lifetime.
+    pub fn issued_words(&self) -> u64 {
+        self.issued_words
+    }
+
+    /// Records that the head transaction was granted the bus at `now`
+    /// (only the first grant per transaction is remembered).
+    pub fn note_grant(&mut self, now: Cycle) {
+        if let Some(head) = self.queue.front_mut() {
+            head.first_grant.get_or_insert(now);
+        }
+    }
+
+    /// Transfers `words` words of the head transaction, the last of which
+    /// occupies the bus cycle `last_cycle`. Returns the completion record
+    /// if the head transaction finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port has no outstanding transaction or `words`
+    /// exceeds the head transaction's remaining words.
+    pub fn transfer(&mut self, words: u32, last_cycle: Cycle) -> Option<Completion> {
+        let head = self.queue.front_mut().expect("transfer on idle master");
+        assert!(words <= head.remaining, "transfer exceeds remaining words");
+        head.remaining -= words;
+        if head.remaining == 0 {
+            let done = self.queue.pop_front().expect("head exists");
+            Some(Completion {
+                txn: done.txn,
+                first_grant: done.first_grant.expect("granted before completion"),
+                finished_at: last_cycle + 1,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SlaveId;
+
+    fn txn(words: u32, at: u64) -> Transaction {
+        Transaction::new(SlaveId::new(0), words, Cycle::new(at))
+    }
+
+    #[test]
+    fn fifo_order_and_partial_transfer() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        port.enqueue(txn(4, 0));
+        port.enqueue(txn(2, 1));
+        assert_eq!(port.pending_words(), 4);
+        assert_eq!(port.backlog_words(), 6);
+        port.note_grant(Cycle::new(3));
+        assert!(port.transfer(3, Cycle::new(5)).is_none());
+        assert_eq!(port.pending_words(), 1);
+        let done = port.transfer(1, Cycle::new(6)).expect("completes");
+        assert_eq!(done.latency(), 7); // issued at 0, last word in cycle 6
+        assert_eq!(done.wait(), 3);
+        assert_eq!(port.pending_words(), 2); // second transaction now head
+    }
+
+    #[test]
+    fn first_grant_is_sticky() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        port.enqueue(txn(8, 0));
+        port.note_grant(Cycle::new(2));
+        port.transfer(4, Cycle::new(5)).map(|_| ()).unwrap_or(());
+        port.note_grant(Cycle::new(9)); // re-grant of same transaction
+        let done = port.transfer(4, Cycle::new(12)).expect("completes");
+        assert_eq!(done.first_grant, Cycle::new(2));
+    }
+
+    #[test]
+    fn issue_counters_accumulate() {
+        let mut port = MasterPort::new(MasterId::new(1), "m1");
+        port.enqueue(txn(4, 0));
+        port.enqueue(txn(6, 0));
+        assert_eq!(port.issued_transactions(), 2);
+        assert_eq!(port.issued_words(), 10);
+        assert_eq!(port.backlog_transactions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle master")]
+    fn transfer_on_idle_panics() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        let _ = port.transfer(1, Cycle::ZERO);
+    }
+}

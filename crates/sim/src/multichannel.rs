@@ -1,0 +1,658 @@
+//! Multi-channel communication architectures: several shared buses
+//! connected by bridges.
+//!
+//! The LOTTERYBUS paper does not presume a flat, system-wide bus: "the
+//! components may be interconnected by an arbitrary network of shared
+//! channels", with "a centralized lottery manager for each shared
+//! channel" (§4.1), and §2.3 describes hierarchical bus architectures
+//! "in which multiple buses are arranged in a hierarchy, with bridges
+//! permitting cross-hierarchy communications". This module provides that
+//! topology: each channel has its own configuration and arbiter, and
+//! directed bridges store-and-forward transactions between channels with
+//! bounded buffering and back-pressure.
+//!
+//! ```
+//! use socsim::arbiter::FixedOrderArbiter;
+//! use socsim::multichannel::{ChannelId, MultiChannelBuilder};
+//! use socsim::{BusConfig, Slave, SlaveId, Cycle, Transaction, TrafficSource};
+//!
+//! struct Once(Option<Transaction>);
+//! impl TrafficSource for Once {
+//!     fn poll(&mut self, _now: Cycle) -> Option<Transaction> { self.0.take() }
+//! }
+//!
+//! # fn main() -> Result<(), socsim::BuildSystemError> {
+//! // Two channels; the master on channel 0 talks to a memory on
+//! // channel 1 through a bridge.
+//! let mut system = MultiChannelBuilder::new()
+//!     .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+//!     .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+//!     .master("cpu", ChannelId::new(0), Box::new(Once(Some(
+//!         Transaction::new(SlaveId::new(0), 4, Cycle::ZERO)))))
+//!     .slave(Slave::new(SlaveId::new(0), "mem"), ChannelId::new(1))
+//!     .bridge(ChannelId::new(0), ChannelId::new(1), 4)
+//!     .build()?;
+//! system.run(64);
+//! assert_eq!(system.master_stats(0).transactions, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::arbiter::Arbiter;
+use crate::bus::Bus;
+use crate::config::BusConfig;
+use crate::cycle::Cycle;
+use crate::error::BuildSystemError;
+use crate::ids::{MasterId, SlaveId};
+use crate::master::MasterPort;
+use crate::request::{Transaction, MAX_MASTERS};
+use crate::slave::Slave;
+use crate::stats::{BusStats, MasterStats};
+use crate::system::TrafficSource;
+use crate::trace::BusTrace;
+use std::collections::VecDeque;
+
+/// Identifies one shared channel (bus) in a multi-channel system.
+///
+/// Channels are numbered densely in the order they are added to the
+/// builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(usize);
+
+impl ChannelId {
+    /// Creates a channel id from its dense index.
+    pub fn new(index: usize) -> Self {
+        ChannelId(index)
+    }
+
+    /// The dense index of this channel.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// What a channel-local actor (request-line owner) represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Actor {
+    /// An original master, by global master index.
+    Master(usize),
+    /// The egress port of a bridge, by bridge index.
+    Bridge(usize),
+}
+
+struct Channel {
+    bus: Bus,
+    arbiter: Box<dyn Arbiter>,
+    ports: Vec<MasterPort>,
+    actors: Vec<Actor>,
+    slaves: Vec<Slave>,
+    stats: BusStats,
+    trace: BusTrace,
+}
+
+struct BridgeState {
+    to: usize,
+    capacity: usize,
+    /// Index of the bridge's egress port within `channels[to].ports`.
+    actor: usize,
+    /// Originating global master of each queued transaction, FIFO.
+    origins: VecDeque<usize>,
+}
+
+/// Builder for a [`MultiChannelSystem`].
+pub struct MultiChannelBuilder {
+    channels: Vec<(BusConfig, Box<dyn Arbiter>)>,
+    masters: Vec<(String, usize, Box<dyn TrafficSource>)>,
+    slaves: Vec<(Slave, usize)>,
+    bridges: Vec<(usize, usize, usize)>,
+}
+
+impl std::fmt::Debug for MultiChannelBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiChannelBuilder")
+            .field("channels", &self.channels.len())
+            .field("masters", &self.masters.len())
+            .field("slaves", &self.slaves.len())
+            .field("bridges", &self.bridges.len())
+            .finish()
+    }
+}
+
+impl Default for MultiChannelBuilder {
+    fn default() -> Self {
+        MultiChannelBuilder::new()
+    }
+}
+
+impl MultiChannelBuilder {
+    /// Starts building an empty topology.
+    pub fn new() -> Self {
+        MultiChannelBuilder {
+            channels: Vec::new(),
+            masters: Vec::new(),
+            slaves: Vec::new(),
+            bridges: Vec::new(),
+        }
+    }
+
+    /// Adds a channel with its own bus configuration and arbiter.
+    /// Channels receive dense [`ChannelId`]s in the order added.
+    ///
+    /// The arbiter must be sized for the channel's *actors*: its local
+    /// masters plus one port per bridge whose destination is this
+    /// channel (in the order masters were added, then bridges).
+    pub fn channel(mut self, config: BusConfig, arbiter: Box<dyn Arbiter>) -> Self {
+        self.channels.push((config, arbiter));
+        self
+    }
+
+    /// Adds a master homed on `channel`, driven by `source`. Masters
+    /// receive dense global indices in the order added.
+    pub fn master(
+        mut self,
+        name: impl Into<String>,
+        channel: ChannelId,
+        source: Box<dyn TrafficSource>,
+    ) -> Self {
+        self.masters.push((name.into(), channel.index(), source));
+        self
+    }
+
+    /// Attaches a slave to `channel`. Slave ids are global: a
+    /// transaction addressed to this slave from any channel is routed
+    /// here.
+    pub fn slave(mut self, slave: Slave, channel: ChannelId) -> Self {
+        self.slaves.push((slave, channel.index()));
+        self
+    }
+
+    /// Adds a directed bridge carrying `from` → `to` traffic, buffering
+    /// at most `capacity` in-flight transactions (store-and-forward).
+    /// For bidirectional links add two bridges.
+    pub fn bridge(mut self, from: ChannelId, to: ChannelId, capacity: usize) -> Self {
+        self.bridges.push((from.index(), to.index(), capacity.max(1)));
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no channels or masters, a
+    /// master/slave/bridge references an unknown channel, two slaves
+    /// share an id, a channel ends up with more actors than
+    /// [`MAX_MASTERS`], or some master's channel cannot reach some
+    /// slave's channel through the bridges.
+    pub fn build(self) -> Result<MultiChannelSystem, BuildSystemError> {
+        let n_channels = self.channels.len();
+        if n_channels == 0 || self.masters.is_empty() {
+            return Err(BuildSystemError::NoMasters);
+        }
+        let check = |c: usize| -> Result<(), BuildSystemError> {
+            if c >= n_channels {
+                Err(BuildSystemError::InvalidConfig(format!(
+                    "channel {c} does not exist (only {n_channels} channels)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        for (_, c, _) in &self.masters {
+            check(*c)?;
+        }
+        for (_, c) in &self.slaves {
+            check(*c)?;
+        }
+        for &(from, to, _) in &self.bridges {
+            check(from)?;
+            check(to)?;
+            if from == to {
+                return Err(BuildSystemError::InvalidConfig(
+                    "a bridge cannot connect a channel to itself".into(),
+                ));
+            }
+        }
+        for (config, _) in &self.channels {
+            config.validate().map_err(BuildSystemError::InvalidConfig)?;
+        }
+
+        // Slave id → channel map; ids must be unique across the system.
+        let mut slave_channel: Vec<Option<usize>> = Vec::new();
+        for (slave, channel) in &self.slaves {
+            let idx = slave.id().index();
+            if slave_channel.len() <= idx {
+                slave_channel.resize(idx + 1, None);
+            }
+            if slave_channel[idx].is_some() {
+                return Err(BuildSystemError::InvalidConfig(format!(
+                    "slave id {idx} attached twice"
+                )));
+            }
+            slave_channel[idx] = Some(*channel);
+        }
+
+        // next_bridge[a][b] = bridge index of the first hop a → b.
+        let next_bridge = route_table(n_channels, &self.bridges);
+        let master_channels: Vec<usize> = self.masters.iter().map(|(_, c, _)| *c).collect();
+        for &mc in &master_channels {
+            for sc in slave_channel.iter().flatten() {
+                if mc != *sc && next_bridge[mc][*sc].is_none() {
+                    return Err(BuildSystemError::InvalidConfig(format!(
+                        "no bridge path from channel {mc} to channel {sc}"
+                    )));
+                }
+            }
+        }
+
+        // Assemble channels: local master ports first, then bridge ports.
+        let mut channels: Vec<Channel> = self
+            .channels
+            .into_iter()
+            .map(|(config, arbiter)| Channel {
+                bus: Bus::new(config),
+                arbiter,
+                ports: Vec::new(),
+                actors: Vec::new(),
+                slaves: Vec::new(),
+                stats: BusStats::new(0),
+                trace: BusTrace::disabled(),
+            })
+            .collect();
+        for (slave, channel) in self.slaves {
+            channels[channel].slaves.push(slave);
+        }
+        let mut sources = Vec::new();
+        let mut master_actor = Vec::new();
+        let mut names = Vec::new();
+        for (global, (name, channel, source)) in self.masters.into_iter().enumerate() {
+            let ch = &mut channels[channel];
+            let local = ch.ports.len();
+            ch.ports.push(MasterPort::new(MasterId::new(local), name.clone()));
+            ch.actors.push(Actor::Master(global));
+            master_actor.push((channel, local));
+            sources.push(source);
+            names.push(name);
+        }
+        let mut bridges = Vec::new();
+        for (b, &(from, to, capacity)) in self.bridges.iter().enumerate() {
+            let ch = &mut channels[to];
+            let local = ch.ports.len();
+            ch.ports.push(MasterPort::new(MasterId::new(local), format!("bridge{from}->{to}")));
+            ch.actors.push(Actor::Bridge(b));
+            bridges.push(BridgeState { to, capacity, actor: local, origins: VecDeque::new() });
+        }
+        for channel in &mut channels {
+            if channel.ports.len() > MAX_MASTERS {
+                return Err(BuildSystemError::TooManyMasters {
+                    got: channel.ports.len(),
+                    max: MAX_MASTERS,
+                });
+            }
+            if channel.ports.is_empty() {
+                // A channel may legitimately host only slaves; give it an
+                // empty stats block anyway.
+            }
+            channel.stats = BusStats::new(channel.ports.len().max(1));
+        }
+
+        let n_masters = sources.len();
+        Ok(MultiChannelSystem {
+            channels,
+            bridges,
+            sources,
+            master_actor,
+            master_names: names,
+            slave_channel,
+            next_bridge,
+            end_to_end: vec![MasterStats::default(); n_masters],
+            now: Cycle::ZERO,
+        })
+    }
+}
+
+/// BFS all-pairs first-hop routing over the directed bridge graph.
+fn route_table(n: usize, bridges: &[(usize, usize, usize)]) -> Vec<Vec<Option<usize>>> {
+    let mut table = vec![vec![None; n]; n];
+    for start in 0..n {
+        // BFS from `start`; record the first bridge taken out of `start`
+        // on the shortest path to every reachable channel.
+        let mut first_hop: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        let mut frontier = VecDeque::new();
+        frontier.push_back(start);
+        while let Some(c) = frontier.pop_front() {
+            for (b, &(from, to, _)) in bridges.iter().enumerate() {
+                if from == c && !visited[to] {
+                    visited[to] = true;
+                    first_hop[to] =
+                        if c == start { Some(b) } else { first_hop[c] };
+                    frontier.push_back(to);
+                }
+            }
+        }
+        table[start] = first_hop;
+    }
+    table
+}
+
+/// A system of several shared channels connected by bridges, each with
+/// its own arbiter — e.g. one lottery manager per channel, as the paper
+/// prescribes.
+pub struct MultiChannelSystem {
+    channels: Vec<Channel>,
+    bridges: Vec<BridgeState>,
+    sources: Vec<Box<dyn TrafficSource>>,
+    /// Global master index → (channel, local port index).
+    master_actor: Vec<(usize, usize)>,
+    master_names: Vec<String>,
+    /// Slave id index → owning channel.
+    slave_channel: Vec<Option<usize>>,
+    /// `next_bridge[a][b]` = first-hop bridge from channel a to b.
+    next_bridge: Vec<Vec<Option<usize>>>,
+    /// End-to-end statistics per global master (latency measured from
+    /// issue to final-slave delivery, across all hops).
+    end_to_end: Vec<MasterStats>,
+    now: Cycle,
+}
+
+impl std::fmt::Debug for MultiChannelSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiChannelSystem")
+            .field("channels", &self.channels.len())
+            .field("bridges", &self.bridges.len())
+            .field("masters", &self.master_names)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl MultiChannelSystem {
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of (original) masters.
+    pub fn masters(&self) -> usize {
+        self.master_actor.len()
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Per-channel bus statistics (leg transfers, utilization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_stats(&self, channel: ChannelId) -> &BusStats {
+        &self.channels[channel.index()].stats
+    }
+
+    /// End-to-end statistics for global master `master`: transaction
+    /// latency is measured from issue until the last word reaches the
+    /// final slave, across every hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `master` is out of range.
+    pub fn master_stats(&self, master: usize) -> &MasterStats {
+        &self.end_to_end[master]
+    }
+
+    /// Transactions currently buffered in bridge `bridge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bridge` is out of range.
+    pub fn bridge_occupancy(&self, bridge: usize) -> usize {
+        let b = &self.bridges[bridge];
+        self.channels[b.to].ports[b.actor].backlog_transactions()
+    }
+
+    fn channel_of_slave(&self, slave: SlaveId) -> usize {
+        self.slave_channel
+            .get(slave.index())
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("transaction addresses unknown slave {slave}"))
+    }
+
+    /// Simulates one cycle of every channel.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // 1. New traffic enters the home-channel ports.
+        for (global, source) in self.sources.iter_mut().enumerate() {
+            if let Some(txn) = source.poll(now) {
+                let (channel, local) = self.master_actor[global];
+                self.channels[channel].ports[local].enqueue(txn);
+            }
+        }
+        // 2. Each channel arbitrates and transfers independently.
+        // Completed legs are routed only after every channel has
+        // stepped, so a forwarded transaction becomes visible downstream
+        // in the next cycle regardless of channel ordering.
+        let mut completions: Vec<(usize, usize, crate::master::Completion)> = Vec::new();
+        for c in 0..self.channels.len() {
+            // Back-pressure: actors whose next hop bridge is full are
+            // masked out of this cycle's request map.
+            let mut blocked = 0u32;
+            for (local, port) in self.channels[c].ports.iter().enumerate() {
+                if let Some(slave) = port.head_slave() {
+                    let dest = self.channel_of_slave(slave);
+                    if dest != c {
+                        let bridge = self.next_bridge[c][dest]
+                            .unwrap_or_else(|| panic!("no route from ch{c} to ch{dest}"));
+                        let b = &self.bridges[bridge];
+                        if self.channels[b.to].ports[b.actor].backlog_transactions()
+                            >= b.capacity
+                        {
+                            blocked |= 1 << local;
+                        }
+                    }
+                }
+            }
+            let channel = &mut self.channels[c];
+            let completed = channel.bus.step(
+                &mut *channel.arbiter,
+                &mut channel.ports,
+                &channel.slaves,
+                now,
+                blocked,
+                &mut channel.stats,
+                &mut channel.trace,
+            );
+            channel.stats.record_cycle();
+            if let Some((local, completion)) = completed {
+                completions.push((c, local.index(), completion));
+            }
+        }
+        // 3. Route the completed legs.
+        for (c, local, completion) in completions {
+            let actor = self.channels[c].actors[local];
+            let origin = match actor {
+                Actor::Master(m) => m,
+                Actor::Bridge(b) => self.bridges[b]
+                    .origins
+                    .pop_front()
+                    .expect("bridge completion has an origin"),
+            };
+            let txn = completion.txn;
+            let dest = self.channel_of_slave(txn.slave());
+            if dest == c {
+                // Final delivery: end-to-end latency from the original
+                // issue stamp. The wait component is per-leg, so it is
+                // not meaningful end to end and is recorded as zero.
+                self.end_to_end[origin].words += u64::from(txn.words());
+                self.end_to_end[origin].record_transaction(
+                    txn.words(),
+                    completion.latency(),
+                    0,
+                );
+            } else {
+                // Store-and-forward into the next bridge, preserving the
+                // original issue stamp for end-to-end accounting.
+                let bridge = self.next_bridge[c][dest].expect("validated at build");
+                let b = &mut self.bridges[bridge];
+                b.origins.push_back(origin);
+                let to = b.to;
+                let actor = b.actor;
+                self.channels[to].ports[actor].enqueue(Transaction::new(
+                    txn.slave(),
+                    txn.words(),
+                    txn.issued_at(),
+                ));
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Simulates `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::FixedOrderArbiter;
+
+    struct Script(VecDeque<Transaction>);
+    impl TrafficSource for Script {
+        fn poll(&mut self, now: Cycle) -> Option<Transaction> {
+            if self.0.front()?.issued_at() <= now {
+                self.0.pop_front()
+            } else {
+                None
+            }
+        }
+    }
+
+    fn script(entries: &[(u64, usize, u32)]) -> Box<dyn TrafficSource> {
+        Box::new(Script(
+            entries
+                .iter()
+                .map(|&(cycle, slave, words)| {
+                    Transaction::new(SlaveId::new(slave), words, Cycle::new(cycle))
+                })
+                .collect(),
+        ))
+    }
+
+    fn two_channel_system(entries: &[(u64, usize, u32)], capacity: usize) -> MultiChannelSystem {
+        MultiChannelBuilder::new()
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .master("cpu", ChannelId::new(0), script(entries))
+            .slave(Slave::new(SlaveId::new(0), "local-mem"), ChannelId::new(0))
+            .slave(Slave::new(SlaveId::new(1), "remote-mem"), ChannelId::new(1))
+            .bridge(ChannelId::new(0), ChannelId::new(1), capacity)
+            .build()
+            .expect("valid topology")
+    }
+
+    #[test]
+    fn local_transaction_never_crosses_the_bridge() {
+        let mut system = two_channel_system(&[(0, 0, 4)], 4);
+        system.run(16);
+        assert_eq!(system.master_stats(0).transactions, 1);
+        assert_eq!(system.master_stats(0).total_latency, 4);
+        assert_eq!(system.channel_stats(ChannelId::new(1)).busy_cycles, 0);
+    }
+
+    #[test]
+    fn remote_transaction_pays_for_both_hops() {
+        let mut system = two_channel_system(&[(0, 1, 4)], 4);
+        system.run(32);
+        let stats = system.master_stats(0);
+        assert_eq!(stats.transactions, 1);
+        // Channel 0 leg: cycles 0..4. The bridge forwards after the last
+        // word; channel 1 leg takes 4 more cycles. End-to-end latency is
+        // therefore at least 8 cycles.
+        assert!(stats.total_latency >= 8, "latency {}", stats.total_latency);
+        assert_eq!(system.channel_stats(ChannelId::new(0)).busy_cycles, 4);
+        assert_eq!(system.channel_stats(ChannelId::new(1)).busy_cycles, 4);
+    }
+
+    #[test]
+    fn bridge_capacity_applies_back_pressure() {
+        // Many remote transactions, bridge of capacity 1: upstream must
+        // stall until the bridge drains, but everything still arrives.
+        let entries: Vec<(u64, usize, u32)> = (0..8).map(|k| (k, 1usize, 8u32)).collect();
+        let mut system = two_channel_system(&entries, 1);
+        system.run(400);
+        assert_eq!(system.master_stats(0).transactions, 8);
+        assert_eq!(system.master_stats(0).completed_words, 64);
+        assert_eq!(system.bridge_occupancy(0), 0, "bridge drains");
+    }
+
+    #[test]
+    fn unreachable_slave_is_a_build_error() {
+        let err = MultiChannelBuilder::new()
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .master("cpu", ChannelId::new(0), script(&[]))
+            .slave(Slave::new(SlaveId::new(0), "mem"), ChannelId::new(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildSystemError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_slave_ids_rejected() {
+        let err = MultiChannelBuilder::new()
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .master("cpu", ChannelId::new(0), script(&[]))
+            .slave(Slave::new(SlaveId::new(0), "a"), ChannelId::new(0))
+            .slave(Slave::new(SlaveId::new(0), "b"), ChannelId::new(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildSystemError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn self_bridge_rejected() {
+        let err = MultiChannelBuilder::new()
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .master("cpu", ChannelId::new(0), script(&[]))
+            .bridge(ChannelId::new(0), ChannelId::new(0), 2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildSystemError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn multi_hop_routing_works() {
+        // Chain of three channels: 0 → 1 → 2.
+        let mut system = MultiChannelBuilder::new()
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .master("cpu", ChannelId::new(0), script(&[(0, 0, 3)]))
+            .slave(Slave::new(SlaveId::new(0), "far-mem"), ChannelId::new(2))
+            .bridge(ChannelId::new(0), ChannelId::new(1), 2)
+            .bridge(ChannelId::new(1), ChannelId::new(2), 2)
+            .build()
+            .expect("valid topology");
+        system.run(64);
+        let stats = system.master_stats(0);
+        assert_eq!(stats.transactions, 1);
+        // Three legs of 3 words each.
+        assert!(stats.total_latency >= 9, "latency {}", stats.total_latency);
+        for c in 0..3 {
+            assert_eq!(system.channel_stats(ChannelId::new(c)).busy_cycles, 3, "channel {c}");
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Performance statistics: bandwidth fractions and per-word latencies.
+//!
+//! These are exactly the metrics the paper reports: the fraction of total
+//! bus bandwidth each component receives (Figures 4, 6a, 12a, Table 1) and
+//! the average number of bus cycles spent per transferred word, including
+//! both waiting and transfer time (Figures 6b, 12b, 12c, Table 1).
+
+use crate::ids::MasterId;
+use crate::master::Completion;
+use serde::{Deserialize, Serialize};
+
+/// A logarithmic histogram of per-transaction latencies: bucket *k*
+/// counts transactions whose latency lies in `[2^k, 2^(k+1))` cycles.
+///
+/// The coarse buckets give quantile *upper bounds* within a factor of
+/// two at constant memory — enough to see tail-latency differences
+/// between arbiters, which averages hide.
+///
+/// ```
+/// use socsim::stats::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for latency in [1, 2, 3, 100] {
+///     h.record(latency);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.quantile(0.5), Some(4));    // half finish below 4 cycles
+/// assert_eq!(h.quantile(1.0), Some(128));  // the stragglers below 128
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: vec![0; 64], count: 0 }
+    }
+
+    /// Records one transaction latency (in cycles).
+    pub fn record(&mut self, latency: u64) {
+        let bucket = if latency == 0 { 0 } else { 63 - latency.leading_zeros() as usize };
+        self.buckets[bucket.min(63)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded latencies.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimated fraction of recorded latencies that are at most
+    /// `latency` cycles (the empirical CDF), or `None` if nothing was
+    /// recorded. Within the bucket containing `latency` the count is
+    /// linearly interpolated.
+    ///
+    /// ```
+    /// use socsim::stats::LatencyHistogram;
+    /// let mut h = LatencyHistogram::new();
+    /// for v in [1, 2, 3, 100] { h.record(v); }
+    /// assert_eq!(h.fraction_at_most(3), Some(0.75));
+    /// assert_eq!(h.fraction_at_most(1_000), Some(1.0));
+    /// ```
+    pub fn fraction_at_most(&self, latency: u64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut included = 0.0f64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = 1u64.checked_shl(k as u32).unwrap_or(u64::MAX);
+            let hi = 1u64.checked_shl(k as u32 + 1).unwrap_or(u64::MAX);
+            if k == 0 && latency >= 1 {
+                // Bucket 0 holds latencies 0 and 1.
+                included += c as f64;
+            } else if hi <= latency.saturating_add(1) {
+                included += c as f64;
+            } else if lo <= latency {
+                // Linear interpolation inside the straddled bucket.
+                let covered = (latency - lo + 1) as f64 / (hi - lo) as f64;
+                included += c as f64 * covered;
+            }
+        }
+        Some((included / self.count as f64).min(1.0))
+    }
+
+    /// An upper bound (within 2×) on the `q`-quantile latency, or
+    /// `None` if nothing was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(1u64.checked_shl(k as u32 + 1).unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Accumulated statistics for one master.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MasterStats {
+    /// Words actually transferred over the bus (including words of
+    /// transactions still in flight when the run ended).
+    pub words: u64,
+    /// Transactions fully completed.
+    pub transactions: u64,
+    /// Words belonging to completed transactions (the denominator of
+    /// [`MasterStats::cycles_per_word`]).
+    pub completed_words: u64,
+    /// Sum over completed transactions of (completion − issue) cycles.
+    pub total_latency: u64,
+    /// Sum over completed transactions of (first grant − issue) cycles.
+    pub total_wait: u64,
+    /// Largest single-transaction latency observed.
+    pub max_latency: u64,
+    /// Number of grants received (bursts won).
+    pub grants: u64,
+    /// Distribution of per-transaction latencies.
+    pub latency_histogram: LatencyHistogram,
+}
+
+impl MasterStats {
+    /// Average bus cycles per word over completed transactions, including
+    /// waiting and transfer time. Returns `None` before any completion.
+    ///
+    /// This is the paper's latency metric: Σ latency / Σ words.
+    pub fn cycles_per_word(&self) -> Option<f64> {
+        (self.completed_words > 0)
+            .then(|| self.total_latency as f64 / self.completed_words as f64)
+    }
+
+    /// Average waiting cycles per completed transaction.
+    pub fn wait_per_transaction(&self) -> Option<f64> {
+        (self.transactions > 0).then(|| self.total_wait as f64 / self.transactions as f64)
+    }
+
+    /// Upper bound (within 2×) on the `q`-quantile per-transaction
+    /// latency, e.g. `latency_quantile(0.99)` for tail latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        self.latency_histogram.quantile(q)
+    }
+
+    /// Records a completed transaction of `words` words with the given
+    /// end-to-end `latency` and initial `wait` (all in cycles). Used by
+    /// both the single-bus statistics and multi-channel end-to-end
+    /// accounting.
+    pub fn record_transaction(&mut self, words: u32, latency: u64, wait: u64) {
+        self.transactions += 1;
+        self.completed_words += u64::from(words);
+        self.total_latency += latency;
+        self.total_wait += wait;
+        self.max_latency = self.max_latency.max(latency);
+        self.latency_histogram.record(latency);
+    }
+}
+
+/// Jain's fairness index of a set of allocations:
+/// `(Σxᵢ)² / (n·Σxᵢ²)`. Equal shares score 1; a single hog among `n`
+/// components scores `1/n`. Used to quantify how evenly an arbiter
+/// distributes bandwidth relative to the intended weights (divide each
+/// share by its weight first for weighted fairness).
+///
+/// Returns 0 for an empty or all-zero input.
+///
+/// ```
+/// use socsim::stats::jain_fairness_index;
+/// assert!((jain_fairness_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+/// assert!((jain_fairness_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+/// ```
+pub fn jain_fairness_index(allocations: &[f64]) -> f64 {
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if allocations.is_empty() || sum_sq == 0.0 {
+        0.0
+    } else {
+        sum * sum / (allocations.len() as f64 * sum_sq)
+    }
+}
+
+/// Statistics for a whole simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles in which a word was transferred.
+    pub busy_cycles: u64,
+    /// Cycles lost to arbitration overhead or slave wait states.
+    pub stall_cycles: u64,
+    /// Total grants issued.
+    pub grants: u64,
+    per_master: Vec<MasterStats>,
+}
+
+impl BusStats {
+    /// Creates empty statistics for `masters` masters.
+    pub fn new(masters: usize) -> Self {
+        BusStats {
+            cycles: 0,
+            busy_cycles: 0,
+            stall_cycles: 0,
+            grants: 0,
+            per_master: vec![MasterStats::default(); masters],
+        }
+    }
+
+    /// Per-master statistics, indexed by master id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this bus.
+    pub fn master(&self, id: MasterId) -> &MasterStats {
+        &self.per_master[id.index()]
+    }
+
+    /// All per-master statistics in master-id order.
+    pub fn masters(&self) -> &[MasterStats] {
+        &self.per_master
+    }
+
+    /// Fraction of total bus bandwidth consumed by `id`:
+    /// words transferred by the master divided by elapsed cycles.
+    pub fn bandwidth_fraction(&self, id: MasterId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.per_master[id.index()].words as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles in which the bus transferred a word.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of bus bandwidth left unused (idle or stalled).
+    pub fn unused_fraction(&self) -> f64 {
+        1.0 - self.bus_utilization()
+    }
+
+    /// Records a grant to `id`.
+    pub fn record_grant(&mut self, id: MasterId) {
+        self.grants += 1;
+        self.per_master[id.index()].grants += 1;
+    }
+
+    /// Records `words` transferred by `id` (each word = one busy cycle).
+    pub fn record_words(&mut self, id: MasterId, words: u32) {
+        self.busy_cycles += u64::from(words);
+        self.per_master[id.index()].words += u64::from(words);
+    }
+
+    /// Records stall cycles (arbitration overhead / wait states).
+    pub fn record_stall(&mut self, cycles: u32) {
+        self.stall_cycles += u64::from(cycles);
+    }
+
+    /// Records a completed transaction.
+    pub fn record_completion(&mut self, id: MasterId, completion: &Completion) {
+        self.per_master[id.index()].record_transaction(
+            completion.txn.words(),
+            completion.latency(),
+            completion.wait(),
+        );
+    }
+
+    /// Counts one elapsed simulation cycle. Called once per [`crate::System::step`],
+    /// so resetting statistics after a warm-up period measures only the
+    /// steady-state window.
+    pub fn record_cycle(&mut self) {
+        self.cycles += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::Cycle;
+    use crate::ids::SlaveId;
+    use crate::request::Transaction;
+
+    fn completion(words: u32, issued: u64, granted: u64, finished: u64) -> Completion {
+        let mut port = crate::master::MasterPort::new(MasterId::new(0), "m");
+        port.enqueue(Transaction::new(SlaveId::new(0), words, Cycle::new(issued)));
+        port.note_grant(Cycle::new(granted));
+        port.transfer(words, Cycle::new(finished - 1)).expect("completes")
+    }
+
+    #[test]
+    fn cycles_per_word_matches_paper_definition() {
+        let mut stats = BusStats::new(2);
+        // 4 words issued at cycle 0, finished after cycle 7 => latency 8.
+        let c = completion(4, 0, 2, 8);
+        stats.record_completion(MasterId::new(0), &c);
+        stats.record_words(MasterId::new(0), 4);
+        let m = stats.master(MasterId::new(0));
+        assert_eq!(m.cycles_per_word(), Some(2.0));
+        assert_eq!(m.wait_per_transaction(), Some(2.0));
+        assert_eq!(m.max_latency, 8);
+    }
+
+    #[test]
+    fn bandwidth_fractions_sum_to_utilization() {
+        let mut stats = BusStats::new(2);
+        stats.record_words(MasterId::new(0), 30);
+        stats.record_words(MasterId::new(1), 50);
+        for _ in 0..100 {
+            stats.record_cycle();
+        }
+        let total: f64 = (0..2).map(|i| stats.bandwidth_fraction(MasterId::new(i))).sum();
+        assert!((total - stats.bus_utilization()).abs() < 1e-12);
+        assert!((stats.bus_utilization() - 0.8).abs() < 1e-12);
+        assert!((stats.unused_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let stats = BusStats::new(1);
+        assert_eq!(stats.bandwidth_fraction(MasterId::new(0)), 0.0);
+        assert_eq!(stats.bus_utilization(), 0.0);
+        assert_eq!(stats.master(MasterId::new(0)).cycles_per_word(), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_data() {
+        let mut h = LatencyHistogram::new();
+        for latency in 1..=1000u64 {
+            h.record(latency);
+        }
+        assert_eq!(h.count(), 1000);
+        // Every quantile bound is within 2x above the true quantile.
+        for (q, truth) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let bound = h.quantile(q).expect("recorded");
+            assert!(bound >= truth, "q={q}: bound {bound} below true {truth}");
+            assert!(bound <= truth * 2 + 2, "q={q}: bound {bound} too loose for {truth}");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), Some(2));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn histogram_rejects_silly_quantiles() {
+        let _ = LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn grants_and_stalls_accumulate() {
+        let mut stats = BusStats::new(1);
+        stats.record_grant(MasterId::new(0));
+        stats.record_grant(MasterId::new(0));
+        stats.record_stall(3);
+        assert_eq!(stats.grants, 2);
+        assert_eq!(stats.master(MasterId::new(0)).grants, 2);
+        assert_eq!(stats.stall_cycles, 3);
+    }
+}

@@ -1,0 +1,396 @@
+//! System assembly and the top-level simulation loop.
+
+use crate::arbiter::Arbiter;
+use crate::bus::Bus;
+use crate::config::BusConfig;
+use crate::cycle::Cycle;
+use crate::error::BuildSystemError;
+use crate::ids::MasterId;
+use crate::master::MasterPort;
+use crate::request::{Transaction, MAX_MASTERS};
+use crate::slave::Slave;
+use crate::stats::BusStats;
+use crate::trace::BusTrace;
+
+/// A source of communication transactions for one master — the
+/// simulator-side stand-in for the component's computation.
+///
+/// The system polls every source exactly once per cycle, *before*
+/// arbitration, so a transaction returned for cycle `c` can be granted in
+/// cycle `c`. A source that needs to issue several transactions in the
+/// same cycle should keep an internal backlog and emit them on successive
+/// polls with the original `issued_at` stamp — latency accounting uses the
+/// transaction's own timestamp, not the poll cycle.
+pub trait TrafficSource {
+    /// Returns the transaction (if any) this component issues at `now`.
+    fn poll(&mut self, now: Cycle) -> Option<Transaction>;
+
+    /// Like [`TrafficSource::poll`], but additionally told how many
+    /// transactions the component's bus interface still has outstanding.
+    /// Sources modelling components that process one request at a time
+    /// (e.g. the ATM switch's output ports) override this to hold new
+    /// work back; the default ignores the backlog.
+    fn poll_with_backlog(&mut self, now: Cycle, backlog: usize) -> Option<Transaction> {
+        let _ = backlog;
+        self.poll(now)
+    }
+}
+
+impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
+    fn poll(&mut self, now: Cycle) -> Option<Transaction> {
+        (**self).poll(now)
+    }
+
+    fn poll_with_backlog(&mut self, now: Cycle, backlog: usize) -> Option<Transaction> {
+        (**self).poll_with_backlog(now, backlog)
+    }
+}
+
+/// A traffic source that never issues anything (an idle master).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SilentSource;
+
+impl TrafficSource for SilentSource {
+    fn poll(&mut self, _now: Cycle) -> Option<Transaction> {
+        None
+    }
+}
+
+/// Builder for a [`System`].
+///
+/// ```
+/// use socsim::{SystemBuilder, BusConfig};
+/// use socsim::arbiter::FixedOrderArbiter;
+/// use socsim::system::SilentSource;
+///
+/// # fn main() -> Result<(), socsim::BuildSystemError> {
+/// let system = SystemBuilder::new(BusConfig::default())
+///     .master("cpu", Box::new(SilentSource))
+///     .arbiter(Box::new(FixedOrderArbiter::new(1)))
+///     .build()?;
+/// assert_eq!(system.masters(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SystemBuilder {
+    config: BusConfig,
+    names: Vec<String>,
+    sources: Vec<Box<dyn TrafficSource>>,
+    slaves: Vec<Slave>,
+    arbiter: Option<Box<dyn Arbiter>>,
+    trace_capacity: usize,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("config", &self.config)
+            .field("masters", &self.names)
+            .field("slaves", &self.slaves)
+            .field("has_arbiter", &self.arbiter.is_some())
+            .finish()
+    }
+}
+
+impl SystemBuilder {
+    /// Starts building a system around a bus with the given configuration.
+    pub fn new(config: BusConfig) -> Self {
+        SystemBuilder {
+            config,
+            names: Vec::new(),
+            sources: Vec::new(),
+            slaves: Vec::new(),
+            arbiter: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Adds a master named `name` driven by `source`. Masters receive
+    /// dense [`MasterId`]s in the order they are added.
+    pub fn master(mut self, name: impl Into<String>, source: Box<dyn TrafficSource>) -> Self {
+        self.names.push(name.into());
+        self.sources.push(source);
+        self
+    }
+
+    /// Registers a slave (only needed for nonzero wait states).
+    pub fn slave(mut self, slave: Slave) -> Self {
+        self.slaves.push(slave);
+        self
+    }
+
+    /// Sets the arbitration protocol.
+    pub fn arbiter(mut self, arbiter: Box<dyn Arbiter>) -> Self {
+        self.arbiter = Some(arbiter);
+        self
+    }
+
+    /// Enables bus tracing, recording at most `capacity` events.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no master was added, too many masters were
+    /// added, no arbiter was set, or the bus configuration is invalid.
+    pub fn build(self) -> Result<System, BuildSystemError> {
+        if self.names.is_empty() {
+            return Err(BuildSystemError::NoMasters);
+        }
+        if self.names.len() > MAX_MASTERS {
+            return Err(BuildSystemError::TooManyMasters { got: self.names.len(), max: MAX_MASTERS });
+        }
+        self.config.validate().map_err(BuildSystemError::InvalidConfig)?;
+        let arbiter = self.arbiter.ok_or(BuildSystemError::NoArbiter)?;
+        let masters: Vec<MasterPort> = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| MasterPort::new(MasterId::new(i), name.clone()))
+            .collect();
+        let n = masters.len();
+        let trace = if self.trace_capacity > 0 {
+            BusTrace::enabled(self.trace_capacity)
+        } else {
+            BusTrace::disabled()
+        };
+        Ok(System {
+            bus: Bus::new(self.config),
+            masters,
+            sources: self.sources,
+            slaves: self.slaves,
+            arbiter,
+            stats: BusStats::new(n),
+            trace,
+            now: Cycle::ZERO,
+        })
+    }
+}
+
+/// A complete single-bus system: masters with traffic sources, slaves,
+/// an arbiter and the shared bus, plus statistics collection.
+pub struct System {
+    bus: Bus,
+    masters: Vec<MasterPort>,
+    sources: Vec<Box<dyn TrafficSource>>,
+    slaves: Vec<Slave>,
+    arbiter: Box<dyn Arbiter>,
+    stats: BusStats,
+    trace: BusTrace,
+    now: Cycle,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("now", &self.now)
+            .field("masters", &self.masters.len())
+            .field("arbiter", &self.arbiter.name())
+            .finish()
+    }
+}
+
+impl System {
+    /// Number of masters on the bus.
+    pub fn masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// The current simulation time (the next cycle to be simulated).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The master port for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn master(&self, id: MasterId) -> &MasterPort {
+        &self.masters[id.index()]
+    }
+
+    /// The bus (for configuration inspection).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// The arbiter, for protocols with runtime knobs (e.g. dynamic
+    /// lottery-ticket updates).
+    pub fn arbiter_mut(&mut self) -> &mut dyn Arbiter {
+        &mut *self.arbiter
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// The recorded bus trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &BusTrace {
+        &self.trace
+    }
+
+    /// Clears accumulated statistics, e.g. after a warm-up period, so
+    /// that subsequent measurements reflect steady state only.
+    pub fn reset_stats(&mut self) {
+        self.stats = BusStats::new(self.masters.len());
+    }
+
+    /// Simulates one bus cycle: polls every traffic source, then steps
+    /// the bus/arbiter.
+    pub fn step(&mut self) {
+        let now = self.now;
+        for (port, source) in self.masters.iter_mut().zip(self.sources.iter_mut()) {
+            if let Some(txn) = source.poll_with_backlog(now, port.backlog_transactions()) {
+                port.enqueue(txn);
+            }
+        }
+        self.bus.step(
+            &mut *self.arbiter,
+            &mut self.masters,
+            &self.slaves,
+            now,
+            0,
+            &mut self.stats,
+            &mut self.trace,
+        );
+        self.stats.record_cycle();
+        self.now += 1;
+    }
+
+    /// Simulates `cycles` bus cycles and returns the statistics so far.
+    pub fn run(&mut self, cycles: u64) -> &BusStats {
+        for _ in 0..cycles {
+            self.step();
+        }
+        &self.stats
+    }
+
+    /// Runs `cycles` warm-up cycles and then discards the statistics, so
+    /// a following [`System::run`] measures steady-state behaviour.
+    pub fn warm_up(&mut self, cycles: u64) {
+        self.run(cycles);
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::FixedOrderArbiter;
+    use crate::ids::SlaveId;
+
+    struct OneShot(Option<Transaction>);
+    impl TrafficSource for OneShot {
+        fn poll(&mut self, _now: Cycle) -> Option<Transaction> {
+            self.0.take()
+        }
+    }
+
+    fn one_shot(words: u32) -> Box<dyn TrafficSource> {
+        Box::new(OneShot(Some(Transaction::new(SlaveId::new(0), words, Cycle::ZERO))))
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        let err = SystemBuilder::new(BusConfig::default()).build().unwrap_err();
+        assert_eq!(err, BuildSystemError::NoMasters);
+
+        let err = SystemBuilder::new(BusConfig::default())
+            .master("m", Box::new(SilentSource))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildSystemError::NoArbiter);
+
+        let bad = BusConfig { max_burst: 0, ..BusConfig::default() };
+        let err = SystemBuilder::new(bad)
+            .master("m", Box::new(SilentSource))
+            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildSystemError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn end_to_end_single_master() {
+        let mut system = SystemBuilder::new(BusConfig::default())
+            .master("m0", one_shot(5))
+            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .trace_capacity(64)
+            .build()
+            .expect("valid system");
+        let stats = system.run(10);
+        assert_eq!(stats.master(MasterId::new(0)).words, 5);
+        assert_eq!(stats.master(MasterId::new(0)).transactions, 1);
+        assert_eq!(stats.cycles, 10);
+        assert_eq!(system.trace().render_owners(0..6), "00000.");
+    }
+
+    #[test]
+    fn warm_up_discards_statistics() {
+        let mut system = SystemBuilder::new(BusConfig::default())
+            .master("m0", one_shot(5))
+            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .build()
+            .expect("valid system");
+        system.warm_up(10);
+        assert_eq!(system.stats().cycles, 0);
+        let stats = system.run(5);
+        assert_eq!(stats.cycles, 5);
+        assert_eq!(stats.master(MasterId::new(0)).words, 0); // already done
+    }
+
+    #[test]
+    fn exactly_max_masters_is_accepted_and_one_more_rejected() {
+        let build = |n: usize| {
+            let mut builder = SystemBuilder::new(BusConfig::default());
+            for i in 0..n {
+                builder = builder.master(format!("m{i}"), Box::new(SilentSource));
+            }
+            builder.arbiter(Box::new(FixedOrderArbiter::new(n))).build()
+        };
+        assert!(build(MAX_MASTERS).is_ok());
+        assert!(matches!(
+            build(MAX_MASTERS + 1).unwrap_err(),
+            BuildSystemError::TooManyMasters { got, max }
+                if got == MAX_MASTERS + 1 && max == MAX_MASTERS
+        ));
+    }
+
+    #[test]
+    fn full_width_system_serves_every_master() {
+        let mut builder = SystemBuilder::new(BusConfig::default());
+        for i in 0..MAX_MASTERS {
+            builder = builder.master(format!("m{i}"), one_shot(2));
+        }
+        let mut system = builder
+            .arbiter(Box::new(FixedOrderArbiter::new(MAX_MASTERS)))
+            .build()
+            .expect("valid system");
+        system.run(2 * MAX_MASTERS as u64 + 4);
+        for i in 0..MAX_MASTERS {
+            assert_eq!(system.stats().master(MasterId::new(i)).transactions, 1, "master {i}");
+        }
+    }
+
+    #[test]
+    fn two_masters_share_in_fixed_order() {
+        let mut system = SystemBuilder::new(BusConfig::default())
+            .master("a", one_shot(3))
+            .master("b", one_shot(3))
+            .arbiter(Box::new(FixedOrderArbiter::new(2)))
+            .trace_capacity(64)
+            .build()
+            .expect("valid system");
+        system.run(8);
+        assert_eq!(system.trace().render_owners(0..7), "000111.");
+        let b = system.stats().master(MasterId::new(1));
+        // b issued at 0, finished after cycle 5 => latency 6 over 3 words.
+        assert_eq!(b.cycles_per_word(), Some(2.0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Symbolic bus traces, for debugging and for Figure-5-style waveforms.
+
+use crate::cycle::Cycle;
+use crate::ids::MasterId;
+use serde::{Deserialize, Serialize};
+
+/// One event on the bus, recorded when tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A master won arbitration for a burst of up to `words` words.
+    Grant {
+        /// Cycle of the decision.
+        cycle: Cycle,
+        /// Winning master.
+        master: MasterId,
+        /// Words covered by the grant.
+        words: u32,
+    },
+    /// One word transferred by `master` during `cycle`.
+    Word {
+        /// Cycle occupied by the word.
+        cycle: Cycle,
+        /// Transferring master.
+        master: MasterId,
+    },
+    /// The bus idled during `cycle`.
+    Idle {
+        /// The idle cycle.
+        cycle: Cycle,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle at which the event occurred.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::Grant { cycle, .. }
+            | TraceEvent::Word { cycle, .. }
+            | TraceEvent::Idle { cycle } => cycle,
+        }
+    }
+}
+
+/// A bounded recording of bus activity.
+///
+/// Disabled by default; when enabled it records up to a capacity of
+/// events, then silently stops (long experiments only need statistics).
+///
+/// ```
+/// use socsim::{BusTrace, TraceEvent, Cycle, MasterId};
+/// let mut trace = BusTrace::enabled(16);
+/// trace.record(TraceEvent::Word { cycle: Cycle::ZERO, master: MasterId::new(1) });
+/// trace.record(TraceEvent::Idle { cycle: Cycle::new(1) });
+/// assert_eq!(trace.render_owners(0..2), "1.");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BusTrace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+}
+
+impl BusTrace {
+    /// A disabled trace that records nothing.
+    pub fn disabled() -> Self {
+        BusTrace { events: Vec::new(), capacity: 0 }
+    }
+
+    /// An enabled trace recording at most `capacity` events.
+    pub fn enabled(capacity: usize) -> Self {
+        BusTrace { events: Vec::new(), capacity }
+    }
+
+    /// Whether this trace records events.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records `event` if enabled and below capacity.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Renders bus ownership over a cycle range as one character per
+    /// cycle: the master's index digit (modulo 10) when a word
+    /// transferred, `.` when idle, and space for unrecorded cycles.
+    ///
+    /// This is the textual equivalent of the paper's Figure 5 "Bus Trace"
+    /// waveforms.
+    pub fn render_owners(&self, cycles: std::ops::Range<u64>) -> String {
+        let mut chars: Vec<char> = vec![' '; (cycles.end - cycles.start) as usize];
+        for event in &self.events {
+            let c = event.cycle().index();
+            if c < cycles.start || c >= cycles.end {
+                continue;
+            }
+            let slot = (c - cycles.start) as usize;
+            match *event {
+                TraceEvent::Word { master, .. } => {
+                    chars[slot] =
+                        char::from_digit((master.index() % 10) as u32, 10).unwrap_or('?');
+                }
+                TraceEvent::Idle { .. } => {
+                    if chars[slot] == ' ' {
+                        chars[slot] = '.';
+                    }
+                }
+                TraceEvent::Grant { .. } => {}
+            }
+        }
+        chars.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut trace = BusTrace::disabled();
+        trace.record(TraceEvent::Idle { cycle: Cycle::ZERO });
+        assert!(trace.events().is_empty());
+        assert!(!trace.is_enabled());
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut trace = BusTrace::enabled(2);
+        for i in 0..5 {
+            trace.record(TraceEvent::Idle { cycle: Cycle::new(i) });
+        }
+        assert_eq!(trace.events().len(), 2);
+    }
+
+    #[test]
+    fn render_shows_owners_and_idle() {
+        let mut trace = BusTrace::enabled(8);
+        trace.record(TraceEvent::Grant { cycle: Cycle::new(0), master: MasterId::new(2), words: 2 });
+        trace.record(TraceEvent::Word { cycle: Cycle::new(0), master: MasterId::new(2) });
+        trace.record(TraceEvent::Word { cycle: Cycle::new(1), master: MasterId::new(2) });
+        trace.record(TraceEvent::Idle { cycle: Cycle::new(2) });
+        trace.record(TraceEvent::Word { cycle: Cycle::new(3), master: MasterId::new(0) });
+        assert_eq!(trace.render_owners(0..4), "22.0");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the bus engine: conservation, timing and
+//! trace invariants under arbitrary workloads.
+
+use proptest::prelude::*;
+use socsim::arbiter::FixedOrderArbiter;
+use socsim::{BusConfig, Cycle, MasterId, SlaveId, SystemBuilder, TrafficSource, Transaction};
+use std::collections::VecDeque;
+
+/// Replays an arbitrary (sorted) list of transactions.
+struct Replay(VecDeque<Transaction>);
+
+impl TrafficSource for Replay {
+    fn poll(&mut self, now: Cycle) -> Option<Transaction> {
+        if self.0.front()?.issued_at() <= now {
+            self.0.pop_front()
+        } else {
+            None
+        }
+    }
+}
+
+fn replay_from(mut arrivals: Vec<(u64, u32)>) -> Box<dyn TrafficSource> {
+    arrivals.sort_by_key(|&(c, _)| c);
+    Box::new(Replay(
+        arrivals
+            .into_iter()
+            .map(|(c, w)| Transaction::new(SlaveId::new(0), w, Cycle::new(c)))
+            .collect(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn words_conserved_for_any_workload(
+        traffic in prop::collection::vec(
+            prop::collection::vec((0u64..2_000, 1u32..40), 0..40),
+            1..5,
+        ),
+        max_burst in 1u32..40,
+    ) {
+        let n = traffic.len();
+        let issued: u64 = traffic
+            .iter()
+            .flatten()
+            .map(|&(_, w)| u64::from(w))
+            .sum();
+        let mut builder =
+            SystemBuilder::new(BusConfig { max_burst, ..BusConfig::default() });
+        for (i, arrivals) in traffic.into_iter().enumerate() {
+            builder = builder.master(format!("m{i}"), replay_from(arrivals));
+        }
+        let mut system = builder
+            .arbiter(Box::new(FixedOrderArbiter::new(n)))
+            .build()
+            .expect("valid system");
+        // Long enough for everything to drain: arrivals end by 2 000 and
+        // total work is bounded by the issued word count.
+        system.run(2_000 + issued + 10);
+        let stats = system.stats();
+        let transferred: u64 = (0..n).map(|i| stats.master(MasterId::new(i)).words).sum();
+        prop_assert_eq!(transferred, issued, "all issued words must transfer");
+        for i in 0..n {
+            let id = MasterId::new(i);
+            prop_assert_eq!(system.master(id).backlog_words(), 0, "master {} drained", i);
+            let m = stats.master(id);
+            prop_assert_eq!(m.completed_words, m.words, "all transactions completed");
+            prop_assert_eq!(m.transactions, system.master(id).issued_transactions());
+        }
+    }
+
+    #[test]
+    fn latency_bounds_hold(
+        words in 1u32..60,
+        competitors in 0usize..3,
+        max_burst in 1u32..32,
+    ) {
+        // One observed transaction at cycle 0 plus competitors that are
+        // idle: its latency must be exactly ceil(words) cycles (one word
+        // per cycle, immediate grant, re-arbitration is pipelined).
+        let mut builder =
+            SystemBuilder::new(BusConfig { max_burst, ..BusConfig::default() });
+        builder = builder.master("observed", replay_from(vec![(0, words)]));
+        for i in 0..competitors {
+            builder = builder.master(format!("idle{i}"), replay_from(vec![]));
+        }
+        let mut system = builder
+            .arbiter(Box::new(FixedOrderArbiter::new(competitors + 1)))
+            .build()
+            .expect("valid system");
+        system.run(u64::from(words) + 5);
+        let m = system.stats().master(MasterId::new(0));
+        prop_assert_eq!(m.transactions, 1);
+        prop_assert_eq!(m.total_latency, u64::from(words));
+        prop_assert_eq!(m.total_wait, 0);
+    }
+
+    #[test]
+    fn busy_plus_idle_covers_every_cycle(
+        arrivals in prop::collection::vec((0u64..500, 1u32..20), 0..30),
+    ) {
+        let total: u64 = arrivals.iter().map(|&(_, w)| u64::from(w)).sum();
+        let cycles = 500 + total + 5;
+        let mut system = SystemBuilder::new(BusConfig::default())
+            .master("m", replay_from(arrivals))
+            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            // Grant events share the capacity with word/idle events.
+            .trace_capacity(3 * cycles as usize)
+            .build()
+            .expect("valid system");
+        system.run(cycles);
+        let stats = system.stats();
+        prop_assert_eq!(stats.busy_cycles, total);
+        prop_assert!(stats.busy_cycles + stats.stall_cycles <= stats.cycles);
+        // The trace accounts for every cycle as a word or an idle mark.
+        let rendered = system.trace().render_owners(0..cycles);
+        let words = rendered.chars().filter(|c| c.is_ascii_digit()).count() as u64;
+        let idles = rendered.chars().filter(|&c| c == '.').count() as u64;
+        prop_assert_eq!(words, total);
+        prop_assert_eq!(words + idles, cycles);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for multi-channel topologies: conservation and
+//! routing invariants over randomized chains.
+
+use proptest::prelude::*;
+use socsim::arbiter::FixedOrderArbiter;
+use socsim::multichannel::{ChannelId, MultiChannelBuilder};
+use socsim::{BusConfig, Cycle, Slave, SlaveId, TrafficSource, Transaction};
+use std::collections::VecDeque;
+
+struct Script(VecDeque<Transaction>);
+impl TrafficSource for Script {
+    fn poll(&mut self, now: Cycle) -> Option<Transaction> {
+        if self.0.front()?.issued_at() <= now {
+            self.0.pop_front()
+        } else {
+            None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chains_deliver_every_word(
+        hops in 1usize..4,
+        capacity in 1usize..4,
+        arrivals in prop::collection::vec((0u64..500, 1u32..24), 1..20),
+    ) {
+        // A chain of `hops + 1` channels; the master sits on channel 0,
+        // the slave at the far end, bridges in between.
+        let channels = hops + 1;
+        let total_words: u64 = arrivals.iter().map(|&(_, w)| u64::from(w)).sum();
+        let mut sorted = arrivals.clone();
+        sorted.sort_by_key(|&(c, _)| c);
+        let script = Script(
+            sorted
+                .iter()
+                .map(|&(c, w)| Transaction::new(SlaveId::new(0), w, Cycle::new(c)))
+                .collect(),
+        );
+        let mut builder = MultiChannelBuilder::new();
+        for _ in 0..channels {
+            // Each channel hosts at most one actor (master or bridge).
+            builder = builder.channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)));
+        }
+        builder = builder
+            .master("src", ChannelId::new(0), Box::new(script))
+            .slave(Slave::new(SlaveId::new(0), "sink"), ChannelId::new(channels - 1));
+        for hop in 0..hops {
+            builder = builder.bridge(ChannelId::new(hop), ChannelId::new(hop + 1), capacity);
+        }
+        let mut system = builder.build().expect("valid chain");
+        // Generous horizon: every word crosses every hop serially, plus
+        // per-transaction forwarding cycles.
+        let horizon = 500
+            + total_words * (hops as u64 + 1)
+            + 4 * (arrivals.len() as u64) * (hops as u64 + 1)
+            + 16;
+        system.run(horizon);
+
+        let stats = system.master_stats(0);
+        prop_assert_eq!(stats.transactions, arrivals.len() as u64, "all delivered");
+        prop_assert_eq!(stats.completed_words, total_words);
+        // Every channel moved every word exactly once.
+        for c in 0..channels {
+            prop_assert_eq!(
+                system.channel_stats(ChannelId::new(c)).busy_cycles,
+                total_words,
+                "channel {} busy cycles", c
+            );
+        }
+        // All bridges drained.
+        for b in 0..hops {
+            prop_assert_eq!(system.bridge_occupancy(b), 0, "bridge {}", b);
+        }
+        // End-to-end latency of each transaction is at least one cycle
+        // per word per hop.
+        prop_assert!(stats.total_latency >= total_words * (hops as u64 + 1));
+    }
+
+    #[test]
+    fn local_and_remote_traffic_do_not_interfere_in_counts(
+        local_words in 1u32..40,
+        remote_words in 1u32..40,
+    ) {
+        let local = Script(VecDeque::from([
+            Transaction::new(SlaveId::new(0), local_words, Cycle::ZERO),
+        ]));
+        let remote = Script(VecDeque::from([
+            Transaction::new(SlaveId::new(1), remote_words, Cycle::ZERO),
+        ]));
+        let mut system = MultiChannelBuilder::new()
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(2)))
+            .channel(BusConfig::default(), Box::new(FixedOrderArbiter::new(1)))
+            .master("local", ChannelId::new(0), Box::new(local))
+            .master("remote", ChannelId::new(0), Box::new(remote))
+            .slave(Slave::new(SlaveId::new(0), "near"), ChannelId::new(0))
+            .slave(Slave::new(SlaveId::new(1), "far"), ChannelId::new(1))
+            .bridge(ChannelId::new(0), ChannelId::new(1), 2)
+            .build()
+            .expect("valid");
+        system.run(u64::from(local_words + remote_words) * 3 + 32);
+        prop_assert_eq!(system.master_stats(0).completed_words, u64::from(local_words));
+        prop_assert_eq!(system.master_stats(1).completed_words, u64::from(remote_words));
+        // Channel 1 carried only the remote payload.
+        prop_assert_eq!(
+            system.channel_stats(ChannelId::new(1)).busy_cycles,
+            u64::from(remote_words)
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the traffic generators.
+
+use proptest::prelude::*;
+use socsim::{Cycle, TrafficSource};
+use traffic_gen::{GeneratorSpec, ReplaySource, SizeDist, StochasticSource, TrafficClass};
+
+fn drain(source: &mut dyn TrafficSource, cycles: u64) -> Vec<(u64, u64, u32)> {
+    (0..cycles)
+        .filter_map(|c| {
+            source
+                .poll(Cycle::new(c))
+                .map(|t| (c, t.issued_at().index(), t.words()))
+        })
+        .collect()
+}
+
+fn size_strategy() -> impl Strategy<Value = SizeDist> {
+    prop_oneof![
+        (1u32..64).prop_map(SizeDist::fixed),
+        (1u32..32, 0u32..32).prop_map(|(lo, extra)| SizeDist::uniform(lo, lo + extra)),
+        (1u32..8, 9u32..64, 0.05f64..0.95).prop_map(|(s, l, p)| SizeDist::bimodal(s, l, p)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn empirical_load_tracks_the_spec_estimate(
+        size in size_strategy(),
+        rate in 0.001f64..0.05,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = GeneratorSpec::poisson(rate, size);
+        let mut source = StochasticSource::new(spec, seed);
+        let cycles = 300_000u64;
+        let words: u64 = drain(&mut source, cycles).iter().map(|&(_, _, w)| u64::from(w)).sum();
+        let measured = words as f64 / cycles as f64;
+        let predicted = spec.offered_load();
+        prop_assert!(
+            (measured - predicted).abs() < predicted * 0.2 + 0.002,
+            "measured {:.4} vs predicted {:.4}", measured, predicted,
+        );
+    }
+
+    #[test]
+    fn stamps_never_postdate_emission(
+        size in size_strategy(),
+        burst in 1u32..6,
+        gap in 0u64..5,
+        off in 1u64..200,
+        phase in 0u64..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = GeneratorSpec::bursty(1, burst, gap, off, off * 2, phase, size);
+        let mut source = StochasticSource::new(spec, seed);
+        for (poll_cycle, stamp, words) in drain(&mut source, 5_000) {
+            prop_assert!(stamp <= poll_cycle, "stamp {} after poll {}", stamp, poll_cycle);
+            prop_assert!(words >= 1);
+        }
+    }
+
+    #[test]
+    fn periodic_arrival_count_is_exact(
+        period in 1u64..100,
+        phase in 0u64..100,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = GeneratorSpec::periodic(period, phase, SizeDist::fixed(1));
+        let mut source = StochasticSource::new(spec, seed);
+        let horizon = 10_000u64;
+        let got = drain(&mut source, horizon).len() as u64;
+        let expected = if phase >= horizon { 0 } else { (horizon - 1 - phase) / period + 1 };
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn replay_round_trips_any_sorted_trace(
+        mut trace in prop::collection::vec((0u64..5_000, 1u32..32), 0..50),
+    ) {
+        trace.sort_by_key(|&(c, _)| c);
+        let mut source = ReplaySource::new(0, &trace);
+        let emitted = drain(&mut source, 6_000);
+        prop_assert_eq!(emitted.len(), trace.len());
+        for (k, &(cycle, words)) in trace.iter().enumerate() {
+            prop_assert_eq!(emitted[k].1, cycle, "stamp preserved");
+            prop_assert_eq!(emitted[k].2, words, "size preserved");
+        }
+        prop_assert_eq!(source.remaining(), 0);
+    }
+
+    #[test]
+    fn every_class_builds_for_any_weights(
+        weights in prop::collection::vec(1u32..6, 1..6),
+        block in 1u32..32,
+    ) {
+        for class in TrafficClass::all() {
+            let specs = class.specs_with_frame(&weights, block);
+            prop_assert_eq!(specs.len(), weights.len(), "{}", class);
+            for spec in &specs {
+                prop_assert!(spec.offered_load() > 0.0, "{}", class);
+                prop_assert!(spec.offered_load() <= 1.0 + 1e-9, "{}", class);
+            }
+        }
+    }
+}

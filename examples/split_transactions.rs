@@ -1,0 +1,72 @@
+//! Split (multithreaded) transactions — the paper's §2.3 optional
+//! feature — combined with lottery arbitration.
+//!
+//! Two masters read from a slow memory (12-cycle access). On a blocking
+//! bus the slave's wait states idle the bus; with split transactions
+//! the bus is released during the access and the other master's traffic
+//! fills the gap. The lottery manager arbitrates among the masters *and*
+//! the memory's responder port, so response traffic gets its own ticket
+//! allocation.
+//!
+//! Run with: `cargo run --release --example split_transactions`
+
+use lotterybus_repro::lottery::{StaticLotteryArbiter, TicketAssignment};
+use lotterybus_repro::socsim::split::SplitSystemBuilder;
+use lotterybus_repro::socsim::{BusConfig, MasterId, Slave, SlaveId, SystemBuilder};
+use lotterybus_repro::traffic::{GeneratorSpec, SizeDist};
+
+const ACCESS_LATENCY: u32 = 12;
+const WINDOW: u64 = 200_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reader = GeneratorSpec::poisson(0.02, SizeDist::fixed(8));
+    let streamer = GeneratorSpec::poisson(0.03, SizeDist::fixed(16));
+
+    // Blocking bus: the slave stalls the bus for its access time.
+    let mut blocking = SystemBuilder::new(BusConfig::default())
+        .master("reader", reader.build_source(1))
+        .master("streamer", streamer.build_source(2))
+        .slave(Slave::with_wait_states(SlaveId::new(0), "mem", ACCESS_LATENCY))
+        .arbiter(Box::new(StaticLotteryArbiter::with_seed(
+            TicketAssignment::new(vec![1, 1])?,
+            5,
+        )?))
+        .build()?;
+    blocking.run(WINDOW);
+    let blocking_words: u64 =
+        (0..2).map(|i| blocking.stats().master(MasterId::new(i)).words).sum();
+
+    // Split bus: requests and responses are separate tenures; the
+    // responder port holds 2 tickets so responses flow promptly.
+    let mut split = SplitSystemBuilder::new(BusConfig::default())
+        .master("reader", reader.build_source(1))
+        .master("streamer", streamer.build_source(2))
+        .split_slave("mem", ACCESS_LATENCY, 8)
+        .arbiter(Box::new(StaticLotteryArbiter::with_seed(
+            TicketAssignment::new(vec![1, 1, 2])?,
+            5,
+        )?))
+        .build()?;
+    split.run(WINDOW);
+    let split_words: u64 = (0..2).map(|i| split.master_stats(i).completed_words).sum();
+
+    println!("slow memory, {ACCESS_LATENCY}-cycle access, {WINDOW} cycles:\n");
+    println!("  blocking bus (wait states): {blocking_words:>8} words delivered");
+    println!("  split transactions:         {split_words:>8} words delivered");
+    println!(
+        "  improvement:                {:>7.1}%",
+        (split_words as f64 / blocking_words as f64 - 1.0) * 100.0
+    );
+    for m in 0..2 {
+        let stats = split.master_stats(m);
+        println!(
+            "  split latency, master {m}: {:.2} cycles/word over {} transactions",
+            stats.cycles_per_word().unwrap_or(f64::NAN),
+            stats.transactions,
+        );
+    }
+    println!();
+    println!("the split bus keeps transferring while the memory looks up the");
+    println!("previous request; the blocking bus burns those cycles as stalls.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # lotterybus-repro — reproduction of LOTTERYBUS (DAC 2001)
+//!
+//! Umbrella crate re-exporting every component of the reproduction of
+//! *"LOTTERYBUS: A New High-Performance Communication Architecture for
+//! System-on-Chip Designs"* (Lahiri, Raghunathan, Lakshminarayana,
+//! DAC 2001).
+//!
+//! * [`socsim`] — cycle-based shared-bus simulation kernel.
+//! * [`traffic`] — parameterized stochastic traffic generators.
+//! * [`arbiters`] — baseline protocols: static priority, two-level TDMA,
+//!   round-robin, token ring.
+//! * [`lottery`] — the paper's contribution: static and dynamic lottery
+//!   managers.
+//! * [`hwmodel`] — standard-cell area/delay estimation of the arbiter
+//!   hardware (paper §5.2).
+//! * [`atm`] — the 4-port output-queued ATM switch case study (§5.3).
+//! * [`experiments`] — the harness regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lotterybus_repro::lottery::{StaticLotteryArbiter, TicketAssignment};
+//! use lotterybus_repro::socsim::{BusConfig, SystemBuilder};
+//! use lotterybus_repro::traffic::{GeneratorSpec, SizeDist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tickets = TicketAssignment::new(vec![1, 2, 3, 4])?;
+//! let arbiter = StaticLotteryArbiter::with_seed(tickets, 1)?;
+//! let spec = GeneratorSpec::poisson(0.05, SizeDist::fixed(8));
+//! let mut system = SystemBuilder::new(BusConfig::default())
+//!     .master("c1", spec.clone().build_source(11))
+//!     .master("c2", spec.clone().build_source(12))
+//!     .master("c3", spec.clone().build_source(13))
+//!     .master("c4", spec.build_source(14))
+//!     .arbiter(Box::new(arbiter))
+//!     .build()?;
+//! system.run(100_000);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use arbiters;
+pub use atm_switch as atm;
+pub use experiments;
+pub use hwmodel;
+pub use lotterybus as lottery;
+pub use socsim;
+pub use traffic_gen as traffic;

@@ -1,0 +1,107 @@
+//! Conservation and accounting invariants, checked across every
+//! arbitration protocol on the same workloads.
+
+use lotterybus_repro::arbiters::{
+    RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout,
+};
+use lotterybus_repro::lottery::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
+use lotterybus_repro::socsim::{Arbiter, BusConfig, MasterId, SystemBuilder};
+use lotterybus_repro::traffic::{GeneratorSpec, SizeDist, TrafficClass};
+
+fn all_arbiters() -> Vec<Box<dyn Arbiter>> {
+    let tickets = TicketAssignment::new(vec![1, 2, 3, 4]).expect("valid");
+    vec![
+        Box::new(StaticPriorityArbiter::new(vec![1, 2, 3, 4]).expect("valid")),
+        Box::new(RoundRobinArbiter::new(4).expect("valid")),
+        Box::new(TokenRingArbiter::new(4).expect("valid")),
+        Box::new(TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).expect("valid")),
+        Box::new(TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Interleaved).expect("valid")),
+        Box::new(StaticLotteryArbiter::with_seed(tickets.clone(), 5).expect("valid")),
+        Box::new(DynamicLotteryArbiter::with_seed(tickets, 5).expect("valid")),
+    ]
+}
+
+fn check_conservation(arbiter: Box<dyn Arbiter>, class: TrafficClass) {
+    let name = arbiter.name().to_owned();
+    let weights = [1u32, 2, 3, 4];
+    let mut builder = SystemBuilder::new(BusConfig::default());
+    for (i, spec) in class.specs(&weights).into_iter().enumerate() {
+        builder = builder.master(format!("C{i}"), spec.build_source(i as u64 + 40));
+    }
+    let mut system = builder.arbiter(arbiter).build().expect("valid");
+    system.run(50_000);
+
+    let stats = system.stats();
+    let mut fractions_total = 0.0;
+    for i in 0..4 {
+        let id = MasterId::new(i);
+        let port = system.master(id);
+        let m = stats.master(id);
+        // Words issued = words transferred + words still queued.
+        assert_eq!(
+            port.issued_words(),
+            m.words + port.backlog_words(),
+            "{name}/{class}: word conservation for C{i}"
+        );
+        // Completed-transaction accounting never exceeds what moved.
+        assert!(m.completed_words <= m.words, "{name}/{class}: completed words");
+        // Latency is at least one cycle per word on a word-serial bus.
+        if let Some(lat) = m.cycles_per_word() {
+            assert!(lat >= 1.0, "{name}/{class}: latency {lat} below transfer time");
+        }
+        fractions_total += stats.bandwidth_fraction(id);
+    }
+    // Shares sum to utilization and never exceed 1.
+    assert!(
+        (fractions_total - stats.bus_utilization()).abs() < 1e-9,
+        "{name}/{class}: fractions {fractions_total} vs util {}",
+        stats.bus_utilization()
+    );
+    assert!(stats.bus_utilization() <= 1.0 + 1e-9);
+}
+
+#[test]
+fn words_are_conserved_under_every_arbiter_and_class() {
+    for class in [TrafficClass::T1, TrafficClass::T3, TrafficClass::T6] {
+        for arbiter in all_arbiters() {
+            check_conservation(arbiter, class);
+        }
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_stats() {
+    let run = |seed: u64| {
+        let tickets = TicketAssignment::new(vec![2, 5]).expect("valid");
+        let spec = GeneratorSpec::poisson(0.04, SizeDist::uniform(4, 20));
+        let mut system = SystemBuilder::new(BusConfig::default())
+            .master("a", spec.build_source(seed))
+            .master("b", spec.build_source(seed + 1))
+            .arbiter(Box::new(StaticLotteryArbiter::with_seed(tickets, 77).expect("valid")))
+            .build()
+            .expect("valid");
+        system.run(30_000);
+        system.stats().clone()
+    };
+    assert_eq!(run(5), run(5), "same seeds must reproduce identical statistics");
+    assert_ne!(run(5), run(6), "different seeds must differ");
+}
+
+#[test]
+fn stall_cycles_are_accounted_not_lost() {
+    let bus = BusConfig { arbitration_overhead: 1, ..BusConfig::default() };
+    let spec = GeneratorSpec::poisson(0.05, SizeDist::fixed(16));
+    let mut system = SystemBuilder::new(bus)
+        .master("a", spec.build_source(1))
+        .master("b", spec.build_source(2))
+        .arbiter(Box::new(RoundRobinArbiter::new(2).expect("valid")))
+        .build()
+        .expect("valid");
+    system.run(50_000);
+    let stats = system.stats();
+    // Busy + stalls never exceed elapsed time, and the overhead shows up.
+    assert!(stats.busy_cycles + stats.stall_cycles <= stats.cycles);
+    assert!(stats.stall_cycles > 0);
+    // One stall cycle per grant.
+    assert_eq!(stats.stall_cycles, stats.grants);
+}

@@ -1,0 +1,202 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants, spanning crates.
+
+use lotterybus_repro::arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout};
+use lotterybus_repro::lottery::{
+    draw_winner, partial_sums, DynamicLotteryArbiter, Lfsr, StaticLotteryArbiter,
+    TicketAssignment,
+};
+use lotterybus_repro::socsim::{Arbiter, Cycle, MasterId, RequestMap};
+use proptest::prelude::*;
+
+/// Builds a request map for `n` masters from a pending bitmask.
+fn map_from_mask(n: usize, mask: u32) -> RequestMap {
+    let mut map = RequestMap::new(n);
+    for i in 0..n {
+        if (mask >> i) & 1 == 1 {
+            map.set_pending(MasterId::new(i), 8);
+        }
+    }
+    map
+}
+
+proptest! {
+    #[test]
+    fn partial_sums_are_monotone_and_total_matches(
+        tickets in prop::collection::vec(0u32..1000, 1..12),
+        mask in 0u32..4096,
+    ) {
+        let n = tickets.len();
+        let map = map_from_mask(n, mask);
+        let (sums, total) = partial_sums(&map, &tickets);
+        let mut prev = 0u64;
+        for &s in &sums[..n] {
+            prop_assert!(s >= prev, "partial sums must be non-decreasing");
+            prev = s;
+        }
+        prop_assert_eq!(sums[n - 1], total);
+        let expected: u64 = (0..n)
+            .filter(|&i| map.is_pending(MasterId::new(i)))
+            .map(|i| u64::from(tickets[i]))
+            .sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn draw_winner_is_pending_and_holds_tickets(
+        tickets in prop::collection::vec(0u32..100, 1..10),
+        mask in 0u32..1024,
+        draw in 0u64..10_000,
+    ) {
+        let n = tickets.len();
+        let map = map_from_mask(n, mask);
+        let (_, total) = partial_sums(&map, &tickets);
+        match draw_winner(&map, &tickets, draw) {
+            Some(winner) => {
+                prop_assert!(map.is_pending(winner));
+                prop_assert!(tickets[winner.index()] > 0);
+                prop_assert!(draw < total);
+            }
+            None => prop_assert!(total == 0 || draw >= total),
+        }
+    }
+
+    #[test]
+    fn scaling_hits_a_power_of_two_and_preserves_ratios(
+        tickets in prop::collection::vec(0u32..500, 1..16)
+            .prop_filter("need one nonzero", |t| t.iter().any(|&x| x > 0)),
+    ) {
+        let original = TicketAssignment::new(tickets).unwrap();
+        let scaled = original.scaled_to_power_of_two();
+        prop_assert!(scaled.total().is_power_of_two());
+        prop_assert_eq!(original.masters(), scaled.masters());
+        for i in 0..original.masters() {
+            let id = MasterId::new(i);
+            // Zero holders stay zero; nonzero holders stay enfranchised.
+            prop_assert_eq!(original.get(id) == 0, scaled.get(id) == 0);
+            let err = (original.fraction(id) - scaled.fraction(id)).abs();
+            prop_assert!(err < 0.13, "master {} fraction drifted by {}", i, err);
+        }
+    }
+
+    #[test]
+    fn static_lottery_always_grants_a_pending_master(
+        tickets in prop::collection::vec(1u32..50, 2..8),
+        masks in prop::collection::vec(1u32..256, 1..50),
+        seed in 1u32..u32::MAX,
+    ) {
+        let n = tickets.len();
+        let assignment = TicketAssignment::new(tickets).unwrap();
+        let mut arbiter = StaticLotteryArbiter::with_seed(assignment, seed).unwrap();
+        for (k, mask) in masks.into_iter().enumerate() {
+            let mask = mask & ((1 << n) - 1);
+            let map = map_from_mask(n, mask);
+            match arbiter.arbitrate(&map, Cycle::new(k as u64)) {
+                Some(grant) => {
+                    prop_assert!(map.is_pending(grant.master));
+                    prop_assert!(grant.max_words > 0);
+                }
+                None => prop_assert!(map.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_lottery_always_grants_a_pending_master(
+        tickets in prop::collection::vec(0u32..50, 2..8)
+            .prop_filter("need one nonzero", |t| t.iter().any(|&x| x > 0)),
+        masks in prop::collection::vec(1u32..256, 1..50),
+        seed in 1u32..u32::MAX,
+    ) {
+        let n = tickets.len();
+        let assignment = TicketAssignment::new(tickets).unwrap();
+        let mut arbiter = DynamicLotteryArbiter::with_seed(assignment, seed).unwrap();
+        for (k, mask) in masks.into_iter().enumerate() {
+            let mask = mask & ((1 << n) - 1);
+            let map = map_from_mask(n, mask);
+            if let Some(grant) = arbiter.arbitrate(&map, Cycle::new(k as u64)) {
+                prop_assert!(map.is_pending(grant.master));
+            } else {
+                prop_assert!(map.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn static_priority_grants_the_maximum_priority_requester(
+        perm_seed in 0usize..24,
+        mask in 1u32..16,
+    ) {
+        // Enumerate 4-master priority permutations via the seed.
+        let mut priorities = vec![1u32, 2, 3, 4];
+        for k in 0..perm_seed {
+            priorities.swap(k % 3, (k + 1) % 4);
+        }
+        let mut sorted = priorities.clone();
+        sorted.sort_unstable();
+        prop_assume!(sorted == vec![1, 2, 3, 4]);
+        let mut arbiter = StaticPriorityArbiter::new(priorities.clone()).unwrap();
+        let map = map_from_mask(4, mask);
+        let winner = arbiter.arbitrate(&map, Cycle::ZERO).unwrap().master;
+        let best = (0..4)
+            .filter(|&i| map.is_pending(MasterId::new(i)))
+            .max_by_key(|&i| priorities[i])
+            .unwrap();
+        prop_assert_eq!(winner.index(), best);
+    }
+
+    #[test]
+    fn tdma_saturated_grants_match_slot_counts_exactly(
+        slots in prop::collection::vec(1u32..6, 2..6),
+        layout in prop::sample::select(vec![WheelLayout::Contiguous, WheelLayout::Interleaved]),
+    ) {
+        let n = slots.len();
+        let mut arbiter = TdmaArbiter::new(&slots, layout).unwrap();
+        let map = map_from_mask(n, (1 << n) - 1);
+        let wheel: u32 = slots.iter().sum();
+        let rotations = 20u32;
+        let mut wins = vec![0u32; n];
+        for k in 0..(wheel * rotations) {
+            let grant = arbiter.arbitrate(&map, Cycle::new(u64::from(k))).unwrap();
+            prop_assert_eq!(grant.max_words, 1, "TDMA grants single words");
+            wins[grant.master.index()] += 1;
+        }
+        for i in 0..n {
+            prop_assert_eq!(wins[i], slots[i] * rotations, "master {} slot share", i);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_fair_over_any_window(
+        n in 2usize..8,
+        rounds in 1u32..20,
+    ) {
+        let mut arbiter = RoundRobinArbiter::new(n).unwrap();
+        let map = map_from_mask(n, (1 << n) - 1);
+        let mut wins = vec![0u32; n];
+        for k in 0..(rounds * n as u32) {
+            wins[arbiter.arbitrate(&map, Cycle::new(u64::from(k))).unwrap().master.index()] += 1;
+        }
+        for &w in &wins {
+            prop_assert_eq!(w, rounds);
+        }
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero_and_draws_stay_bounded(
+        width in 2u32..=32,
+        seed in 0u32..u32::MAX,
+        bounds in prop::collection::vec(1u32..1_000_000, 1..20),
+    ) {
+        let mut lfsr = Lfsr::new(width, seed);
+        for _ in 0..100 {
+            lfsr.step();
+            prop_assert_ne!(lfsr.state(), 0);
+        }
+        let mut source = lotterybus_repro::lottery::LfsrSource::new(width, seed);
+        use lotterybus_repro::lottery::RandomSource;
+        for bound in bounds {
+            prop_assert!(source.draw(bound) < bound);
+        }
+    }
+}
