@@ -30,6 +30,9 @@ pub enum ArbiterConfigError {
     },
     /// Every master must own at least one slot / one token position.
     UnservedMaster(usize),
+    /// A failover arbiter needs at least one cycle of patience before
+    /// declaring its primary wedged.
+    ZeroPatience,
 }
 
 impl fmt::Display for ArbiterConfigError {
@@ -48,6 +51,9 @@ impl fmt::Display for ArbiterConfigError {
             }
             ArbiterConfigError::UnservedMaster(m) => {
                 write!(f, "master {m} owns no slot in the timing wheel")
+            }
+            ArbiterConfigError::ZeroPatience => {
+                write!(f, "failover patience must be at least 1 cycle")
             }
         }
     }

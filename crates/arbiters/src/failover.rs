@@ -1,0 +1,304 @@
+//! Graceful arbiter degradation: a failover wrapper around any primary.
+//!
+//! An arbiter is a single point of failure for the whole bus: if its
+//! grant logic wedges or corrupts, every master starves. The
+//! [`FailoverArbiter`] wraps a primary protocol and watches its
+//! decisions; when the primary misbehaves it permanently falls over to
+//! a plain round-robin backup, trading the primary's performance
+//! properties for continued service.
+//!
+//! Two classes of misbehaviour trip the failover:
+//!
+//! * **Invalid grants** — granting a master that is out of range or not
+//!   requesting, or granting zero words. These are protocol-level
+//!   contract violations (the bus would panic on them) and trip the
+//!   failover immediately.
+//! * **Wedging** — returning no grant for `patience` consecutive
+//!   arbitration cycles despite pending requests. Legitimate protocols
+//!   may idle a few cycles with requests pending (a TDMA wheel hops
+//!   empty slots; a token ring passes the token), so the patience must
+//!   exceed the primary's longest legitimate idle streak — the default
+//!   of 64 cycles covers every baseline in this crate at its paper
+//!   configuration.
+
+use crate::error::ArbiterConfigError;
+use crate::round_robin::RoundRobinArbiter;
+use socsim::{Arbiter, Cycle, Grant, RequestMap};
+
+/// Default number of consecutive grant-less cycles (with requests
+/// pending) tolerated before the primary is declared wedged.
+pub const DEFAULT_PATIENCE: u64 = 64;
+
+/// Wraps a primary arbiter and falls over to round-robin when the
+/// primary misbehaves. See the [module docs](self) for the failure
+/// model.
+///
+/// ```
+/// use arbiters::{FailoverArbiter, StaticPriorityArbiter};
+/// use socsim::{Arbiter, Cycle, MasterId, RequestMap};
+///
+/// # fn main() -> Result<(), arbiters::ArbiterConfigError> {
+/// let primary = Box::new(StaticPriorityArbiter::new(vec![1, 2])?);
+/// let mut arb = FailoverArbiter::new(primary, 2)?;
+/// let mut map = RequestMap::new(2);
+/// map.set_pending(MasterId::new(0), 4);
+/// assert_eq!(arb.arbitrate(&map, Cycle::ZERO).unwrap().master, MasterId::new(0));
+/// assert_eq!(arb.failovers(), 0); // healthy primary stays in charge
+/// # Ok(())
+/// # }
+/// ```
+pub struct FailoverArbiter {
+    primary: Box<dyn Arbiter>,
+    fallback: RoundRobinArbiter,
+    masters: usize,
+    patience: u64,
+    /// Consecutive arbitration cycles the primary returned no grant
+    /// while at least one request was pending.
+    starved: u64,
+    failed_over: bool,
+    failovers: u64,
+    name: String,
+}
+
+impl std::fmt::Debug for FailoverArbiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverArbiter")
+            .field("primary", &self.primary.name())
+            .field("patience", &self.patience)
+            .field("failed_over", &self.failed_over)
+            .finish()
+    }
+}
+
+impl FailoverArbiter {
+    /// Wraps `primary` with the default patience.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `masters` is zero or exceeds the bus width.
+    pub fn new(primary: Box<dyn Arbiter>, masters: usize) -> Result<Self, ArbiterConfigError> {
+        Self::with_patience(primary, masters, DEFAULT_PATIENCE)
+    }
+
+    /// Wraps `primary`, declaring it wedged after `patience` consecutive
+    /// grant-less cycles with requests pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `masters` is zero or exceeds the bus width,
+    /// or `patience` is zero.
+    pub fn with_patience(
+        primary: Box<dyn Arbiter>,
+        masters: usize,
+        patience: u64,
+    ) -> Result<Self, ArbiterConfigError> {
+        if patience == 0 {
+            return Err(ArbiterConfigError::ZeroPatience);
+        }
+        let fallback = RoundRobinArbiter::new(masters)?;
+        let name = format!("failover({})", primary.name());
+        Ok(FailoverArbiter {
+            primary,
+            fallback,
+            masters,
+            patience,
+            starved: 0,
+            failed_over: false,
+            failovers: 0,
+            name,
+        })
+    }
+
+    /// Whether the backup policy is in charge.
+    pub fn is_failed_over(&self) -> bool {
+        self.failed_over
+    }
+
+    fn trip(&mut self) {
+        self.failed_over = true;
+        self.failovers += 1;
+        self.starved = 0;
+    }
+
+    /// Whether `grant` violates the arbitration contract for `requests`.
+    fn is_invalid(&self, grant: Grant, requests: &RequestMap) -> bool {
+        grant.master.index() >= self.masters
+            || !requests.is_pending(grant.master)
+            || grant.max_words == 0
+    }
+}
+
+impl Arbiter for FailoverArbiter {
+    fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+        if self.failed_over {
+            return self.fallback.arbitrate(requests, now);
+        }
+        let any_pending = requests.iter_pending().next().is_some();
+        match self.primary.arbitrate(requests, now) {
+            Some(grant) if self.is_invalid(grant, requests) => {
+                // Contract violation: the bus would panic on this grant.
+                self.trip();
+                self.fallback.arbitrate(requests, now)
+            }
+            Some(grant) => {
+                self.starved = 0;
+                Some(grant)
+            }
+            None if any_pending => {
+                self.starved += 1;
+                if self.starved >= self.patience {
+                    self.trip();
+                    self.fallback.arbitrate(requests, now)
+                } else {
+                    None
+                }
+            }
+            None => {
+                self.starved = 0;
+                None
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn failovers(&self) -> u64 {
+        self.failovers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_priority::StaticPriorityArbiter;
+    use socsim::MasterId;
+
+    /// A primary that wedges (never grants) after a set cycle.
+    struct WedgingPrimary {
+        wedge_at: u64,
+        inner: StaticPriorityArbiter,
+    }
+
+    impl Arbiter for WedgingPrimary {
+        fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+            if now.index() >= self.wedge_at {
+                None
+            } else {
+                self.inner.arbitrate(requests, now)
+            }
+        }
+        fn name(&self) -> &str {
+            "wedging"
+        }
+    }
+
+    /// A primary that grants a master that never requested.
+    struct RogueGranter;
+
+    impl Arbiter for RogueGranter {
+        fn arbitrate(&mut self, _requests: &RequestMap, _now: Cycle) -> Option<Grant> {
+            Some(Grant::whole_burst(MasterId::new(1)))
+        }
+        fn name(&self) -> &str {
+            "rogue"
+        }
+    }
+
+    fn pending(masters: usize, which: &[usize]) -> RequestMap {
+        let mut map = RequestMap::new(masters);
+        for &m in which {
+            map.set_pending(MasterId::new(m), 4);
+        }
+        map
+    }
+
+    #[test]
+    fn healthy_primary_is_transparent() {
+        let primary = Box::new(StaticPriorityArbiter::new(vec![1, 2, 3]).expect("valid"));
+        let mut arb = FailoverArbiter::new(primary, 3).expect("valid");
+        let map = pending(3, &[0, 2]);
+        for c in 0..200 {
+            let grant = arb.arbitrate(&map, Cycle::new(c)).expect("grant");
+            assert_eq!(grant.master, MasterId::new(2), "priority order preserved");
+        }
+        assert_eq!(arb.failovers(), 0);
+        assert!(!arb.is_failed_over());
+    }
+
+    #[test]
+    fn wedged_primary_trips_failover_after_patience() {
+        let primary = Box::new(WedgingPrimary {
+            wedge_at: 10,
+            inner: StaticPriorityArbiter::new(vec![1, 2]).expect("valid"),
+        });
+        let mut arb = FailoverArbiter::with_patience(primary, 2, 5).expect("valid");
+        let map = pending(2, &[0, 1]);
+        let mut granted = 0u32;
+        for c in 0..30 {
+            if arb.arbitrate(&map, Cycle::new(c)).is_some() {
+                granted += 1;
+            }
+        }
+        assert!(arb.is_failed_over());
+        assert_eq!(arb.failovers(), 1);
+        // 10 healthy cycles + post-failover cycles all grant; only the
+        // 4 starved cycles before the patience ran out are lost (the
+        // 5th starved cycle trips and grants from the backup).
+        assert_eq!(granted, 30 - 4);
+        assert_eq!(arb.name(), "failover(wedging)");
+    }
+
+    #[test]
+    fn invalid_grant_trips_immediately() {
+        let mut arb = FailoverArbiter::new(Box::new(RogueGranter), 2).expect("valid");
+        let map = pending(2, &[0]); // master 1 is NOT pending
+        let grant = arb.arbitrate(&map, Cycle::ZERO).expect("backup grants");
+        assert_eq!(grant.master, MasterId::new(0));
+        assert!(arb.is_failed_over());
+        assert_eq!(arb.failovers(), 1);
+    }
+
+    #[test]
+    fn idle_bus_does_not_count_toward_patience() {
+        let primary = Box::new(WedgingPrimary {
+            wedge_at: 0,
+            inner: StaticPriorityArbiter::new(vec![1, 2]).expect("valid"),
+        });
+        let mut arb = FailoverArbiter::with_patience(primary, 2, 5).expect("valid");
+        let empty = RequestMap::new(2);
+        for c in 0..100 {
+            assert!(arb.arbitrate(&empty, Cycle::new(c)).is_none());
+        }
+        assert!(!arb.is_failed_over(), "no pending requests, no starvation");
+    }
+
+    #[test]
+    fn starvation_counter_resets_on_grant() {
+        // Grants every 4th cycle: never reaches a patience of 5.
+        struct Sputtering(StaticPriorityArbiter);
+        impl Arbiter for Sputtering {
+            fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+                now.index().is_multiple_of(4).then(|| self.0.arbitrate(requests, now)).flatten()
+            }
+            fn name(&self) -> &str {
+                "sputtering"
+            }
+        }
+        let primary = Box::new(Sputtering(StaticPriorityArbiter::new(vec![1, 2]).expect("valid")));
+        let mut arb = FailoverArbiter::with_patience(primary, 2, 5).expect("valid");
+        let map = pending(2, &[0, 1]);
+        for c in 0..100 {
+            arb.arbitrate(&map, Cycle::new(c));
+        }
+        assert!(!arb.is_failed_over());
+    }
+
+    #[test]
+    fn zero_patience_rejected() {
+        let primary = Box::new(StaticPriorityArbiter::new(vec![1]).expect("valid"));
+        let err = FailoverArbiter::with_patience(primary, 1, 0).unwrap_err();
+        assert_eq!(err, ArbiterConfigError::ZeroPatience);
+    }
+}

@@ -15,6 +15,9 @@
 //!   conventional protocols mentioned in §2/§2.3.
 //! * [`DeficitRoundRobinArbiter`] — a deterministic weighted baseline
 //!   from the traffic-scheduling literature the paper cites.
+//! * [`FailoverArbiter`] — a robustness wrapper around any of the
+//!   above: it detects a wedged or contract-violating primary and
+//!   permanently falls over to round-robin, keeping the bus serviced.
 //!
 //! All arbiters implement [`socsim::Arbiter`] and plug into a
 //! [`socsim::SystemBuilder`].
@@ -37,6 +40,7 @@
 
 pub mod deficit_rr;
 pub mod error;
+pub mod failover;
 pub mod round_robin;
 pub mod static_priority;
 pub mod tdma;
@@ -44,6 +48,7 @@ pub mod token_ring;
 
 pub use deficit_rr::DeficitRoundRobinArbiter;
 pub use error::ArbiterConfigError;
+pub use failover::FailoverArbiter;
 pub use round_robin::RoundRobinArbiter;
 pub use static_priority::StaticPriorityArbiter;
 pub use tdma::{TdmaArbiter, WheelLayout};

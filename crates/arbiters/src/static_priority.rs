@@ -96,10 +96,7 @@ impl StaticPriorityArbiter {
 
 impl Arbiter for StaticPriorityArbiter {
     fn arbitrate(&mut self, requests: &RequestMap, _now: Cycle) -> Option<Grant> {
-        requests
-            .iter_pending()
-            .max_by_key(|m| self.priorities[m.index()])
-            .map(Grant::whole_burst)
+        requests.iter_pending().max_by_key(|m| self.priorities[m.index()]).map(Grant::whole_burst)
     }
 
     fn name(&self) -> &str {

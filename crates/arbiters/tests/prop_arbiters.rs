@@ -1,6 +1,8 @@
 //! Property-based tests for the baseline arbiters.
 
-use arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout};
+use arbiters::{
+    RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout,
+};
 use proptest::prelude::*;
 use socsim::{Arbiter, Cycle, MasterId, RequestMap};
 

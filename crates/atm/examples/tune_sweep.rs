@@ -9,10 +9,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (bmin, bmax) in [(1u32, 2u32), (2, 4), (4, 6)] {
             let mut cfg = SwitchConfig::paper_setup();
             cfg.tdma_block = tdma_block;
-            cfg.arrivals[3] =
-                CellArrivals::Bursty { burst_min: bmin, burst_max: bmax, off_min: 300, off_max: 900 };
+            cfg.arrivals[3] = CellArrivals::Bursty {
+                burst_min: bmin,
+                burst_max: bmax,
+                off_min: 300,
+                off_max: 900,
+            };
             let mut row = format!("block={tdma_block:>2} burst={bmin}-{bmax}:");
-            for arch in [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery] {
+            for arch in [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery]
+            {
                 let r = cfg.run(arch, 200_000, 11)?;
                 row += &format!(
                     "  {}: L4={:5.2} bw=[{:.0}%,{:.0}%,{:.0}%,{:.0}%]",

@@ -17,6 +17,10 @@ pub struct AtmReport {
     /// Cells dropped per port at full address queues (always zero with
     /// unbounded queues).
     pub cells_dropped: Vec<u64>,
+    /// Cells lost on the bus itself, per port: the payload fetch
+    /// exhausted its retries or was aborted by the watchdog under fault
+    /// injection (always zero on a fault-free bus).
+    pub cells_aborted: Vec<u64>,
     /// Bus utilization over the measurement window.
     pub utilization: f64,
 }
@@ -45,18 +49,29 @@ impl AtmReport {
         self.bandwidth[a] / self.bandwidth[b]
     }
 
-    /// Fraction of `port`'s cells lost at a full queue
-    /// (`dropped / (forwarded + dropped)`), or zero if nothing arrived.
+    /// Cells `port` lost anywhere in the switch: at a full address
+    /// queue or aborted on a faulty bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn cells_lost(&self, port: usize) -> u64 {
+        self.cells_dropped[port] + self.cells_aborted[port]
+    }
+
+    /// Fraction of `port`'s cells lost (queue drops plus bus aborts,
+    /// over everything that arrived), or zero if nothing arrived.
     ///
     /// # Panics
     ///
     /// Panics if `port` is out of range.
     pub fn cell_loss_ratio(&self, port: usize) -> f64 {
-        let seen = self.cells_forwarded[port] + self.cells_dropped[port];
+        let lost = self.cells_lost(port);
+        let seen = self.cells_forwarded[port] + lost;
         if seen == 0 {
             0.0
         } else {
-            self.cells_dropped[port] as f64 / seen as f64
+            lost as f64 / seen as f64
         }
     }
 }
@@ -76,6 +91,11 @@ impl std::fmt::Display for AtmReport {
                 self.cells_forwarded[i],
             )?;
         }
+        let dropped: u64 = self.cells_dropped.iter().sum();
+        let aborted: u64 = self.cells_aborted.iter().sum();
+        if dropped + aborted > 0 {
+            writeln!(f, "  cell loss: {dropped} queue drops, {aborted} bus aborts")?;
+        }
         write!(f, "  bus utilization {:5.1}%", self.utilization * 100.0)
     }
 }
@@ -91,6 +111,7 @@ mod tests {
             latency_cycles_per_word: vec![Some(3.0), Some(2.5), Some(2.0), Some(1.8)],
             cells_forwarded: vec![100, 200, 400, 50],
             cells_dropped: vec![0, 0, 100, 0],
+            cells_aborted: vec![0, 50, 0, 0],
             utilization: 0.75,
         }
     }
@@ -106,10 +127,19 @@ mod tests {
     }
 
     #[test]
+    fn loss_ratio_counts_bus_aborts() {
+        let r = report();
+        // Port 2: 200 forwarded, 50 aborted on the bus.
+        assert_eq!(r.cells_lost(1), 50);
+        assert!((r.cell_loss_ratio(1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
     fn display_lists_every_port() {
         let text = report().to_string();
         assert!(text.contains("port 1"));
         assert!(text.contains("port 4"));
         assert!(text.contains("utilization"));
+        assert!(text.contains("100 queue drops, 50 bus aborts"));
     }
 }

@@ -70,11 +70,7 @@ impl CellScheduler {
     /// capacity: arriving cells that find their queue full are dropped
     /// and counted — real output-queued switches lose cells this way
     /// when an output is persistently oversubscribed.
-    pub fn with_capacity(
-        patterns: Vec<CellArrivals>,
-        capacity: Option<usize>,
-        seed: u64,
-    ) -> Self {
+    pub fn with_capacity(patterns: Vec<CellArrivals>, capacity: Option<usize>, seed: u64) -> Self {
         let n = patterns.len();
         CellScheduler {
             patterns,

@@ -6,7 +6,7 @@ use crate::scheduler::{CellArrivals, CellScheduler};
 use arbiters::{StaticPriorityArbiter, TdmaArbiter, WheelLayout};
 use lotterybus::{StaticLotteryArbiter, TicketAssignment};
 use serde::{Deserialize, Serialize};
-use socsim::{Arbiter, BusConfig, MasterId, SlaveId, SystemBuilder};
+use socsim::{Arbiter, BusConfig, FaultConfig, MasterId, RetryPolicy, SlaveId, SystemBuilder};
 use std::cell::RefCell;
 use std::error::Error;
 use std::rc::Rc;
@@ -54,6 +54,15 @@ pub struct SwitchConfig {
     /// With a bound, cells arriving at a full queue are dropped and
     /// reported as cell loss.
     pub queue_capacity: Option<usize>,
+    /// Fault injection on the shared bus (`None` = fault-free). The
+    /// plan seed lives inside the config, so a faulty run is exactly
+    /// reproducible.
+    pub fault: Option<FaultConfig>,
+    /// Retry policy for payload fetches that hit injected errors. A
+    /// fetch that exhausts its retries is a lost cell.
+    pub retry: Option<RetryPolicy>,
+    /// Watchdog timeout aborting wedged payload fetches, in cycles.
+    pub timeout: Option<u64>,
 }
 
 impl SwitchConfig {
@@ -80,6 +89,9 @@ impl SwitchConfig {
             warmup: 20_000,
             tdma_block: 48,
             queue_capacity: None,
+            fault: None,
+            retry: None,
+            timeout: None,
         }
     }
 
@@ -100,7 +112,9 @@ impl SwitchConfig {
         seed: u64,
     ) -> Result<Box<dyn Arbiter>, Box<dyn Error>> {
         Ok(match arch {
-            SwitchArbiter::StaticPriority => Box::new(StaticPriorityArbiter::new(self.weights.clone())?),
+            SwitchArbiter::StaticPriority => {
+                Box::new(StaticPriorityArbiter::new(self.weights.clone())?)
+            }
             SwitchArbiter::Tdma => {
                 let slots: Vec<u32> = self.weights.iter().map(|&w| w * self.tdma_block).collect();
                 Box::new(TdmaArbiter::new(&slots, WheelLayout::Contiguous)?)
@@ -146,12 +160,22 @@ impl SwitchConfig {
                 ),
             );
         }
+        if let Some(fault) = self.fault {
+            builder = builder.faults(fault);
+        }
+        if let Some(retry) = self.retry {
+            builder = builder.retry_policy(retry);
+        }
+        if let Some(timeout) = self.timeout {
+            builder = builder.timeout(timeout);
+        }
         let mut system = builder.arbiter(self.build_arbiter(arch, seed)?).build()?;
         system.warm_up(self.warmup);
         system.run(cycles);
         let stats = system.stats();
         let ports = self.ports();
         let cells_dropped = (0..ports).map(|p| scheduler.borrow().dropped(p)).collect();
+        let cells_aborted = (0..ports).map(|p| stats.master(MasterId::new(p)).aborted).collect();
         Ok(AtmReport {
             architecture: arch.name().into(),
             bandwidth: (0..ports).map(|p| stats.bandwidth_fraction(MasterId::new(p))).collect(),
@@ -162,6 +186,7 @@ impl SwitchConfig {
                 .map(|p| stats.master(MasterId::new(p)).transactions)
                 .collect(),
             cells_dropped,
+            cells_aborted,
             utilization: stats.bus_utilization(),
         })
     }
@@ -210,10 +235,7 @@ mod tests {
         let tdma = cfg.run(SwitchArbiter::Tdma, 150_000, 11).expect("runs");
         let lottery = cfg.run(SwitchArbiter::Lottery, 150_000, 11).expect("runs");
         let (lt, ll) = (tdma.latency(3).unwrap(), lottery.latency(3).unwrap());
-        assert!(
-            lt > 1.5 * ll,
-            "TDMA latency {lt:.2} should far exceed lottery {ll:.2}"
-        );
+        assert!(lt > 1.5 * ll, "TDMA latency {lt:.2} should far exceed lottery {ll:.2}");
     }
 
     #[test]
@@ -232,6 +254,32 @@ mod tests {
             .run(SwitchArbiter::StaticPriority, 50_000, 11)
             .expect("runs");
         assert!(unbounded.cells_dropped.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn faulty_bus_loses_cells_when_retries_run_out() {
+        use socsim::{FaultConfig, RetryPolicy};
+        let mut cfg = SwitchConfig::paper_setup();
+        cfg.fault = Some(FaultConfig { slave_error_rate: 0.05, ..FaultConfig::with_seed(99) });
+        cfg.retry = Some(RetryPolicy::exponential(2, 1));
+        let report = cfg.run(SwitchArbiter::Lottery, 100_000, 11).expect("runs");
+        let aborted: u64 = report.cells_aborted.iter().sum();
+        assert!(aborted > 0, "5% error rate with 2 retries loses cells: {report}");
+        // Losses show up in the per-port loss ratio even with unbounded
+        // address queues.
+        let lossy = (0..4).find(|&p| report.cells_aborted[p] > 0).expect("some port lost");
+        assert!(report.cell_loss_ratio(lossy) > 0.0);
+
+        // Bit-for-bit reproducible: same config and seed, same report.
+        let again = cfg.run(SwitchArbiter::Lottery, 100_000, 11).expect("runs");
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn fault_free_switch_never_aborts_cells() {
+        let cfg = SwitchConfig::paper_setup();
+        let report = cfg.run(SwitchArbiter::Lottery, 50_000, 11).expect("runs");
+        assert!(report.cells_aborted.iter().all(|&a| a == 0));
     }
 
     #[test]

@@ -60,6 +60,9 @@ proptest! {
             warmup: 0,
             tdma_block: 8,
             queue_capacity: None,
+            fault: None,
+            retry: None,
+            timeout: None,
         };
         for arch in [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery] {
             let report = cfg.run(arch, 20_000, seed).expect("switch runs");
@@ -85,6 +88,9 @@ proptest! {
             warmup: 0,
             tdma_block: 4,
             queue_capacity: None,
+            fault: None,
+            retry: None,
+            timeout: None,
         };
         prop_assert!(cfg.build_arbiter(SwitchArbiter::StaticPriority, 1).is_err());
         // TDMA and lottery tolerate equal weights.

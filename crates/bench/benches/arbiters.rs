@@ -2,7 +2,9 @@
 //! contention — the software analogue of the paper's arbitration-delay
 //! comparison (§5.2).
 
-use arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout};
+use arbiters::{
+    RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout,
+};
 use bench::saturated_requests;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
@@ -45,7 +47,7 @@ fn arbiter_decisions(c: &mut Criterion) {
 
     for (name, arbiter) in fixed.iter_mut() {
         let mut cycle = 0u64;
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 cycle += 1;
                 black_box(arbiter.arbitrate(black_box(&requests), Cycle::new(cycle)))

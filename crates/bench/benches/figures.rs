@@ -18,16 +18,12 @@ fn figure_benches(c: &mut Criterion) {
     group.bench_function("fig4_priority_bandwidth", |b| {
         b.iter(|| black_box(experiments::fig4::run(&s)))
     });
-    group.bench_function("fig5_tdma_alignment", |b| {
-        b.iter(|| black_box(experiments::fig5::run()))
-    });
+    group.bench_function("fig5_tdma_alignment", |b| b.iter(|| black_box(experiments::fig5::run())));
     group.bench_function("fig6a_lottery_bandwidth", |b| {
         b.iter(|| black_box(experiments::fig6::run_bandwidth(&s)))
     });
     group.bench_function("fig6b_latency_t6", |b| {
-        b.iter(|| {
-            black_box(experiments::fig6::run_latency(traffic_gen::TrafficClass::T6, &s))
-        })
+        b.iter(|| black_box(experiments::fig6::run_latency(traffic_gen::TrafficClass::T6, &s)))
     });
     group.bench_function("fig12a_class_bandwidth", |b| {
         b.iter(|| black_box(experiments::fig12::run_bandwidth(&s)))

@@ -5,8 +5,8 @@
 use bench::saturated_requests;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lotterybus::{
-    draw_winner, partial_sums, Lfsr, LfsrSource, RandomSource, StaticLotteryArbiter,
-    StdRngSource, TicketAssignment,
+    draw_winner, partial_sums, Lfsr, LfsrSource, RandomSource, StaticLotteryArbiter, StdRngSource,
+    TicketAssignment,
 };
 use std::hint::black_box;
 
@@ -42,9 +42,7 @@ fn ticket_operations(c: &mut Criterion) {
     });
     group.bench_function("build_8_master_lut", |b| {
         b.iter(|| {
-            black_box(
-                StaticLotteryArbiter::with_seed(tickets.clone(), 3).expect("8 masters fit"),
-            )
+            black_box(StaticLotteryArbiter::with_seed(tickets.clone(), 3).expect("8 masters fit"))
         })
     });
     group.finish();

@@ -59,8 +59,7 @@ fn wheel_layout_ablation(c: &mut Criterion) {
     {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let arb =
-                    TdmaArbiter::new(&[6, 12, 18, 24], layout).expect("valid wheel");
+                let arb = TdmaArbiter::new(&[6, 12, 18, 24], layout).expect("valid wheel");
                 black_box(run_cycles(4, BusConfig::default(), Box::new(arb)))
             })
         });

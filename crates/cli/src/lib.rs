@@ -32,6 +32,26 @@
 //! is the offered load in words per cycle, `size` the message size, and
 //! the optional trailing word selects the arrival process (default:
 //! memoryless).
+//!
+//! ## Fault injection & recovery (optional)
+//!
+//! ```text
+//! # fault <class> rate=<p> [duration=<cycles>] [max=<cycles>]
+//! fault slave-error  rate=0.01
+//! fault slave-outage rate=0.001 duration=64
+//! fault grant-drop   rate=0.005
+//! fault grant-corrupt rate=0.005
+//! fault master-stall rate=0.002 max=8
+//!
+//! retry max=4 backoff=2x base=1   # retries per txn, exponential backoff
+//! timeout  = 256                  # watchdog: abort wedged transactions
+//! failover = 64                   # wrap arbiter in a round-robin failover
+//! ```
+//!
+//! The fault plan is seeded from `seed`, so a faulty run is bit-for-bit
+//! reproducible. Reports for specs with any of these lines gain a
+//! `faults:` / `recovery:` section; specs without them render exactly as
+//! before.
 
 pub mod report;
 pub mod spec;

@@ -25,6 +25,16 @@ seed    = 7
 master cpu   weight=4 load=0.30 size=16
 master dsp   weight=2 load=0.25 size=16 burst
 master dma   weight=1 load=0.15 size=8  periodic
+
+# Optional fault injection & recovery (uncomment to enable).
+# The plan is seeded from `seed`, so runs are reproducible.
+# fault slave-error  rate=0.01
+# fault slave-outage rate=0.001 duration=64
+# fault grant-drop   rate=0.005
+# fault master-stall rate=0.002 max=8
+# retry max=4 backoff=2x
+# timeout  = 256      # abort transactions wedged this many cycles
+# failover = 64       # wrap the arbiter; fall over to round-robin
 ";
 
 fn main() -> ExitCode {
@@ -43,7 +53,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
-        Some(path) => match run(path, vcd_path(&args)) {
+        Some(path) => match vcd_path(&args).and_then(|vcd| run(path, vcd)) {
             Ok(report) => {
                 print!("{report}");
                 ExitCode::SUCCESS
@@ -56,9 +66,18 @@ fn main() -> ExitCode {
     }
 }
 
-/// Extracts the `--vcd <file>` option, if present.
-fn vcd_path(args: &[String]) -> Option<&str> {
-    args.iter().position(|a| a == "--vcd").and_then(|i| args.get(i + 1)).map(String::as_str)
+/// Extracts the `--vcd <file>` option, if present. A trailing `--vcd`
+/// with no file is a usage error, not a silent no-op.
+fn vcd_path(args: &[String]) -> Result<Option<&str>, String> {
+    match args.iter().position(|a| a == "--vcd") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(file) => Ok(Some(file.as_str())),
+            None => Err("error: `--vcd` requires a file argument\n\
+                         usage: lotterybus-sim <spec-file | -> [--vcd <file>] | --example"
+                .to_owned()),
+        },
+    }
 }
 
 fn run(path: &str, vcd: Option<&str>) -> Result<String, String> {
@@ -79,6 +98,15 @@ fn run(path: &str, vcd: Option<&str>) -> Result<String, String> {
             master.generator(i).build_source(spec.seed.wrapping_add(i as u64)),
         );
     }
+    if let Some(fault) = spec.fault {
+        builder = builder.faults(fault);
+    }
+    if let Some(retry) = spec.retry {
+        builder = builder.retry_policy(retry);
+    }
+    if let Some(timeout) = spec.timeout {
+        builder = builder.timeout(timeout);
+    }
     if vcd.is_some() {
         // Record enough events for the whole measured window (a grant
         // plus a word event per cycle, worst case).
@@ -92,10 +120,38 @@ fn run(path: &str, vcd: Option<&str>) -> Result<String, String> {
     system.run(spec.cycles);
     if let Some(vcd_file) = vcd {
         let names: Vec<String> = spec.masters.iter().map(|m| m.name.clone()).collect();
-        let document =
-            socsim::vcd::trace_to_vcd(system.trace(), &names, spec.warmup + spec.cycles);
+        let document = socsim::vcd::trace_to_vcd(system.trace(), &names, spec.warmup + spec.cycles);
         std::fs::write(vcd_file, document)
             .map_err(|e| format!("cannot write `{vcd_file}`: {e}"))?;
     }
     Ok(render_report(&spec, system.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn example_spec_parses() {
+        let spec = SimSpec::parse(EXAMPLE_SPEC).expect("example spec stays valid");
+        assert_eq!(spec.masters.len(), 3);
+        assert!(!spec.has_fault_machinery(), "fault lines ship commented out");
+    }
+
+    #[test]
+    fn vcd_flag_with_file_is_extracted() {
+        assert_eq!(vcd_path(&args(&["s.spec", "--vcd", "w.vcd"])).unwrap(), Some("w.vcd"));
+        assert_eq!(vcd_path(&args(&["s.spec"])).unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_vcd_flag_is_a_usage_error() {
+        let err = vcd_path(&args(&["s.spec", "--vcd"])).unwrap_err();
+        assert!(err.contains("`--vcd` requires a file argument"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
 }

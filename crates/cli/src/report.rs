@@ -35,6 +35,18 @@ pub fn render_report(spec: &SimSpec, stats: &BusStats) -> String {
         stats.grants,
         stats.cycles,
     ));
+    // Only specs that opt into fault machinery get the fault section;
+    // fault-free specs render byte-identically to earlier versions.
+    if spec.has_fault_machinery() {
+        out.push_str(&format!(
+            "faults: {} slave errors, {} dropped grants, {} corrupted grants\n",
+            stats.slave_errors, stats.dropped_grants, stats.corrupted_grants,
+        ));
+        out.push_str(&format!(
+            "recovery: {} retries, {} timeouts, {} aborted, {} failovers\n",
+            stats.retries, stats.timeouts, stats.aborted_transactions, stats.failovers,
+        ));
+    }
     out
 }
 
@@ -42,14 +54,10 @@ pub fn render_report(spec: &SimSpec, stats: &BusStats) -> String {
 mod tests {
     use super::*;
     use crate::spec::SimSpec;
-    use socsim::SystemBuilder;
+    use arbiters::{FailoverArbiter, StaticPriorityArbiter};
+    use socsim::{Arbiter, Cycle, Grant, RequestMap, System, SystemBuilder};
 
-    #[test]
-    fn report_contains_every_master_and_totals() {
-        let text = "arbiter = lottery\ncycles = 5000\nwarmup = 0\n\
-                    master cpu weight=3 load=0.4 size=16\n\
-                    master dsp weight=1 load=0.3 size=16\n";
-        let spec = SimSpec::parse(text).expect("valid");
+    fn build_system(spec: &SimSpec, arbiter: Box<dyn Arbiter>) -> System {
         let mut builder = SystemBuilder::new(spec.bus_config());
         for (i, master) in spec.masters.iter().enumerate() {
             builder = builder.master(
@@ -57,13 +65,90 @@ mod tests {
                 master.generator(i).build_source(spec.seed + i as u64),
             );
         }
-        let mut system =
-            builder.arbiter(spec.build_arbiter().expect("builds")).build().expect("valid");
+        if let Some(fault) = spec.fault {
+            builder = builder.faults(fault);
+        }
+        if let Some(retry) = spec.retry {
+            builder = builder.retry_policy(retry);
+        }
+        if let Some(timeout) = spec.timeout {
+            builder = builder.timeout(timeout);
+        }
+        builder.arbiter(arbiter).build().expect("valid")
+    }
+
+    #[test]
+    fn report_contains_every_master_and_totals() {
+        let text = "arbiter = lottery\ncycles = 5000\nwarmup = 0\n\
+                    master cpu weight=3 load=0.4 size=16\n\
+                    master dsp weight=1 load=0.3 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        let mut system = build_system(&spec, spec.build_arbiter().expect("builds"));
         system.run(spec.cycles);
         let report = render_report(&spec, system.stats());
         assert!(report.contains("cpu"));
         assert!(report.contains("dsp"));
         assert!(report.contains("bus utilization"));
         assert!(report.contains('#'), "bandwidth bars rendered");
+        assert!(!report.contains("faults:"), "fault-free report has no fault section");
+        assert!(!report.contains("recovery:"), "fault-free report has no recovery section");
+    }
+
+    #[test]
+    fn faulty_spec_report_shows_fault_section() {
+        let text = "arbiter = lottery\ncycles = 5000\nwarmup = 0\n\
+                    fault slave-error rate=0.2\n\
+                    retry max=2 backoff=2x\n\
+                    master cpu weight=3 load=0.4 size=16\n\
+                    master dsp weight=1 load=0.3 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        let mut system = build_system(&spec, spec.build_arbiter().expect("builds"));
+        system.run(spec.cycles);
+        let stats = system.stats();
+        assert!(stats.slave_errors > 0, "rate 0.2 over 5000 cycles injects errors");
+        let report = render_report(&spec, stats);
+        assert!(report.contains(&format!("{} slave errors", stats.slave_errors)));
+        assert!(report.contains(&format!("{} retries", stats.retries)));
+    }
+
+    /// End-to-end failover demo: a deliberately wedged primary trips the
+    /// failover, the system keeps making progress on the backup, and the
+    /// failover count appears in the rendered report.
+    #[test]
+    fn wedged_primary_failover_appears_in_report() {
+        /// Grants normally for 100 cycles, then never again.
+        struct WedgeAfter100(StaticPriorityArbiter);
+        impl Arbiter for WedgeAfter100 {
+            fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+                (now.index() < 100).then(|| self.0.arbitrate(requests, now)).flatten()
+            }
+            fn name(&self) -> &str {
+                "wedging"
+            }
+        }
+
+        let text = "cycles = 5000\nwarmup = 0\nfailover = 16\n\
+                    master cpu weight=2 load=0.4 size=16\n\
+                    master dsp weight=1 load=0.3 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        let primary =
+            Box::new(WedgeAfter100(StaticPriorityArbiter::new(vec![2, 1]).expect("valid")));
+        let arbiter = FailoverArbiter::with_patience(
+            primary,
+            spec.masters.len(),
+            spec.failover.expect("failover configured"),
+        )
+        .expect("valid");
+        let mut system = build_system(&spec, Box::new(arbiter));
+        system.run(spec.cycles);
+        let stats = system.stats();
+        assert_eq!(stats.failovers, 1, "wedged primary tripped the failover");
+        assert!(
+            stats.grants > 200,
+            "system kept progressing on the backup ({} grants)",
+            stats.grants
+        );
+        let report = render_report(&spec, stats);
+        assert!(report.contains("1 failovers"), "failover count rendered:\n{report}");
     }
 }

@@ -1,8 +1,11 @@
 //! The plain-text simulation spec and its parser.
 
-use arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout};
+use arbiters::{
+    FailoverArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter,
+    WheelLayout,
+};
 use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
-use socsim::{Arbiter, BusConfig};
+use socsim::{Arbiter, BusConfig, FaultConfig, RetryPolicy};
 use std::error::Error;
 use std::fmt;
 use traffic_gen::{GeneratorSpec, SizeDist};
@@ -108,6 +111,16 @@ pub struct SimSpec {
     pub seed: u64,
     /// TDMA slots per weight unit.
     pub tdma_block: u32,
+    /// Fault-injection rates, if any `fault` line appeared. The plan
+    /// seed is the spec's `seed`.
+    pub fault: Option<FaultConfig>,
+    /// Retry policy from a `retry` line.
+    pub retry: Option<RetryPolicy>,
+    /// Watchdog timeout in cycles from a `timeout` line.
+    pub timeout: Option<u64>,
+    /// Failover patience in cycles from a `failover` line; when set the
+    /// selected arbiter is wrapped in a [`FailoverArbiter`].
+    pub failover: Option<u64>,
     /// The masters, in declaration order.
     pub masters: Vec<MasterSpec>,
 }
@@ -121,6 +134,10 @@ impl Default for SimSpec {
             warmup: 20_000,
             seed: 7,
             tdma_block: 6,
+            fault: None,
+            retry: None,
+            timeout: None,
+            failover: None,
             masters: Vec::new(),
         }
     }
@@ -169,6 +186,14 @@ impl SimSpec {
                 spec.masters.push(parse_master(line_no, rest)?);
                 continue;
             }
+            if let Some(rest) = line.strip_prefix("fault ") {
+                parse_fault(line_no, rest, spec.fault.get_or_insert_with(FaultConfig::default))?;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("retry ") {
+                spec.retry = Some(parse_retry(line_no, rest)?);
+                continue;
+            }
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| err(line_no, format!("expected `key = value`, got `{line}`")))?;
@@ -183,6 +208,8 @@ impl SimSpec {
                 "warmup" => spec.warmup = parse_num(line_no, key, value)?,
                 "seed" => spec.seed = parse_num(line_no, key, value)?,
                 "tdma-block" => spec.tdma_block = parse_num(line_no, key, value)?,
+                "timeout" => spec.timeout = Some(parse_num(line_no, key, value)?),
+                "failover" => spec.failover = Some(parse_num(line_no, key, value)?),
                 _ => return Err(err(line_no, format!("unknown key `{key}`"))),
             }
         }
@@ -192,7 +219,28 @@ impl SimSpec {
         if spec.burst == 0 {
             return Err(err(0, "burst must be at least 1"));
         }
+        // The fault plan is keyed on the spec seed regardless of the
+        // order of `seed` and `fault` lines.
+        if let Some(fault) = &mut spec.fault {
+            fault.seed = spec.seed;
+            fault.validate().map_err(|msg| err(0, msg))?;
+        }
+        if spec.timeout == Some(0) {
+            return Err(err(0, "timeout must be at least 1 cycle"));
+        }
+        if spec.failover == Some(0) {
+            return Err(err(0, "failover patience must be at least 1 cycle"));
+        }
         Ok(spec)
+    }
+
+    /// Whether the spec configures any fault-injection or recovery
+    /// machinery (and the report should show the fault section).
+    pub fn has_fault_machinery(&self) -> bool {
+        self.fault.is_some()
+            || self.retry.is_some()
+            || self.timeout.is_some()
+            || self.failover.is_some()
     }
 
     /// Builds the arbiter the spec selects.
@@ -204,7 +252,7 @@ impl SimSpec {
     pub fn build_arbiter(&self) -> Result<Box<dyn Arbiter>, ParseSpecError> {
         let weights: Vec<u32> = self.masters.iter().map(|m| m.weight).collect();
         let fail = |e: &dyn fmt::Display| err(0, format!("cannot build arbiter: {e}"));
-        Ok(match self.arbiter {
+        let primary: Box<dyn Arbiter> = match self.arbiter {
             ArbiterKind::Lottery => {
                 let tickets = TicketAssignment::new(weights).map_err(|e| fail(&e))?;
                 Box::new(
@@ -224,9 +272,7 @@ impl SimSpec {
             }
             ArbiterKind::Tdma => {
                 let slots: Vec<u32> = weights.iter().map(|w| w * self.tdma_block).collect();
-                Box::new(
-                    TdmaArbiter::new(&slots, WheelLayout::Contiguous).map_err(|e| fail(&e))?,
-                )
+                Box::new(TdmaArbiter::new(&slots, WheelLayout::Contiguous).map_err(|e| fail(&e))?)
             }
             ArbiterKind::RoundRobin => {
                 Box::new(RoundRobinArbiter::new(self.masters.len()).map_err(|e| fail(&e))?)
@@ -234,6 +280,13 @@ impl SimSpec {
             ArbiterKind::TokenRing => {
                 Box::new(TokenRingArbiter::new(self.masters.len()).map_err(|e| fail(&e))?)
             }
+        };
+        Ok(match self.failover {
+            Some(patience) => Box::new(
+                FailoverArbiter::with_patience(primary, self.masters.len(), patience)
+                    .map_err(|e| fail(&e))?,
+            ),
+            None => primary,
         })
     }
 
@@ -243,15 +296,101 @@ impl SimSpec {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(line: usize, key: &str, value: &str) -> Result<T, ParseSpecError> {
+fn parse_num<T: std::str::FromStr>(
+    line: usize,
+    key: &str,
+    value: &str,
+) -> Result<T, ParseSpecError> {
     value.parse().map_err(|_| err(line, format!("invalid number for `{key}`: `{value}`")))
+}
+
+/// Parses a `fault <class> rate=<r> [duration=<d>] [max=<m>]` line into
+/// the accumulating config. Classes may repeat; the last rate wins.
+fn parse_fault(line: usize, rest: &str, fault: &mut FaultConfig) -> Result<(), ParseSpecError> {
+    let mut words = rest.split_whitespace();
+    let class = words.next().ok_or_else(|| err(line, "fault line needs a class"))?;
+    let mut rate: Option<f64> = None;
+    let mut duration: Option<u32> = None;
+    let mut max: Option<u32> = None;
+    for word in words {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected `key=value`, got `{word}`")))?;
+        match key {
+            "rate" => rate = Some(parse_num(line, key, value)?),
+            "duration" => duration = Some(parse_num(line, key, value)?),
+            "max" => max = Some(parse_num(line, key, value)?),
+            _ => return Err(err(line, format!("unknown fault key `{key}`"))),
+        }
+    }
+    let rate = rate.ok_or_else(|| err(line, format!("fault {class} needs a `rate=`")))?;
+    match class {
+        "slave-error" => fault.slave_error_rate = rate,
+        "slave-outage" => {
+            fault.slave_outage_rate = rate;
+            if let Some(d) = duration {
+                fault.slave_outage_duration = d;
+            }
+        }
+        "grant-drop" => fault.grant_drop_rate = rate,
+        "grant-corrupt" => fault.grant_corrupt_rate = rate,
+        "master-stall" => {
+            fault.master_stall_rate = rate;
+            if let Some(m) = max {
+                fault.master_stall_max = m;
+            }
+        }
+        _ => {
+            return Err(err(
+                line,
+                format!(
+                    "unknown fault class `{class}` (expected slave-error, slave-outage, \
+                     grant-drop, grant-corrupt, or master-stall)"
+                ),
+            ))
+        }
+    }
+    if duration.is_some() && class != "slave-outage" {
+        return Err(err(line, format!("`duration=` only applies to slave-outage, not {class}")));
+    }
+    if max.is_some() && class != "master-stall" {
+        return Err(err(line, format!("`max=` only applies to master-stall, not {class}")));
+    }
+    Ok(())
+}
+
+/// Parses a `retry max=<n> [backoff=<f>x] [base=<cycles>]` line.
+fn parse_retry(line: usize, rest: &str) -> Result<RetryPolicy, ParseSpecError> {
+    let mut policy = RetryPolicy { max_retries: 0, backoff_base: 1, backoff_factor: 2 };
+    let mut saw_max = false;
+    for word in rest.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected `key=value`, got `{word}`")))?;
+        match key {
+            "max" => {
+                policy.max_retries = parse_num(line, key, value)?;
+                saw_max = true;
+            }
+            "backoff" => {
+                let factor = value.strip_suffix('x').unwrap_or(value);
+                policy.backoff_factor = parse_num(line, key, factor)?;
+            }
+            "base" => policy.backoff_base = parse_num(line, key, value)?,
+            _ => return Err(err(line, format!("unknown retry key `{key}`"))),
+        }
+    }
+    if !saw_max {
+        return Err(err(line, "retry line needs a `max=`"));
+    }
+    policy.validate().map_err(|msg| err(line, msg))?;
+    Ok(policy)
 }
 
 fn parse_master(line: usize, rest: &str) -> Result<MasterSpec, ParseSpecError> {
     let mut words = rest.split_whitespace();
     let name = words.next().ok_or_else(|| err(line, "master line needs a name"))?.to_owned();
-    let mut master =
-        MasterSpec { name, weight: 1, load: 0.1, size: 16, arrival: String::new() };
+    let mut master = MasterSpec { name, weight: 1, load: 0.1, size: 16, arrival: String::new() };
     let mut saw_load = false;
     for word in words {
         if let Some((key, value)) = word.split_once('=') {
@@ -344,6 +483,70 @@ mod tests {
                     master b weight=1 load=0.1\n";
         let spec = SimSpec::parse(text).expect("parses");
         assert!(spec.build_arbiter().is_err());
+    }
+
+    #[test]
+    fn parses_fault_and_recovery_lines() {
+        let text = "seed = 42\n\
+                    fault slave-error rate=0.01\n\
+                    fault slave-outage rate=0.001 duration=64\n\
+                    fault master-stall rate=0.002 max=4\n\
+                    retry max=4 backoff=2x base=2\n\
+                    timeout = 256\n\
+                    failover = 64\n\
+                    master cpu weight=4 load=0.3 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid spec");
+        let fault = spec.fault.expect("fault config present");
+        assert_eq!(fault.seed, 42, "fault plan keyed on the spec seed");
+        assert_eq!(fault.slave_error_rate, 0.01);
+        assert_eq!(fault.slave_outage_rate, 0.001);
+        assert_eq!(fault.slave_outage_duration, 64);
+        assert_eq!(fault.master_stall_rate, 0.002);
+        assert_eq!(fault.master_stall_max, 4);
+        assert_eq!(fault.grant_drop_rate, 0.0);
+        let retry = spec.retry.expect("retry policy present");
+        assert_eq!(retry.max_retries, 4);
+        assert_eq!(retry.backoff_factor, 2);
+        assert_eq!(retry.backoff_base, 2);
+        assert_eq!(spec.timeout, Some(256));
+        assert_eq!(spec.failover, Some(64));
+        assert!(spec.has_fault_machinery());
+        assert!(spec.build_arbiter().expect("builds").name().starts_with("failover("));
+    }
+
+    #[test]
+    fn fault_free_spec_has_no_machinery() {
+        let spec = SimSpec::parse(SAMPLE).expect("valid spec");
+        assert!(!spec.has_fault_machinery());
+        assert_eq!(spec.build_arbiter().expect("builds").name(), "lottery-static");
+    }
+
+    #[test]
+    fn fault_line_errors_are_specific() {
+        let base = "master m load=0.1\n";
+        let e = SimSpec::parse(&format!("fault bogus rate=0.1\n{base}")).unwrap_err();
+        assert!(e.message.contains("unknown fault class"), "{e}");
+
+        let e = SimSpec::parse(&format!("fault slave-error\n{base}")).unwrap_err();
+        assert!(e.message.contains("needs a `rate=`"), "{e}");
+
+        let e = SimSpec::parse(&format!("fault slave-error rate=1.5\n{base}")).unwrap_err();
+        assert!(e.message.contains("[0, 1]"), "{e}");
+
+        let e = SimSpec::parse(&format!("fault grant-drop rate=0.1 max=3\n{base}")).unwrap_err();
+        assert!(e.message.contains("only applies to master-stall"), "{e}");
+
+        let e = SimSpec::parse(&format!("retry backoff=2x\n{base}")).unwrap_err();
+        assert!(e.message.contains("needs a `max=`"), "{e}");
+
+        let e = SimSpec::parse(&format!("retry max=3 base=0\n{base}")).unwrap_err();
+        assert!(e.message.contains("backoff base"), "{e}");
+
+        let e = SimSpec::parse(&format!("timeout = 0\n{base}")).unwrap_err();
+        assert!(e.message.contains("timeout"), "{e}");
+
+        let e = SimSpec::parse(&format!("failover = 0\n{base}")).unwrap_err();
+        assert!(e.message.contains("patience"), "{e}");
     }
 
     #[test]

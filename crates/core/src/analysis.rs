@@ -54,10 +54,7 @@ pub fn expected_lotteries_to_win(tickets: u32, total: u32) -> f64 {
 pub fn lotteries_for_confidence(tickets: u32, total: u32, confidence: f64) -> u32 {
     assert!(tickets > 0, "a zero-ticket contender never wins");
     assert!(tickets <= total, "a contender cannot hold more than all tickets");
-    assert!(
-        confidence > 0.0 && confidence < 1.0,
-        "confidence must be strictly between 0 and 1"
-    );
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be strictly between 0 and 1");
     if tickets == total {
         return 1;
     }

@@ -14,37 +14,37 @@ use serde::{Deserialize, Serialize};
 /// primitive polynomial (taps from the standard XAPP052 table), so the
 /// register cycles through all `2^w − 1` nonzero states.
 const MAX_LEN_MASKS: [u32; 31] = [
-    mask(&[2, 1]),          // w = 2
-    mask(&[3, 2]),          // w = 3
-    mask(&[4, 3]),          // w = 4
-    mask(&[5, 3]),          // w = 5
-    mask(&[6, 5]),          // w = 6
-    mask(&[7, 6]),          // w = 7
-    mask(&[8, 6, 5, 4]),    // w = 8
-    mask(&[9, 5]),          // w = 9
-    mask(&[10, 7]),         // w = 10
-    mask(&[11, 9]),         // w = 11
-    mask(&[12, 6, 4, 1]),   // w = 12
-    mask(&[13, 4, 3, 1]),   // w = 13
-    mask(&[14, 5, 3, 1]),   // w = 14
-    mask(&[15, 14]),        // w = 15
-    mask(&[16, 15, 13, 4]), // w = 16
-    mask(&[17, 14]),        // w = 17
-    mask(&[18, 11]),        // w = 18
-    mask(&[19, 6, 2, 1]),   // w = 19
-    mask(&[20, 17]),        // w = 20
-    mask(&[21, 19]),        // w = 21
-    mask(&[22, 21]),        // w = 22
-    mask(&[23, 18]),        // w = 23
-    mask(&[24, 23, 22, 17]),// w = 24
-    mask(&[25, 22]),        // w = 25
-    mask(&[26, 6, 2, 1]),   // w = 26
-    mask(&[27, 5, 2, 1]),   // w = 27
-    mask(&[28, 25]),        // w = 28
-    mask(&[29, 27]),        // w = 29
-    mask(&[30, 6, 4, 1]),   // w = 30
-    mask(&[31, 28]),        // w = 31
-    mask(&[32, 22, 2, 1]),  // w = 32
+    mask(&[2, 1]),           // w = 2
+    mask(&[3, 2]),           // w = 3
+    mask(&[4, 3]),           // w = 4
+    mask(&[5, 3]),           // w = 5
+    mask(&[6, 5]),           // w = 6
+    mask(&[7, 6]),           // w = 7
+    mask(&[8, 6, 5, 4]),     // w = 8
+    mask(&[9, 5]),           // w = 9
+    mask(&[10, 7]),          // w = 10
+    mask(&[11, 9]),          // w = 11
+    mask(&[12, 6, 4, 1]),    // w = 12
+    mask(&[13, 4, 3, 1]),    // w = 13
+    mask(&[14, 5, 3, 1]),    // w = 14
+    mask(&[15, 14]),         // w = 15
+    mask(&[16, 15, 13, 4]),  // w = 16
+    mask(&[17, 14]),         // w = 17
+    mask(&[18, 11]),         // w = 18
+    mask(&[19, 6, 2, 1]),    // w = 19
+    mask(&[20, 17]),         // w = 20
+    mask(&[21, 19]),         // w = 21
+    mask(&[22, 21]),         // w = 22
+    mask(&[23, 18]),         // w = 23
+    mask(&[24, 23, 22, 17]), // w = 24
+    mask(&[25, 22]),         // w = 25
+    mask(&[26, 6, 2, 1]),    // w = 26
+    mask(&[27, 5, 2, 1]),    // w = 27
+    mask(&[28, 25]),         // w = 28
+    mask(&[29, 27]),         // w = 29
+    mask(&[30, 6, 4, 1]),    // w = 30
+    mask(&[31, 28]),         // w = 31
+    mask(&[32, 22, 2, 1]),   // w = 32
 ];
 
 const fn mask(taps: &[u32]) -> u32 {
@@ -181,10 +181,7 @@ mod tests {
             counts[lfsr.next_bits(3) as usize] += 1;
         }
         for (value, &count) in counts.iter().enumerate() {
-            assert!(
-                (800..1200).contains(&count),
-                "value {value} drawn {count} times out of 8000"
-            );
+            assert!((800..1200).contains(&count), "value {value} drawn {count} times out of 8000");
         }
     }
 

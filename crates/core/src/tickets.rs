@@ -128,22 +128,15 @@ impl TicketAssignment {
         let mut scaled: Vec<u64> = self
             .tickets
             .iter()
-            .map(|&t| {
-                if t == 0 {
-                    0
-                } else {
-                    (u64::from(t) * target / total).max(1)
-                }
-            })
+            .map(|&t| if t == 0 { 0 } else { (u64::from(t) * target / total).max(1) })
             .collect();
         let assigned: u64 = scaled.iter().sum();
         if assigned > target {
             return None;
         }
         // Distribute the shortfall by largest fractional remainder.
-        let mut order: Vec<usize> = (0..self.tickets.len())
-            .filter(|&i| self.tickets[i] > 0)
-            .collect();
+        let mut order: Vec<usize> =
+            (0..self.tickets.len()).filter(|&i| self.tickets[i] > 0).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(u64::from(self.tickets[i]) * target % total));
         let mut short = target - assigned;
         let mut next = 0usize;
@@ -208,10 +201,7 @@ mod tests {
     #[test]
     fn validation_rejects_bad_assignments() {
         assert_eq!(TicketAssignment::new(vec![]).unwrap_err(), LotteryError::NoMasters);
-        assert_eq!(
-            TicketAssignment::new(vec![0, 0]).unwrap_err(),
-            LotteryError::ZeroTotalTickets
-        );
+        assert_eq!(TicketAssignment::new(vec![0, 0]).unwrap_err(), LotteryError::ZeroTotalTickets);
         assert!(matches!(
             TicketAssignment::new(vec![MAX_TICKETS_PER_MASTER + 1]).unwrap_err(),
             LotteryError::TicketTooLarge { .. }

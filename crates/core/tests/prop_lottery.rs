@@ -1,9 +1,7 @@
 //! Property-based tests for the lottery managers: statistical
 //! proportionality, LUT structure, and static/dynamic agreement.
 
-use lotterybus::{
-    DynamicLotteryArbiter, StaticLotteryArbiter, StdRngSource, TicketAssignment,
-};
+use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, StdRngSource, TicketAssignment};
 use proptest::prelude::*;
 use socsim::{Arbiter, Cycle, MasterId, RequestMap};
 

@@ -56,10 +56,7 @@ pub fn burst_size(settings: &RunSettings) -> Vec<BurstRow> {
     [1u32, 4, 16, 64]
         .into_iter()
         .map(|max_burst| {
-            let s = RunSettings {
-                bus: BusConfig { max_burst, ..settings.bus },
-                ..*settings
-            };
+            let s = RunSettings { bus: BusConfig { max_burst, ..settings.bus }, ..*settings };
             let sat = common::run_system(
                 &saturating_specs(4),
                 Box::new(StaticLotteryArbiter::with_seed(weight_tickets(), 3).expect("valid")),
@@ -91,9 +88,8 @@ pub struct DrawSourceRow {
 /// Draw-source ablation: the hardware LFSR vs an ideal uniform RNG.
 pub fn draw_source(settings: &RunSettings) -> Vec<DrawSourceRow> {
     let lfsr = StaticLotteryArbiter::with_seed(weight_tickets(), 0xACE1).expect("valid");
-    let ideal =
-        StaticLotteryArbiter::with_source(weight_tickets(), Box::new(StdRngSource::new(7)))
-            .expect("valid");
+    let ideal = StaticLotteryArbiter::with_source(weight_tickets(), Box::new(StdRngSource::new(7)))
+        .expect("valid");
     [("lfsr", lfsr), ("stdrng", ideal)]
         .into_iter()
         .map(|(name, arbiter)| {
@@ -239,7 +235,12 @@ impl std::fmt::Display for Ablations {
         writeln!(f)?;
         writeln!(f, "Ablation: random draw source")?;
         for row in &self.draw {
-            writeln!(f, "  {:<8} worst bandwidth error {:.2}%", row.source, row.proportionality_error * 100.0)?;
+            writeln!(
+                f,
+                "  {:<8} worst bandwidth error {:.2}%",
+                row.source,
+                row.proportionality_error * 100.0
+            )?;
         }
         writeln!(f)?;
         writeln!(f, "Ablation: power-of-two scaling resolution (tickets 1:2:3:4, T=10)")?;
@@ -248,7 +249,9 @@ impl std::fmt::Display for Ablations {
             writeln!(
                 f,
                 "{:>10} {:>13} {:>11.2}%",
-                row.extra_bits, row.scaled_total, row.ratio_error * 100.0
+                row.extra_bits,
+                row.scaled_total,
+                row.ratio_error * 100.0
             )?;
         }
         writeln!(f)?;
@@ -311,13 +314,21 @@ mod tests {
         let rows = draw_source(&settings());
         assert_eq!(rows.len(), 2);
         for row in &rows {
-            assert!(row.proportionality_error < 0.04, "{}: {}", row.source, row.proportionality_error);
+            assert!(
+                row.proportionality_error < 0.04,
+                "{}: {}",
+                row.source,
+                row.proportionality_error
+            );
         }
     }
 
     #[test]
     fn frequent_updates_do_not_hurt() {
-        let rows = update_period(&settings());
+        // The bursty master fires only ~1-2 bursts per thousand cycles,
+        // so its latency estimate needs a long window to converge; the
+        // short shared fixture is too noisy for a ratio comparison.
+        let rows = update_period(&RunSettings { measure: 200_000, ..settings() });
         let fast = rows[0].bursty_latency.expect("served");
         let slow = rows.last().expect("rows").bursty_latency.expect("served");
         // Stale tickets should never *help* the bursty master.

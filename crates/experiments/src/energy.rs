@@ -74,11 +74,13 @@ pub fn run(settings: &RunSettings) -> EnergyTable {
         ),
         (
             "lottery-dynamic",
-            Box::new(lotterybus::DynamicLotteryArbiter::with_seed(
-                TicketAssignment::new(weights.to_vec()).expect("valid"),
-                settings.seed as u32 | 1,
-            )
-            .expect("valid")),
+            Box::new(
+                lotterybus::DynamicLotteryArbiter::with_seed(
+                    TicketAssignment::new(weights.to_vec()).expect("valid"),
+                    settings.seed as u32 | 1,
+                )
+                .expect("valid"),
+            ),
             managers::dynamic_lottery_manager(&lib, 4, 8).total,
         ),
     ];
@@ -124,10 +126,7 @@ impl std::fmt::Display for EnergyTable {
                 row.average_power_mw,
             )?;
         }
-        write!(
-            f,
-            "arbitration energy stays well below data-movement energy for every design"
-        )
+        write!(f, "arbitration energy stays well below data-movement energy for every design")
     }
 }
 

@@ -233,12 +233,11 @@ mod tests {
         let tdma = run_tdma_latency(&s);
         // Paper: under TDMA, higher-weight components can see *higher*
         // latency than lower-weight ones (e.g. T5, T6).
-        let inverted = tdma.classes.iter().any(|&class| {
-            match (tdma.at(class, 4), tdma.at(class, 1)) {
+        let inverted =
+            tdma.classes.iter().any(|&class| match (tdma.at(class, 4), tdma.at(class, 1)) {
                 (Some(h), Some(l)) => h > l,
                 _ => false,
-            }
-        });
+            });
         assert!(inverted, "expected at least one TDMA inversion\n{tdma}");
     }
 }

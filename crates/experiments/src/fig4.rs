@@ -69,8 +69,7 @@ impl Fig4 {
     /// Mean bandwidth of component `c` over the rows where it holds the
     /// lowest priority (the starvation statistic of Example 1).
     pub fn mean_when_lowest_priority(&self, c: usize) -> f64 {
-        let rows: Vec<&Fig4Row> =
-            self.rows.iter().filter(|r| r.priorities[c] == 1).collect();
+        let rows: Vec<&Fig4Row> = self.rows.iter().filter(|r| r.priorities[c] == 1).collect();
         rows.iter().map(|r| r.bandwidth[c]).sum::<f64>() / rows.len() as f64
     }
 }

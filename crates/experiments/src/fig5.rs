@@ -41,8 +41,8 @@ pub struct Fig5 {
 
 fn replay_run(slots_early: u64, rotations: usize) -> Fig5Trace {
     let wheel = u64::from(BLOCK) * 3; // 18 slots
-    // M3's block spans slots [12, 18); its k-th request arrives
-    // `slots_early` cycles before the block of rotation k+1 opens.
+                                      // M3's block spans slots [12, 18); its k-th request arrives
+                                      // `slots_early` cycles before the block of rotation k+1 opens.
     let m3_phase = 2 * u64::from(BLOCK) - slots_early;
     let mut builder = SystemBuilder::new(BusConfig { max_burst: BLOCK, ..BusConfig::default() });
     // Saturated background masters: far more traffic than their blocks
@@ -51,10 +51,8 @@ fn replay_run(slots_early: u64, rotations: usize) -> Fig5Trace {
         let spec = GeneratorSpec::periodic(wheel / 2, 0, SizeDist::fixed(BLOCK));
         builder = builder.master(format!("M{}", m + 1), spec.build_source(100 + m as u64));
     }
-    builder = builder.master(
-        "M3",
-        Box::new(ReplaySource::periodic(0, m3_phase, wheel, BLOCK, rotations)),
-    );
+    builder = builder
+        .master("M3", Box::new(ReplaySource::periodic(0, m3_phase, wheel, BLOCK, rotations)));
     let arbiter = TdmaArbiter::new(&[BLOCK; 3], WheelLayout::Contiguous).expect("valid wheel");
     let mut system = builder
         .arbiter(Box::new(arbiter))
@@ -122,10 +120,7 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
-        assert_eq!(
-            a.aligned.bus_trace,
-            "000000111111222222000000111111222222000000111111222222"
-        );
+        assert_eq!(a.aligned.bus_trace, "000000111111222222000000111111222222000000111111222222");
         assert_eq!(a.aligned.mean_wait, 0.0);
         assert_eq!(a.misaligned.mean_wait, 3.0);
     }
@@ -142,7 +137,9 @@ mod tests {
     fn misalignment_does_not_change_bandwidth() {
         // Both traces carry the same M3 message stream; only waits move.
         let fig = run();
-        assert_eq!(fig.aligned.bus_trace.matches('2').count(),
-                   fig.misaligned.bus_trace.matches('2').count());
+        assert_eq!(
+            fig.aligned.bus_trace.matches('2').count(),
+            fig.misaligned.bus_trace.matches('2').count()
+        );
     }
 }

@@ -146,11 +146,8 @@ mod tests {
 
     #[test]
     fn bandwidth_tracks_tickets_in_every_permutation() {
-        let fig = run_bandwidth(&RunSettings {
-            measure: 40_000,
-            warmup: 5_000,
-            ..RunSettings::quick()
-        });
+        let fig =
+            run_bandwidth(&RunSettings { measure: 40_000, warmup: 5_000, ..RunSettings::quick() });
         assert_eq!(fig.rows.len(), 24);
         // Paper: "the actual allocation of bandwidth closely matches the
         // ratio of lottery tickets". Allow a few points of slack for the
@@ -166,9 +163,6 @@ mod tests {
     fn lottery_beats_tdma_for_high_weight_component() {
         let fig = run_latency(TrafficClass::T6, &RunSettings::quick());
         let (t4, l4) = (fig.tdma[3].expect("served"), fig.lottery[3].expect("served"));
-        assert!(
-            t4 > 1.5 * l4,
-            "TDMA {t4:.2} should be well above lottery {l4:.2} for C4"
-        );
+        assert!(t4 > 1.5 * l4, "TDMA {t4:.2} should be well above lottery {l4:.2} for C4");
     }
 }

@@ -91,10 +91,10 @@ mod tests {
         assert_eq!(table.static_sweep.len(), 7);
         assert_eq!(table.dynamic_sweep.len(), 7);
         // Exponential vs roughly-linear growth.
-        let s_growth = table.static_sweep[6].total.area_grids
-            / table.static_sweep[2].total.area_grids;
-        let d_growth = table.dynamic_sweep[6].total.area_grids
-            / table.dynamic_sweep[2].total.area_grids;
+        let s_growth =
+            table.static_sweep[6].total.area_grids / table.static_sweep[2].total.area_grids;
+        let d_growth =
+            table.dynamic_sweep[6].total.area_grids / table.dynamic_sweep[2].total.area_grids;
         assert!(s_growth > d_growth, "static {s_growth:.1}x vs dynamic {d_growth:.1}x");
     }
 }

@@ -9,7 +9,9 @@
 //! allocation under every arbiter.
 
 use crate::common::RunSettings;
-use arbiters::{DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout};
+use arbiters::{
+    DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout,
+};
 use lotterybus::{analysis, StaticLotteryArbiter, TicketAssignment};
 use serde::{Deserialize, Serialize};
 use socsim::stats::jain_fairness_index;
@@ -54,14 +56,12 @@ pub fn run(settings: &RunSettings) -> Starvation {
     // transaction's wait counts whole competitor grants.
     let light = GeneratorSpec::poisson(0.001, SizeDist::fixed(1));
     let heavy = GeneratorSpec::poisson(0.08, SizeDist::fixed(16));
-    let assignment =
-        TicketAssignment::new(vec![tickets, total - tickets]).expect("valid tickets");
+    let assignment = TicketAssignment::new(vec![tickets, total - tickets]).expect("valid tickets");
     let mut system = SystemBuilder::new(BusConfig::default())
         .master("observed", light.build_source(settings.seed))
         .master("competitor", heavy.build_source(settings.seed + 1))
         .arbiter(Box::new(
-            StaticLotteryArbiter::with_seed(assignment, settings.seed as u32 | 1)
-                .expect("valid"),
+            StaticLotteryArbiter::with_seed(assignment, settings.seed as u32 | 1).expect("valid"),
         ))
         .build()
         .expect("valid system");
@@ -76,10 +76,8 @@ pub fn run(settings: &RunSettings) -> Starvation {
         .into_iter()
         .map(|drawings| {
             let within_cycles = u64::from(drawings) * 16;
-            let measured = observed
-                .latency_histogram
-                .fraction_at_most(within_cycles)
-                .unwrap_or(0.0);
+            let measured =
+                observed.latency_histogram.fraction_at_most(within_cycles).unwrap_or(0.0);
             CdfPoint {
                 drawings,
                 predicted: analysis::win_within_probability(tickets, total, drawings),

@@ -14,7 +14,9 @@
 //!   each protocol's knee sits.
 
 use crate::common::{self, RunSettings};
-use arbiters::{DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout};
+use arbiters::{
+    DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout,
+};
 use lotterybus::{StaticLotteryArbiter, TicketAssignment};
 use serde::{Deserialize, Serialize};
 use socsim::MasterId;

@@ -45,8 +45,8 @@ impl std::fmt::Display for Table1 {
             "architecture", "P1 bw", "P2 bw", "P3 bw", "P4 bw", "P4 latency"
         )?;
         for row in &self.rows {
-            let l4 = row.latency_cycles_per_word[3]
-                .map_or("-".into(), |v| format!("{v:.2} cyc/word"));
+            let l4 =
+                row.latency_cycles_per_word[3].map_or("-".into(), |v| format!("{v:.2} cyc/word"));
             writeln!(
                 f,
                 "{:<16} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>14}",

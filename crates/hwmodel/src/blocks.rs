@@ -47,7 +47,8 @@ pub fn adder_tree(lib: &CellLibrary, inputs: usize, width: u32) -> HwEstimate {
     for level in 0..levels {
         let adders_at_level = (inputs >> (level + 1)).max(1);
         let stage = adder(lib, width + level).replicated(adders_at_level);
-        total = HwEstimate::new(total.area_grids + stage.area_grids, total.delay_ns + stage.delay_ns);
+        total =
+            HwEstimate::new(total.area_grids + stage.area_grids, total.delay_ns + stage.delay_ns);
     }
     total
 }
@@ -64,10 +65,7 @@ pub fn and_stage(lib: &CellLibrary, masters: usize, width: u32) -> HwEstimate {
 /// look-up table of the static manager, "implemented using a register
 /// file" (§5.2).
 pub fn register_file(lib: &CellLibrary, depth: usize, width: u32) -> HwEstimate {
-    let storage = HwEstimate::new(
-        depth as f64 * f64::from(width) * lib.dff.area_grids,
-        0.0,
-    );
+    let storage = HwEstimate::new(depth as f64 * f64::from(width) * lib.dff.area_grids, 0.0);
     let addr_bits = log2_ceil(depth);
     let decoder = HwEstimate::new(
         depth as f64 * lib.nand2.area_grids,
@@ -110,10 +108,8 @@ pub fn priority_selector(lib: &CellLibrary, n: usize) -> HwEstimate {
 /// width. This is the block that makes the dynamic manager
 /// "considerably harder" (§4.4) and slower than the static design.
 pub fn modulo_unit(lib: &CellLibrary, width: u32) -> HwEstimate {
-    let stage = adder(lib, width).then(HwEstimate::new(
-        f64::from(width) * lib.mux2.area_grids,
-        lib.mux2.delay_ns,
-    ));
+    let stage = adder(lib, width)
+        .then(HwEstimate::new(f64::from(width) * lib.mux2.area_grids, lib.mux2.delay_ns));
     HwEstimate::new(
         stage.area_grids * f64::from(width),
         stage.delay_ns * f64::from(width) * 0.5, // overlapped carry chains

@@ -69,14 +69,21 @@ impl fmt::Display for ManagerReport {
         write!(
             f,
             "  {:<22} {:>9.0} grids  {:>6.2} ns  ({:.0} MHz single-cycle)",
-            "TOTAL", self.total.area_grids, self.total.delay_ns, self.total.max_freq_mhz(),
+            "TOTAL",
+            self.total.area_grids,
+            self.total.delay_ns,
+            self.total.max_freq_mhz(),
         )
     }
 }
 
 /// The static lottery manager of Figure 9: request-map-indexed range
 /// LUT, LFSR, parallel comparators, priority selector.
-pub fn static_lottery_manager(lib: &CellLibrary, masters: usize, ticket_bits: u32) -> ManagerReport {
+pub fn static_lottery_manager(
+    lib: &CellLibrary,
+    masters: usize,
+    ticket_bits: u32,
+) -> ManagerReport {
     // Scaled subset totals carry two extra resolution bits (§4.3).
     let range_bits = ticket_bits + 2;
     let lut_depth = 1usize << masters;

@@ -48,6 +48,13 @@ pub trait Arbiter {
 
     /// A short human-readable protocol name, e.g. `"static-priority"`.
     fn name(&self) -> &str;
+
+    /// Number of times this arbiter replaced a misbehaving primary with
+    /// a backup policy. Only failover wrappers report nonzero values;
+    /// plain protocols keep the default.
+    fn failovers(&self) -> u64 {
+        0
+    }
 }
 
 impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
@@ -57,6 +64,10 @@ impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn failovers(&self) -> u64 {
+        (**self).failovers()
     }
 }
 

@@ -3,8 +3,9 @@
 use crate::arbiter::Arbiter;
 use crate::config::BusConfig;
 use crate::cycle::Cycle;
+use crate::fault::{FaultEvent, FaultKind, FaultLayer};
 use crate::ids::MasterId;
-use crate::master::{Completion, MasterPort};
+use crate::master::{Completion, MasterPort, RetryOutcome};
 use crate::request::RequestMap;
 use crate::slave::Slave;
 use crate::stats::BusStats;
@@ -27,16 +28,28 @@ enum State {
 ///
 /// `Bus` is driven by [`crate::System`]; it is exposed so that custom
 /// drivers (like the ATM switch crate) can inspect its configuration.
+///
+/// A bus may optionally carry a fault layer (see [`crate::fault`]):
+/// injected faults are drawn at arbitration time, so a whole tenure
+/// either proceeds or fails atomically. Without a fault layer the
+/// fault paths are never entered and the cycle-by-cycle schedule is
+/// identical to the pre-fault engine.
 #[derive(Debug)]
 pub struct Bus {
     config: BusConfig,
     state: State,
+    pub(crate) faults: Option<FaultLayer>,
 }
 
 impl Bus {
     /// Creates an idle bus with the given configuration.
     pub fn new(config: BusConfig) -> Self {
-        Bus { config, state: State::Idle }
+        Bus { config, state: State::Idle, faults: None }
+    }
+
+    /// Creates an idle bus carrying fault-injection machinery.
+    pub(crate) fn with_faults(config: BusConfig, faults: FaultLayer) -> Self {
+        Bus { config, state: State::Idle, faults: Some(faults) }
     }
 
     /// The bus configuration.
@@ -47,6 +60,59 @@ impl Bus {
     /// Whether a burst (or its setup stall) is currently in flight.
     pub fn is_busy(&self) -> bool {
         self.state != State::Idle
+    }
+
+    /// The recorded fault trace, empty when no fault layer is attached.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], |layer| layer.log.events())
+    }
+
+    /// Master currently owning a tenure (transferring or paying its
+    /// setup stall), if any.
+    fn tenure_owner(&self) -> Option<MasterId> {
+        match self.state {
+            State::Stalled { master, .. } | State::Bursting { master, .. } => Some(master),
+            State::Idle => None,
+        }
+    }
+
+    /// Per-cycle fault machinery that runs regardless of transfer
+    /// state: injected master stalls and the watchdog timeout. The
+    /// master owning the current tenure is exempt — it is making
+    /// progress by definition.
+    fn fault_prepass(&mut self, masters: &mut [MasterPort], now: Cycle, stats: &mut BusStats) {
+        let owner = self.tenure_owner();
+        let Some(layer) = self.faults.as_mut() else {
+            return;
+        };
+        for port in masters.iter_mut() {
+            if owner == Some(port.id()) {
+                continue;
+            }
+            if let Some(plan) = layer.plan {
+                if port.is_requesting() && !port.is_stalled_at(now) {
+                    if let Some(len) = plan.master_stall_at(now, port.id()) {
+                        let until = now + u64::from(len);
+                        port.set_stall(until);
+                        layer.log.record(FaultEvent {
+                            cycle: now,
+                            kind: FaultKind::MasterStalled { master: port.id(), until },
+                        });
+                    }
+                }
+            }
+            if let Some(timeout) = layer.timeout {
+                if let Some(waited) = port.head_wait(now).filter(|&w| w >= timeout) {
+                    port.abort_head();
+                    stats.record_timeout(port.id());
+                    layer.log.record(FaultEvent {
+                        cycle: now,
+                        kind: FaultKind::Timeout { master: port.id(), waited },
+                    });
+                    layer.step_aborts.push(port.id());
+                }
+            }
+        }
     }
 
     /// Simulates one bus cycle.
@@ -72,6 +138,10 @@ impl Bus {
         stats: &mut BusStats,
         trace: &mut BusTrace,
     ) -> Option<(MasterId, Completion)> {
+        if let Some(layer) = self.faults.as_mut() {
+            layer.step_aborts.clear();
+            self.fault_prepass(masters, now, stats);
+        }
         match self.state {
             State::Stalled { master, words, stall_left } => {
                 stats.record_stall(1);
@@ -92,9 +162,15 @@ impl Bus {
                 done
             }
             State::Idle => {
+                let fault_aware = self.faults.is_some();
                 let mut map = RequestMap::new(masters.len());
                 for port in masters.iter() {
-                    if port.is_requesting() && (blocked >> port.id().index()) & 1 == 0 {
+                    // Without a fault layer no stall or backoff is ever
+                    // set, so the plain request line keeps the legacy
+                    // schedule bit-exact.
+                    let requesting =
+                        if fault_aware { port.is_requesting_at(now) } else { port.is_requesting() };
+                    if requesting && (blocked >> port.id().index()) & 1 == 0 {
                         map.set_pending(port.id(), port.pending_words());
                     }
                 }
@@ -107,19 +183,18 @@ impl Bus {
                             grant.master
                         );
                         assert!(grant.max_words > 0, "arbiter granted zero words");
-                        let port = &mut masters[grant.master.index()];
-                        let words = grant
-                            .max_words
-                            .min(self.config.max_burst)
-                            .min(port.pending_words());
-                        stats.record_grant(grant.master);
+                        let winner =
+                            self.deliver_grant(grant.master, &map, masters, now, stats, trace)?;
+                        let port = &mut masters[winner.index()];
+                        let words =
+                            grant.max_words.min(self.config.max_burst).min(port.pending_words());
+                        stats.record_grant(winner);
                         port.note_grant(now);
-                        trace.record(TraceEvent::Grant {
-                            cycle: now,
-                            master: grant.master,
-                            words,
-                        });
+                        trace.record(TraceEvent::Grant { cycle: now, master: winner, words });
                         let slave = port.head_slave().expect("pending master has head");
+                        if self.slave_fault(winner, slave, masters, now, stats, trace) {
+                            return None;
+                        }
                         let wait_states = slaves
                             .iter()
                             .find(|s| s.id() == slave)
@@ -128,22 +203,17 @@ impl Bus {
                         if stall > 0 {
                             stats.record_stall(1);
                             self.state = if stall == 1 {
-                                State::Bursting { master: grant.master, words_left: words }
+                                State::Bursting { master: winner, words_left: words }
                             } else {
-                                State::Stalled {
-                                    master: grant.master,
-                                    words,
-                                    stall_left: stall - 1,
-                                }
+                                State::Stalled { master: winner, words, stall_left: stall - 1 }
                             };
                             None
                         } else {
-                            let done =
-                                self.transfer_word(grant.master, masters, now, stats, trace);
+                            let done = self.transfer_word(winner, masters, now, stats, trace);
                             self.state = if words == 1 {
                                 State::Idle
                             } else {
-                                State::Bursting { master: grant.master, words_left: words - 1 }
+                                State::Bursting { master: winner, words_left: words - 1 }
                             };
                             done
                         }
@@ -155,6 +225,109 @@ impl Bus {
                 }
             }
         }
+    }
+
+    /// Applies grant-path faults: the grant may be dropped outright or
+    /// delivered to the wrong (pending) master. Returns the master that
+    /// actually receives the bus, or `None` if the grant was lost (the
+    /// cycle is wasted and counted as a stall).
+    fn deliver_grant(
+        &mut self,
+        chosen: MasterId,
+        map: &RequestMap,
+        masters: &[MasterPort],
+        now: Cycle,
+        stats: &mut BusStats,
+        trace: &mut BusTrace,
+    ) -> Option<MasterId> {
+        let Some(layer) = self.faults.as_mut() else {
+            return Some(chosen);
+        };
+        let Some(plan) = layer.plan else {
+            return Some(chosen);
+        };
+        let mut drop_grant = plan.grant_dropped_at(now, chosen);
+        if !drop_grant {
+            if let Some(raw) = plan.grant_corrupted_at(now, chosen) {
+                let to = MasterId::new((raw % masters.len() as u64) as usize);
+                if to != chosen && map.is_pending(to) {
+                    layer.log.record(FaultEvent {
+                        cycle: now,
+                        kind: FaultKind::GrantCorrupted { from: chosen, to },
+                    });
+                    stats.record_corrupted_grant();
+                    trace.record(TraceEvent::Fault { cycle: now, master: chosen });
+                    return Some(to);
+                }
+                // No distinct pending master to misdeliver to: the
+                // corrupted grant reaches nobody and acts as a drop.
+                drop_grant = true;
+            }
+        }
+        if drop_grant {
+            layer.log.record(FaultEvent {
+                cycle: now,
+                kind: FaultKind::GrantDropped { master: chosen },
+            });
+            stats.record_dropped_grant();
+            stats.record_stall(1);
+            trace.record(TraceEvent::Fault { cycle: now, master: chosen });
+            return None;
+        }
+        Some(chosen)
+    }
+
+    /// Applies slave-side faults to a freshly granted tenure: if the
+    /// addressed slave errors (or is in an outage block), the tenure is
+    /// forfeited, the master's retry policy is applied, and the cycle
+    /// is counted as a stall. Returns whether a fault fired.
+    fn slave_fault(
+        &mut self,
+        winner: MasterId,
+        slave: crate::ids::SlaveId,
+        masters: &mut [MasterPort],
+        now: Cycle,
+        stats: &mut BusStats,
+        trace: &mut BusTrace,
+    ) -> bool {
+        let Some(layer) = self.faults.as_mut() else {
+            return false;
+        };
+        let Some(plan) = layer.plan else {
+            return false;
+        };
+        let outage = plan.slave_out_at(now, slave);
+        if !outage && !plan.slave_error_at(now, slave) {
+            return false;
+        }
+        let kind = if outage {
+            FaultKind::SlaveOutage { master: winner, slave }
+        } else {
+            FaultKind::SlaveError { master: winner, slave }
+        };
+        layer.log.record(FaultEvent { cycle: now, kind });
+        stats.record_slave_error(winner);
+        trace.record(TraceEvent::Fault { cycle: now, master: winner });
+        let retry = layer.retry;
+        match masters[winner.index()].fail_attempt(now, &retry) {
+            RetryOutcome::Retry { attempt, resume_at } => {
+                stats.record_retry(winner);
+                layer.log.record(FaultEvent {
+                    cycle: now,
+                    kind: FaultKind::Retry { master: winner, attempt, resume_at },
+                });
+            }
+            RetryOutcome::Aborted { attempts } => {
+                stats.record_abort(winner);
+                layer.log.record(FaultEvent {
+                    cycle: now,
+                    kind: FaultKind::Aborted { master: winner, attempts },
+                });
+                layer.step_aborts.push(winner);
+            }
+        }
+        stats.record_stall(1);
+        true
     }
 
     fn transfer_word(
@@ -177,14 +350,14 @@ impl Bus {
 mod tests {
     use super::*;
     use crate::arbiter::FixedOrderArbiter;
+    use crate::fault::{FaultConfig, FaultPlan, RetryPolicy};
     use crate::ids::SlaveId;
     use crate::request::Transaction;
 
     fn setup(masters: usize) -> (Bus, Vec<MasterPort>, BusStats, BusTrace) {
         let bus = Bus::new(BusConfig::default());
-        let ports = (0..masters)
-            .map(|i| MasterPort::new(MasterId::new(i), format!("m{i}")))
-            .collect();
+        let ports =
+            (0..masters).map(|i| MasterPort::new(MasterId::new(i), format!("m{i}"))).collect();
         (bus, ports, BusStats::new(masters), BusTrace::enabled(1024))
     }
 
@@ -208,10 +381,8 @@ mod tests {
     fn burst_cap_forces_rearbitration() {
         let cfg = BusConfig { max_burst: 2, ..BusConfig::default() };
         let mut bus = Bus::new(cfg);
-        let mut ports = vec![
-            MasterPort::new(MasterId::new(0), "a"),
-            MasterPort::new(MasterId::new(1), "b"),
-        ];
+        let mut ports =
+            vec![MasterPort::new(MasterId::new(0), "a"), MasterPort::new(MasterId::new(1), "b")];
         let mut stats = BusStats::new(2);
         let mut trace = BusTrace::enabled(64);
         let mut arb = FixedOrderArbiter::new(2);
@@ -270,5 +441,118 @@ mod tests {
         bus.step(&mut arb, &mut ports, &[], Cycle::ZERO, 0, &mut stats, &mut trace);
         assert_eq!(trace.render_owners(0..1), ".");
         assert!(!bus.is_busy());
+    }
+
+    fn run_with_faults(layer: FaultLayer, cycles: u64, words: u32) -> (Bus, BusStats, BusTrace) {
+        let mut bus = Bus::with_faults(BusConfig::default(), layer);
+        let mut ports = vec![MasterPort::new(MasterId::new(0), "a")];
+        let mut stats = BusStats::new(1);
+        let mut trace = BusTrace::enabled(4096);
+        let mut arb = FixedOrderArbiter::new(1);
+        ports[0].enqueue(Transaction::new(SlaveId::new(0), words, Cycle::ZERO));
+        for c in 0..cycles {
+            bus.step(&mut arb, &mut ports, &[], Cycle::new(c), 0, &mut stats, &mut trace);
+            stats.record_cycle();
+        }
+        (bus, stats, trace)
+    }
+
+    #[test]
+    fn certain_slave_error_exhausts_retries_and_aborts() {
+        let cfg = FaultConfig { seed: 1, slave_error_rate: 1.0, ..FaultConfig::default() };
+        let layer =
+            FaultLayer::new(Some(FaultPlan::new(cfg)), RetryPolicy::exponential(1, 1), None);
+        let (bus, stats, _) = run_with_faults(layer, 50, 4);
+        let m = stats.master(MasterId::new(0));
+        assert_eq!(m.slave_errors, 2, "first attempt + one retry");
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.aborted, 1);
+        assert_eq!(m.transactions, 0);
+        assert_eq!(m.words, 0);
+        // Fault trace: error, retry, error, abort.
+        let kinds: Vec<_> = bus.fault_events().iter().map(|e| e.kind).collect();
+        assert!(matches!(kinds[0], FaultKind::SlaveError { .. }));
+        assert!(matches!(kinds[1], FaultKind::Retry { attempt: 1, .. }));
+        assert!(matches!(kinds[2], FaultKind::SlaveError { .. }));
+        assert!(matches!(kinds[3], FaultKind::Aborted { attempts: 2, .. }));
+    }
+
+    #[test]
+    fn certain_grant_drop_starves_the_bus() {
+        let cfg = FaultConfig { seed: 2, grant_drop_rate: 1.0, ..FaultConfig::default() };
+        let layer = FaultLayer::new(Some(FaultPlan::new(cfg)), RetryPolicy::none(), None);
+        let (bus, stats, trace) = run_with_faults(layer, 20, 2);
+        assert_eq!(stats.master(MasterId::new(0)).words, 0);
+        assert_eq!(stats.dropped_grants, 20);
+        assert_eq!(stats.grants, 0, "dropped grants never reach the master");
+        assert_eq!(bus.fault_events().len(), 20);
+        assert_eq!(trace.render_owners(0..4), "xxxx");
+    }
+
+    #[test]
+    fn watchdog_aborts_wedged_transaction() {
+        /// An arbiter that never grants — a wedged primary.
+        struct Wedged;
+        impl Arbiter for Wedged {
+            fn arbitrate(&mut self, _: &RequestMap, _: Cycle) -> Option<crate::arbiter::Grant> {
+                None
+            }
+            fn name(&self) -> &str {
+                "wedged"
+            }
+        }
+        let layer = FaultLayer::new(None, RetryPolicy::none(), Some(10));
+        let mut bus = Bus::with_faults(BusConfig::default(), layer);
+        let mut ports = vec![MasterPort::new(MasterId::new(0), "a")];
+        let mut stats = BusStats::new(1);
+        let mut trace = BusTrace::disabled();
+        let mut arb = Wedged;
+        ports[0].enqueue(Transaction::new(SlaveId::new(0), 4, Cycle::ZERO));
+        for c in 0..20 {
+            bus.step(&mut arb, &mut ports, &[], Cycle::new(c), 0, &mut stats, &mut trace);
+            stats.record_cycle();
+        }
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.aborted_transactions, 1);
+        assert!(!ports[0].is_requesting(), "wedged transaction was flushed");
+        assert!(matches!(bus.fault_events()[0].kind, FaultKind::Timeout { waited: 10, .. }));
+    }
+
+    #[test]
+    fn inert_fault_layer_matches_plain_run() {
+        let run = |faults: Option<FaultLayer>| {
+            let mut bus = match faults {
+                Some(layer) => Bus::with_faults(BusConfig::default(), layer),
+                None => Bus::new(BusConfig::default()),
+            };
+            let mut ports = vec![
+                MasterPort::new(MasterId::new(0), "a"),
+                MasterPort::new(MasterId::new(1), "b"),
+            ];
+            let mut stats = BusStats::new(2);
+            let mut trace = BusTrace::enabled(256);
+            let mut arb = FixedOrderArbiter::new(2);
+            for c in 0..64u64 {
+                if c % 7 == 0 {
+                    ports[0].enqueue(Transaction::new(SlaveId::new(0), 3, Cycle::new(c)));
+                }
+                if c % 11 == 0 {
+                    ports[1].enqueue(Transaction::new(SlaveId::new(0), 2, Cycle::new(c)));
+                }
+                bus.step(&mut arb, &mut ports, &[], Cycle::new(c), 0, &mut stats, &mut trace);
+                stats.record_cycle();
+            }
+            (stats, trace)
+        };
+        // A fault layer with all-zero rates and no watchdog must be inert.
+        let inert = FaultLayer::new(
+            Some(FaultPlan::new(FaultConfig::with_seed(42))),
+            RetryPolicy::exponential(3, 2),
+            None,
+        );
+        let (plain_stats, plain_trace) = run(None);
+        let (fault_stats, fault_trace) = run(Some(inert));
+        assert_eq!(plain_stats, fault_stats);
+        assert_eq!(plain_trace, fault_trace);
     }
 }

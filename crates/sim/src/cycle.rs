@@ -15,7 +15,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.index(), 15);
 /// assert_eq!(t - Cycle::new(10), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycle(u64);
 
 impl Cycle {

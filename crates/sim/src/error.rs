@@ -21,6 +21,15 @@ pub enum BuildSystemError {
     NoArbiter,
     /// The bus configuration is invalid.
     InvalidConfig(String),
+    /// The fault-injection configuration is invalid (e.g. a rate
+    /// outside `[0, 1]` or a zero outage duration).
+    InvalidFaultConfig(String),
+    /// The retry policy is invalid (e.g. a zero backoff base or
+    /// factor).
+    InvalidRetryConfig(String),
+    /// The watchdog timeout is invalid (zero cycles would abort every
+    /// transaction immediately).
+    InvalidTimeout(u64),
 }
 
 impl fmt::Display for BuildSystemError {
@@ -32,6 +41,15 @@ impl fmt::Display for BuildSystemError {
             }
             BuildSystemError::NoArbiter => write!(f, "system has no arbiter"),
             BuildSystemError::InvalidConfig(msg) => write!(f, "invalid bus config: {msg}"),
+            BuildSystemError::InvalidFaultConfig(msg) => {
+                write!(f, "invalid fault config: {msg}")
+            }
+            BuildSystemError::InvalidRetryConfig(msg) => {
+                write!(f, "invalid retry policy: {msg}")
+            }
+            BuildSystemError::InvalidTimeout(cycles) => {
+                write!(f, "invalid watchdog timeout: {cycles} cycles (must be at least 1)")
+            }
         }
     }
 }
@@ -48,6 +66,27 @@ mod tests {
         let e = BuildSystemError::TooManyMasters { got: 40, max: 32 };
         assert!(e.to_string().contains("40"));
         assert!(e.to_string().contains("32"));
+    }
+
+    #[test]
+    fn fault_display_messages_are_descriptive() {
+        let e = BuildSystemError::InvalidFaultConfig(
+            "slave-error rate must be in [0, 1], got 2".into(),
+        );
+        assert_eq!(
+            e.to_string(),
+            "invalid fault config: slave-error rate must be in [0, 1], got 2"
+        );
+        let e = BuildSystemError::InvalidRetryConfig(
+            "retry backoff base must be at least 1 cycle".into(),
+        );
+        assert_eq!(
+            e.to_string(),
+            "invalid retry policy: retry backoff base must be at least 1 cycle"
+        );
+        let e = BuildSystemError::InvalidTimeout(0);
+        assert!(e.to_string().contains("0 cycles"));
+        assert!(e.to_string().contains("at least 1"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod bus;
 pub mod config;
 pub mod cycle;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod master;
 pub mod multichannel;
@@ -59,8 +60,9 @@ pub use bus::Bus;
 pub use config::BusConfig;
 pub use cycle::Cycle;
 pub use error::BuildSystemError;
+pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan, RetryPolicy};
 pub use ids::{MasterId, SlaveId};
-pub use master::MasterPort;
+pub use master::{MasterPort, RetryOutcome};
 pub use request::{RequestMap, Transaction, MAX_MASTERS};
 pub use slave::Slave;
 pub use stats::{BusStats, MasterStats};

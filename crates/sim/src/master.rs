@@ -1,6 +1,7 @@
 //! Master-side bus interface: per-master transaction queues.
 
 use crate::cycle::Cycle;
+use crate::fault::RetryPolicy;
 use crate::ids::MasterId;
 use crate::request::Transaction;
 use std::collections::VecDeque;
@@ -11,6 +12,11 @@ pub struct InFlight {
     txn: Transaction,
     remaining: u32,
     first_grant: Option<Cycle>,
+    /// Failed attempts (slave errors) so far.
+    attempts: u32,
+    /// When the watchdog started observing this transaction at the
+    /// queue head (re-armed after each retry backoff).
+    watch_since: Option<Cycle>,
 }
 
 impl InFlight {
@@ -28,6 +34,28 @@ impl InFlight {
     pub fn first_grant(&self) -> Option<Cycle> {
         self.first_grant
     }
+
+    /// Failed (error-response) attempts so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+/// What happened to a transaction after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// The transaction stays queued and may request again at `resume_at`.
+    Retry {
+        /// Failed attempts so far (1-based).
+        attempt: u32,
+        /// First cycle at which the request line re-asserts.
+        resume_at: Cycle,
+    },
+    /// The transaction exhausted its retries and was dropped.
+    Aborted {
+        /// Total failed attempts.
+        attempts: u32,
+    },
 }
 
 /// A completed transaction together with its timing, reported to the
@@ -70,12 +98,24 @@ pub struct MasterPort {
     queue: VecDeque<InFlight>,
     issued: u64,
     issued_words: u64,
+    /// First cycle at which an injected master stall ends.
+    stall_until: Option<Cycle>,
+    /// First cycle at which the head transaction's retry backoff ends.
+    backoff_until: Option<Cycle>,
 }
 
 impl MasterPort {
     /// Creates an empty port for master `id` labelled `name`.
     pub fn new(id: MasterId, name: impl Into<String>) -> Self {
-        MasterPort { id, name: name.into(), queue: VecDeque::new(), issued: 0, issued_words: 0 }
+        MasterPort {
+            id,
+            name: name.into(),
+            queue: VecDeque::new(),
+            issued: 0,
+            issued_words: 0,
+            stall_until: None,
+            backoff_until: None,
+        }
     }
 
     /// This port's master id.
@@ -92,12 +132,87 @@ impl MasterPort {
     pub fn enqueue(&mut self, txn: Transaction) {
         self.issued += 1;
         self.issued_words += u64::from(txn.words());
-        self.queue.push_back(InFlight { txn, remaining: txn.words(), first_grant: None });
+        self.queue.push_back(InFlight {
+            txn,
+            remaining: txn.words(),
+            first_grant: None,
+            attempts: 0,
+            watch_since: None,
+        });
     }
 
     /// Whether the request line is asserted (any transaction outstanding).
     pub fn is_requesting(&self) -> bool {
         !self.queue.is_empty()
+    }
+
+    /// Like [`MasterPort::is_requesting`], but accounting for injected
+    /// master stalls and retry backoff: the request line is held
+    /// deasserted until both have elapsed. Used only on fault-enabled
+    /// buses; without faults neither is ever set, so this matches
+    /// [`MasterPort::is_requesting`] exactly.
+    pub fn is_requesting_at(&self, now: Cycle) -> bool {
+        !self.queue.is_empty() && self.eligible_at(now)
+    }
+
+    fn eligible_at(&self, now: Cycle) -> bool {
+        self.stall_until.is_none_or(|until| now >= until)
+            && self.backoff_until.is_none_or(|until| now >= until)
+    }
+
+    /// Whether an injected stall is still in effect at `now`.
+    pub fn is_stalled_at(&self, now: Cycle) -> bool {
+        self.stall_until.is_some_and(|until| now < until)
+    }
+
+    /// Holds the request line deasserted until `until` (an injected
+    /// master stall).
+    pub fn set_stall(&mut self, until: Cycle) {
+        self.stall_until = Some(until);
+    }
+
+    /// Watchdog bookkeeping: observes how long the head transaction
+    /// has been wedged. Arms the watch when the head first becomes
+    /// eligible and returns the cycles waited since; returns `None`
+    /// while there is nothing eligible to watch.
+    pub fn head_wait(&mut self, now: Cycle) -> Option<u64> {
+        if !self.eligible_at(now) {
+            return None;
+        }
+        let head = self.queue.front_mut()?;
+        let since = *head.watch_since.get_or_insert(now);
+        Some(now - since)
+    }
+
+    /// Records a failed attempt (slave error response) on the head
+    /// transaction and applies `policy`: either the transaction stays
+    /// queued behind an exponential backoff, or it exhausted its
+    /// retries and is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port has no outstanding transaction.
+    pub fn fail_attempt(&mut self, now: Cycle, policy: &RetryPolicy) -> RetryOutcome {
+        let head = self.queue.front_mut().expect("fail_attempt on idle master");
+        head.attempts += 1;
+        let attempts = head.attempts;
+        if attempts > policy.max_retries {
+            self.queue.pop_front();
+            self.backoff_until = None;
+            RetryOutcome::Aborted { attempts }
+        } else {
+            let resume_at = now + 1 + policy.backoff_after(attempts);
+            head.watch_since = None;
+            self.backoff_until = Some(resume_at);
+            RetryOutcome::Retry { attempt: attempts, resume_at }
+        }
+    }
+
+    /// Drops the head transaction (watchdog abort). Returns the
+    /// abandoned record, or `None` if the queue was empty.
+    pub fn abort_head(&mut self) -> Option<InFlight> {
+        self.backoff_until = None;
+        self.queue.pop_front()
     }
 
     /// Words remaining in the head transaction (zero when idle).
@@ -150,6 +265,9 @@ impl MasterPort {
         let head = self.queue.front_mut().expect("transfer on idle master");
         assert!(words <= head.remaining, "transfer exceeds remaining words");
         head.remaining -= words;
+        // Progress re-arms the watchdog: it measures time wedged, not
+        // total queue-head residency.
+        head.watch_since = None;
         if head.remaining == 0 {
             let done = self.queue.pop_front().expect("head exists");
             Some(Completion {
@@ -214,5 +332,58 @@ mod tests {
     fn transfer_on_idle_panics() {
         let mut port = MasterPort::new(MasterId::new(0), "m0");
         let _ = port.transfer(1, Cycle::ZERO);
+    }
+
+    #[test]
+    fn retry_backoff_deasserts_request_line() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        port.enqueue(txn(4, 0));
+        let policy = RetryPolicy::exponential(2, 2);
+        let outcome = port.fail_attempt(Cycle::new(5), &policy);
+        assert_eq!(outcome, RetryOutcome::Retry { attempt: 1, resume_at: Cycle::new(8) });
+        // Backoff: deasserted until cycle 8, reasserted from then on.
+        assert!(!port.is_requesting_at(Cycle::new(6)));
+        assert!(port.is_requesting_at(Cycle::new(8)));
+        assert!(port.is_requesting(), "plain request line ignores backoff");
+    }
+
+    #[test]
+    fn exhausted_retries_abort_the_transaction() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        port.enqueue(txn(4, 0));
+        port.enqueue(txn(2, 0));
+        let policy = RetryPolicy::exponential(1, 1);
+        assert!(matches!(port.fail_attempt(Cycle::new(0), &policy), RetryOutcome::Retry { .. }));
+        let outcome = port.fail_attempt(Cycle::new(3), &policy);
+        assert_eq!(outcome, RetryOutcome::Aborted { attempts: 2 });
+        // The second transaction moved up and requests normally.
+        assert_eq!(port.pending_words(), 2);
+        assert!(port.is_requesting_at(Cycle::new(4)));
+    }
+
+    #[test]
+    fn injected_stall_expires() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        port.enqueue(txn(1, 0));
+        port.set_stall(Cycle::new(10));
+        assert!(port.is_stalled_at(Cycle::new(9)));
+        assert!(!port.is_requesting_at(Cycle::new(9)));
+        assert!(!port.is_stalled_at(Cycle::new(10)));
+        assert!(port.is_requesting_at(Cycle::new(10)));
+    }
+
+    #[test]
+    fn head_wait_arms_lazily_and_rearms_after_retry() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        assert_eq!(port.head_wait(Cycle::new(0)), None);
+        port.enqueue(txn(4, 0));
+        assert_eq!(port.head_wait(Cycle::new(3)), Some(0));
+        assert_eq!(port.head_wait(Cycle::new(7)), Some(4));
+        // A retry resets the watch; during backoff nothing is watched.
+        let policy = RetryPolicy::exponential(4, 4);
+        port.fail_attempt(Cycle::new(7), &policy);
+        assert_eq!(port.head_wait(Cycle::new(8)), None);
+        assert_eq!(port.head_wait(Cycle::new(12)), Some(0));
+        assert_eq!(port.head_wait(Cycle::new(20)), Some(8));
     }
 }

@@ -331,8 +331,7 @@ fn route_table(n: usize, bridges: &[(usize, usize, usize)]) -> Vec<Vec<Option<us
             for (b, &(from, to, _)) in bridges.iter().enumerate() {
                 if from == c && !visited[to] {
                     visited[to] = true;
-                    first_hop[to] =
-                        if c == start { Some(b) } else { first_hop[c] };
+                    first_hop[to] = if c == start { Some(b) } else { first_hop[c] };
                     frontier.push_back(to);
                 }
             }
@@ -453,9 +452,7 @@ impl MultiChannelSystem {
                         let bridge = self.next_bridge[c][dest]
                             .unwrap_or_else(|| panic!("no route from ch{c} to ch{dest}"));
                         let b = &self.bridges[bridge];
-                        if self.channels[b.to].ports[b.actor].backlog_transactions()
-                            >= b.capacity
-                        {
+                        if self.channels[b.to].ports[b.actor].backlog_transactions() >= b.capacity {
                             blocked |= 1 << local;
                         }
                     }
@@ -481,10 +478,9 @@ impl MultiChannelSystem {
             let actor = self.channels[c].actors[local];
             let origin = match actor {
                 Actor::Master(m) => m,
-                Actor::Bridge(b) => self.bridges[b]
-                    .origins
-                    .pop_front()
-                    .expect("bridge completion has an origin"),
+                Actor::Bridge(b) => {
+                    self.bridges[b].origins.pop_front().expect("bridge completion has an origin")
+                }
             };
             let txn = completion.txn;
             let dest = self.channel_of_slave(txn.slave());
@@ -493,11 +489,7 @@ impl MultiChannelSystem {
                 // issue stamp. The wait component is per-leg, so it is
                 // not meaningful end to end and is recorded as zero.
                 self.end_to_end[origin].words += u64::from(txn.words());
-                self.end_to_end[origin].record_transaction(
-                    txn.words(),
-                    completion.latency(),
-                    0,
-                );
+                self.end_to_end[origin].record_transaction(txn.words(), completion.latency(), 0);
             } else {
                 // Store-and-forward into the next bridge, preserving the
                 // original issue stamp for end-to-end accounting.

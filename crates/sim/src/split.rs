@@ -48,6 +48,7 @@ use crate::bus::Bus;
 use crate::config::BusConfig;
 use crate::cycle::Cycle;
 use crate::error::BuildSystemError;
+use crate::fault::{FaultConfig, FaultEvent, RetryPolicy};
 use crate::ids::MasterId;
 use crate::master::MasterPort;
 use crate::request::{Transaction, MAX_MASTERS};
@@ -86,6 +87,9 @@ pub struct SplitSystemBuilder {
     sources: Vec<Box<dyn TrafficSource>>,
     slaves: Vec<(String, u32, usize)>,
     arbiter: Option<Box<dyn Arbiter>>,
+    faults: Option<FaultConfig>,
+    retry: Option<RetryPolicy>,
+    timeout: Option<u64>,
 }
 
 impl std::fmt::Debug for SplitSystemBuilder {
@@ -106,6 +110,9 @@ impl SplitSystemBuilder {
             sources: Vec::new(),
             slaves: Vec::new(),
             arbiter: None,
+            faults: None,
+            retry: None,
+            timeout: None,
         }
     }
 
@@ -132,12 +139,34 @@ impl SplitSystemBuilder {
         self
     }
 
+    /// Attaches a seeded fault-injection plan (see [`crate::fault`]).
+    /// Faults apply to both request and response phases.
+    pub fn faults(mut self, config: FaultConfig) -> Self {
+        self.faults = Some(config);
+        self
+    }
+
+    /// Sets the recovery policy applied when an injected slave error
+    /// hits a phase. Without a policy the first error aborts.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Arms the transaction watchdog (see
+    /// [`crate::SystemBuilder::timeout`]).
+    pub fn timeout(mut self, cycles: u64) -> Self {
+        self.timeout = Some(cycles);
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Errors
     ///
     /// Returns an error if there are no masters or slaves, no arbiter,
-    /// or the actor count exceeds [`MAX_MASTERS`].
+    /// the actor count exceeds [`MAX_MASTERS`], or the fault, retry or
+    /// timeout configuration is invalid.
     pub fn build(self) -> Result<SplitSystem, BuildSystemError> {
         if self.names.is_empty() {
             return Err(BuildSystemError::NoMasters);
@@ -148,6 +177,7 @@ impl SplitSystemBuilder {
             ));
         }
         self.config.validate().map_err(BuildSystemError::InvalidConfig)?;
+        let fault_layer = crate::fault::build_fault_layer(self.faults, self.retry, self.timeout)?;
         let arbiter = self.arbiter.ok_or(BuildSystemError::NoArbiter)?;
         let actors = self.names.len() + self.slaves.len();
         if actors > MAX_MASTERS {
@@ -167,11 +197,21 @@ impl SplitSystemBuilder {
             .map(|(k, (name, latency, capacity))| {
                 let actor = n_masters + k;
                 ports.push(MasterPort::new(MasterId::new(actor), format!("resp-{name}")));
-                SplitSlave { name, latency, capacity, actor, origins: VecDeque::new(), outstanding: 0 }
+                SplitSlave {
+                    name,
+                    latency,
+                    capacity,
+                    actor,
+                    origins: VecDeque::new(),
+                    outstanding: 0,
+                }
             })
             .collect();
         Ok(SplitSystem {
-            bus: Bus::new(self.config),
+            bus: match fault_layer {
+                Some(layer) => Bus::with_faults(self.config, layer),
+                None => Bus::new(self.config),
+            },
             arbiter,
             ports,
             sources: self.sources,
@@ -252,6 +292,12 @@ impl SplitSystem {
         &self.slaves[slave].name
     }
 
+    /// The recorded fault trace (empty unless fault injection was
+    /// configured).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.bus.fault_events()
+    }
+
     /// Simulates one cycle.
     pub fn step(&mut self) {
         let now = self.now;
@@ -265,8 +311,11 @@ impl SplitSystem {
                     "transaction addresses unknown split slave {}",
                     txn.slave()
                 );
-                self.requests_in_flight[m]
-                    .push_back(Transaction::new(txn.slave(), txn.words(), txn.issued_at()));
+                self.requests_in_flight[m].push_back(Transaction::new(
+                    txn.slave(),
+                    txn.words(),
+                    txn.issued_at(),
+                ));
                 self.ports[m].enqueue(Transaction::new(txn.slave(), 1, txn.issued_at()));
             }
         }
@@ -304,7 +353,28 @@ impl SplitSystem {
             &mut self.trace,
         );
         self.stats.record_cycle();
-        // 5. Route the completed phase.
+        self.stats.failovers = self.arbiter.failovers();
+        // 5. Undo bookkeeping for phases the fault layer abandoned this
+        //    cycle (retry exhaustion or watchdog), keeping the payload
+        //    and origin FIFOs aligned with the port queues.
+        let aborts = self
+            .bus
+            .faults
+            .as_mut()
+            .map(|layer| std::mem::take(&mut layer.step_aborts))
+            .unwrap_or_default();
+        for actor in aborts {
+            if actor.index() < self.n_masters {
+                self.requests_in_flight[actor.index()]
+                    .pop_front()
+                    .expect("aborted request phase has a recorded payload");
+            } else {
+                let slave = &mut self.slaves[actor.index() - self.n_masters];
+                slave.outstanding -= 1;
+                slave.origins.pop_front().expect("aborted response phase has an origin");
+            }
+        }
+        // 6. Route the completed phase.
         if let Some((actor, completion)) = completed {
             let txn = completion.txn;
             if actor.index() < self.n_masters {
@@ -329,8 +399,7 @@ impl SplitSystem {
                 let s = actor.index() - self.n_masters;
                 let slave = &mut self.slaves[s];
                 slave.outstanding -= 1;
-                let origin =
-                    slave.origins.pop_front().expect("response phase has an origin");
+                let origin = slave.origins.pop_front().expect("response phase has an origin");
                 self.end_to_end[origin].words += u64::from(txn.words());
                 self.end_to_end[origin].record_transaction(txn.words(), completion.latency(), 0);
             }
@@ -443,10 +512,7 @@ mod tests {
         split.run(window);
         let split_words: u64 = (0..2).map(|i| split.master_stats(i).completed_words).sum();
 
-        assert!(
-            split_words >= blocking_words,
-            "split {split_words} vs blocking {blocking_words}"
-        );
+        assert!(split_words >= blocking_words, "split {split_words} vs blocking {blocking_words}");
     }
 
     #[test]
@@ -483,5 +549,67 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, BuildSystemError::NoMasters);
+
+        let err = SplitSystemBuilder::new(BusConfig::default())
+            .master("a", script(&[]))
+            .split_slave("mem", 1, 1)
+            .arbiter(Box::new(FixedOrderArbiter::new(2)))
+            .faults(FaultConfig { slave_error_rate: 2.0, ..FaultConfig::default() })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildSystemError::InvalidFaultConfig(_)));
+
+        let err = SplitSystemBuilder::new(BusConfig::default())
+            .master("a", script(&[]))
+            .split_slave("mem", 1, 1)
+            .arbiter(Box::new(FixedOrderArbiter::new(2)))
+            .timeout(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildSystemError::InvalidTimeout(0));
+    }
+
+    #[test]
+    fn fault_aborts_keep_split_bookkeeping_consistent() {
+        // Certain slave errors with no retry policy: every request
+        // phase aborts at its first grant. The payload FIFO must stay
+        // aligned with the port queues (no bookkeeping panics) and no
+        // transaction completes end to end.
+        let mut system = SplitSystemBuilder::new(BusConfig::default())
+            .master("a", script(&[(0, 4), (10, 4), (20, 4)]))
+            .split_slave("mem", 5, 2)
+            .arbiter(Box::new(FixedOrderArbiter::new(2)))
+            .faults(FaultConfig { seed: 3, slave_error_rate: 1.0, ..FaultConfig::default() })
+            .build()
+            .expect("valid");
+        system.run(200);
+        assert_eq!(system.master_stats(0).transactions, 0);
+        assert_eq!(system.bus_stats().aborted_transactions, 3);
+        assert_eq!(system.bus_stats().slave_errors, 3);
+        assert!(!system.fault_events().is_empty());
+    }
+
+    #[test]
+    fn inert_fault_config_leaves_split_results_unchanged() {
+        let run = |faulty: bool| {
+            let mut builder = SplitSystemBuilder::new(BusConfig::default())
+                .master("a", script(&[(0, 4), (7, 2)]))
+                .master("b", script(&[(0, 3)]))
+                .split_slave("mem", 6, 2)
+                .arbiter(Box::new(FixedOrderArbiter::new(3)));
+            if faulty {
+                builder = builder
+                    .faults(FaultConfig::with_seed(11))
+                    .retry_policy(RetryPolicy::exponential(3, 2));
+            }
+            let mut system = builder.build().expect("valid");
+            system.run(100);
+            (
+                system.bus_stats().clone(),
+                system.master_stats(0).clone(),
+                system.master_stats(1).clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

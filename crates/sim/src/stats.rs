@@ -135,6 +135,15 @@ pub struct MasterStats {
     pub max_latency: u64,
     /// Number of grants received (bursts won).
     pub grants: u64,
+    /// Slave error responses (including outage cycles) received.
+    pub slave_errors: u64,
+    /// Failed attempts that were re-queued for retry.
+    pub retries: u64,
+    /// Transactions aborted by the bus watchdog timeout.
+    pub timeouts: u64,
+    /// Transactions abandoned without completing (retry exhaustion plus
+    /// watchdog timeouts).
+    pub aborted: u64,
     /// Distribution of per-transaction latencies.
     pub latency_histogram: LatencyHistogram,
 }
@@ -145,8 +154,7 @@ impl MasterStats {
     ///
     /// This is the paper's latency metric: Σ latency / Σ words.
     pub fn cycles_per_word(&self) -> Option<f64> {
-        (self.completed_words > 0)
-            .then(|| self.total_latency as f64 / self.completed_words as f64)
+        (self.completed_words > 0).then(|| self.total_latency as f64 / self.completed_words as f64)
     }
 
     /// Average waiting cycles per completed transaction.
@@ -212,6 +220,21 @@ pub struct BusStats {
     pub stall_cycles: u64,
     /// Total grants issued.
     pub grants: u64,
+    /// Injected slave error responses (including outage cycles).
+    pub slave_errors: u64,
+    /// Grants dropped on the arbiter-to-master path.
+    pub dropped_grants: u64,
+    /// Grants delivered to the wrong master.
+    pub corrupted_grants: u64,
+    /// Failed attempts re-queued for retry.
+    pub retries: u64,
+    /// Transactions aborted by the watchdog timeout.
+    pub timeouts: u64,
+    /// Transactions abandoned without completing (retry exhaustion plus
+    /// watchdog timeouts).
+    pub aborted_transactions: u64,
+    /// Times the failover arbiter replaced a misbehaving primary.
+    pub failovers: u64,
     per_master: Vec<MasterStats>,
 }
 
@@ -223,6 +246,13 @@ impl BusStats {
             busy_cycles: 0,
             stall_cycles: 0,
             grants: 0,
+            slave_errors: 0,
+            dropped_grants: 0,
+            corrupted_grants: 0,
+            retries: 0,
+            timeouts: 0,
+            aborted_transactions: 0,
+            failovers: 0,
             per_master: vec![MasterStats::default(); masters],
         }
     }
@@ -289,6 +319,49 @@ impl BusStats {
             completion.latency(),
             completion.wait(),
         );
+    }
+
+    /// Records an injected slave error response received by `id`.
+    pub fn record_slave_error(&mut self, id: MasterId) {
+        self.slave_errors += 1;
+        self.per_master[id.index()].slave_errors += 1;
+    }
+
+    /// Records a grant dropped on its way to the granted master.
+    pub fn record_dropped_grant(&mut self) {
+        self.dropped_grants += 1;
+    }
+
+    /// Records a grant delivered to the wrong master.
+    pub fn record_corrupted_grant(&mut self) {
+        self.corrupted_grants += 1;
+    }
+
+    /// Records a failed attempt by `id` that was re-queued for retry.
+    pub fn record_retry(&mut self, id: MasterId) {
+        self.retries += 1;
+        self.per_master[id.index()].retries += 1;
+    }
+
+    /// Records a transaction of `id` abandoned after exhausting retries.
+    pub fn record_abort(&mut self, id: MasterId) {
+        self.aborted_transactions += 1;
+        self.per_master[id.index()].aborted += 1;
+    }
+
+    /// Records a wedged transaction of `id` aborted by the watchdog
+    /// (counted both as a timeout and as an aborted transaction).
+    pub fn record_timeout(&mut self, id: MasterId) {
+        self.timeouts += 1;
+        self.per_master[id.index()].timeouts += 1;
+        self.record_abort(id);
+    }
+
+    /// Total injected fault disturbances recorded in these statistics
+    /// (errors, dropped/corrupted grants — retries and aborts are
+    /// consequences, not separate disturbances).
+    pub fn fault_disturbances(&self) -> u64 {
+        self.slave_errors + self.dropped_grants + self.corrupted_grants
     }
 
     /// Counts one elapsed simulation cycle. Called once per [`crate::System::step`],
@@ -389,5 +462,30 @@ mod tests {
         assert_eq!(stats.grants, 2);
         assert_eq!(stats.master(MasterId::new(0)).grants, 2);
         assert_eq!(stats.stall_cycles, 3);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut stats = BusStats::new(2);
+        let m0 = MasterId::new(0);
+        let m1 = MasterId::new(1);
+        stats.record_slave_error(m0);
+        stats.record_retry(m0);
+        stats.record_slave_error(m0);
+        stats.record_abort(m0);
+        stats.record_timeout(m1);
+        stats.record_dropped_grant();
+        stats.record_corrupted_grant();
+        assert_eq!(stats.slave_errors, 2);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.timeouts, 1);
+        // Timeouts count as aborts too: one retry-exhaustion + one watchdog.
+        assert_eq!(stats.aborted_transactions, 2);
+        assert_eq!(stats.fault_disturbances(), 4);
+        assert_eq!(stats.master(m0).slave_errors, 2);
+        assert_eq!(stats.master(m0).retries, 1);
+        assert_eq!(stats.master(m0).aborted, 1);
+        assert_eq!(stats.master(m1).timeouts, 1);
+        assert_eq!(stats.master(m1).aborted, 1);
     }
 }

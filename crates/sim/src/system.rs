@@ -5,6 +5,7 @@ use crate::bus::Bus;
 use crate::config::BusConfig;
 use crate::cycle::Cycle;
 use crate::error::BuildSystemError;
+use crate::fault::{FaultConfig, FaultEvent, RetryPolicy};
 use crate::ids::MasterId;
 use crate::master::MasterPort;
 use crate::request::{Transaction, MAX_MASTERS};
@@ -79,6 +80,9 @@ pub struct SystemBuilder {
     slaves: Vec<Slave>,
     arbiter: Option<Box<dyn Arbiter>>,
     trace_capacity: usize,
+    faults: Option<FaultConfig>,
+    retry: Option<RetryPolicy>,
+    timeout: Option<u64>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -102,6 +106,9 @@ impl SystemBuilder {
             slaves: Vec::new(),
             arbiter: None,
             trace_capacity: 0,
+            faults: None,
+            retry: None,
+            timeout: None,
         }
     }
 
@@ -131,20 +138,46 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches a seeded fault-injection plan (see [`crate::fault`]).
+    pub fn faults(mut self, config: FaultConfig) -> Self {
+        self.faults = Some(config);
+        self
+    }
+
+    /// Sets the recovery policy applied when an injected slave error
+    /// hits a transaction. Without a policy the first error aborts.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Arms the transaction watchdog: a transaction wedged at the head
+    /// of a master's queue for `cycles` cycles without progress is
+    /// aborted and counted.
+    pub fn timeout(mut self, cycles: u64) -> Self {
+        self.timeout = Some(cycles);
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Errors
     ///
     /// Returns an error if no master was added, too many masters were
-    /// added, no arbiter was set, or the bus configuration is invalid.
+    /// added, no arbiter was set, or the bus, fault, retry or timeout
+    /// configuration is invalid.
     pub fn build(self) -> Result<System, BuildSystemError> {
         if self.names.is_empty() {
             return Err(BuildSystemError::NoMasters);
         }
         if self.names.len() > MAX_MASTERS {
-            return Err(BuildSystemError::TooManyMasters { got: self.names.len(), max: MAX_MASTERS });
+            return Err(BuildSystemError::TooManyMasters {
+                got: self.names.len(),
+                max: MAX_MASTERS,
+            });
         }
         self.config.validate().map_err(BuildSystemError::InvalidConfig)?;
+        let fault_layer = crate::fault::build_fault_layer(self.faults, self.retry, self.timeout)?;
         let arbiter = self.arbiter.ok_or(BuildSystemError::NoArbiter)?;
         let masters: Vec<MasterPort> = self
             .names
@@ -159,7 +192,10 @@ impl SystemBuilder {
             BusTrace::disabled()
         };
         Ok(System {
-            bus: Bus::new(self.config),
+            bus: match fault_layer {
+                Some(layer) => Bus::with_faults(self.config, layer),
+                None => Bus::new(self.config),
+            },
             masters,
             sources: self.sources,
             slaves: self.slaves,
@@ -167,6 +203,7 @@ impl SystemBuilder {
             stats: BusStats::new(n),
             trace,
             now: Cycle::ZERO,
+            failover_baseline: 0,
         })
     }
 }
@@ -182,6 +219,9 @@ pub struct System {
     stats: BusStats,
     trace: BusTrace,
     now: Cycle,
+    /// Arbiter failover count at the last statistics reset, so
+    /// steady-state windows report only their own failovers.
+    failover_baseline: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -235,10 +275,17 @@ impl System {
         &self.trace
     }
 
+    /// The recorded fault trace (empty unless fault injection was
+    /// configured).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.bus.fault_events()
+    }
+
     /// Clears accumulated statistics, e.g. after a warm-up period, so
     /// that subsequent measurements reflect steady state only.
     pub fn reset_stats(&mut self) {
         self.stats = BusStats::new(self.masters.len());
+        self.failover_baseline = self.arbiter.failovers();
     }
 
     /// Simulates one bus cycle: polls every traffic source, then steps
@@ -260,6 +307,7 @@ impl System {
             &mut self.trace,
         );
         self.stats.record_cycle();
+        self.stats.failovers = self.arbiter.failovers() - self.failover_baseline;
         self.now += 1;
     }
 

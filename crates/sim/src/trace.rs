@@ -28,6 +28,15 @@ pub enum TraceEvent {
         /// The idle cycle.
         cycle: Cycle,
     },
+    /// An injected fault disturbed `master`'s tenure or grant during
+    /// `cycle` (see [`crate::fault::FaultKind`] in the fault log for the
+    /// specific cause).
+    Fault {
+        /// Cycle of the disturbance.
+        cycle: Cycle,
+        /// Master whose grant or transfer was disturbed.
+        master: MasterId,
+    },
 }
 
 impl TraceEvent {
@@ -36,7 +45,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Grant { cycle, .. }
             | TraceEvent::Word { cycle, .. }
-            | TraceEvent::Idle { cycle } => cycle,
+            | TraceEvent::Idle { cycle }
+            | TraceEvent::Fault { cycle, .. } => cycle,
         }
     }
 }
@@ -89,7 +99,8 @@ impl BusTrace {
 
     /// Renders bus ownership over a cycle range as one character per
     /// cycle: the master's index digit (modulo 10) when a word
-    /// transferred, `.` when idle, and space for unrecorded cycles.
+    /// transferred, `.` when idle, `x` when an injected fault disturbed
+    /// the cycle, and space for unrecorded cycles.
     ///
     /// This is the textual equivalent of the paper's Figure 5 "Bus Trace"
     /// waveforms.
@@ -103,12 +114,16 @@ impl BusTrace {
             let slot = (c - cycles.start) as usize;
             match *event {
                 TraceEvent::Word { master, .. } => {
-                    chars[slot] =
-                        char::from_digit((master.index() % 10) as u32, 10).unwrap_or('?');
+                    chars[slot] = char::from_digit((master.index() % 10) as u32, 10).unwrap_or('?');
                 }
                 TraceEvent::Idle { .. } => {
                     if chars[slot] == ' ' {
                         chars[slot] = '.';
+                    }
+                }
+                TraceEvent::Fault { .. } => {
+                    if chars[slot] == ' ' || chars[slot] == '.' {
+                        chars[slot] = 'x';
                     }
                 }
                 TraceEvent::Grant { .. } => {}
@@ -142,11 +157,26 @@ mod tests {
     #[test]
     fn render_shows_owners_and_idle() {
         let mut trace = BusTrace::enabled(8);
-        trace.record(TraceEvent::Grant { cycle: Cycle::new(0), master: MasterId::new(2), words: 2 });
+        trace.record(TraceEvent::Grant {
+            cycle: Cycle::new(0),
+            master: MasterId::new(2),
+            words: 2,
+        });
         trace.record(TraceEvent::Word { cycle: Cycle::new(0), master: MasterId::new(2) });
         trace.record(TraceEvent::Word { cycle: Cycle::new(1), master: MasterId::new(2) });
         trace.record(TraceEvent::Idle { cycle: Cycle::new(2) });
         trace.record(TraceEvent::Word { cycle: Cycle::new(3), master: MasterId::new(0) });
         assert_eq!(trace.render_owners(0..4), "22.0");
+    }
+
+    #[test]
+    fn render_marks_faulted_cycles() {
+        let mut trace = BusTrace::enabled(8);
+        trace.record(TraceEvent::Word { cycle: Cycle::new(0), master: MasterId::new(1) });
+        trace.record(TraceEvent::Idle { cycle: Cycle::new(1) });
+        trace.record(TraceEvent::Fault { cycle: Cycle::new(1), master: MasterId::new(0) });
+        // A fault never overwrites a transferred word.
+        trace.record(TraceEvent::Fault { cycle: Cycle::new(0), master: MasterId::new(1) });
+        assert_eq!(trace.render_owners(0..3), "1x ");
     }
 }

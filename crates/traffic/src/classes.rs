@@ -140,13 +140,9 @@ impl TrafficClass {
             .map(|i| {
                 let load = share(i);
                 match self {
-                    TrafficClass::T1 => {
-                        GeneratorSpec::poisson(load / 16.0, SizeDist::fixed(16))
-                    }
+                    TrafficClass::T1 => GeneratorSpec::poisson(load / 16.0, SizeDist::fixed(16)),
                     TrafficClass::T2 => bursty_with_load(load, 2, 6, 16, 17 * i as u64),
-                    TrafficClass::T3 => {
-                        GeneratorSpec::poisson(load / 8.0, SizeDist::fixed(8))
-                    }
+                    TrafficClass::T3 => GeneratorSpec::poisson(load / 8.0, SizeDist::fixed(8)),
                     TrafficClass::T4 => GeneratorSpec::periodic(
                         wheel,
                         prefix(i),
@@ -229,9 +225,7 @@ impl std::fmt::Display for TrafficClass {
 pub fn saturating_specs(masters: usize) -> Vec<GeneratorSpec> {
     // Each master alone offers ~80% of the bus capacity, matching the
     // paper's Figure 4 where the top-priority component reaches ~78%.
-    (0..masters)
-        .map(|_| GeneratorSpec::poisson(0.05, SizeDist::fixed(16)))
-        .collect()
+    (0..masters).map(|_| GeneratorSpec::poisson(0.05, SizeDist::fixed(16))).collect()
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
@@ -245,14 +239,28 @@ fn gcd(a: u64, b: u64) -> u64 {
 /// Builds a bursty on–off spec whose long-run offered load is `load`
 /// words per cycle, with back-to-back bursts of `burst_min..=burst_max`
 /// messages of `words` words and the given phase offset.
-fn bursty_with_load(load: f64, burst_min: u32, burst_max: u32, words: u32, phase: u64) -> GeneratorSpec {
+fn bursty_with_load(
+    load: f64,
+    burst_min: u32,
+    burst_max: u32,
+    words: u32,
+    phase: u64,
+) -> GeneratorSpec {
     let mean_msgs = f64::from(burst_min + burst_max) / 2.0;
     let words_per_burst = mean_msgs * f64::from(words);
     // offered_load = words_per_burst / (1 + off_mean)  for intra_gap = 0.
     let off_mean = (words_per_burst / load - 1.0).max(1.0);
     let off_min = (off_mean * 0.5).round() as u64;
     let off_max = (off_mean * 1.5).round() as u64;
-    GeneratorSpec::bursty(burst_min, burst_max, 0, off_min.max(1), off_max.max(2), phase, SizeDist::fixed(words))
+    GeneratorSpec::bursty(
+        burst_min,
+        burst_max,
+        0,
+        off_min.max(1),
+        off_max.max(2),
+        phase,
+        SizeDist::fixed(words),
+    )
 }
 
 #[cfg(test)]

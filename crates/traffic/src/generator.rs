@@ -41,7 +41,12 @@ impl StochasticSource {
             ArrivalSpec::Bernoulli { .. } => 0,
             ArrivalSpec::OnOff { phase, .. } => phase,
         };
-        StochasticSource { spec, rng: StdRng::seed_from_u64(seed), pending: VecDeque::new(), next_event }
+        StochasticSource {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            pending: VecDeque::new(),
+            next_event,
+        }
     }
 
     /// The spec this source realizes.
@@ -112,9 +117,7 @@ mod tests {
     use crate::size::SizeDist;
 
     fn drain(source: &mut StochasticSource, cycles: u64) -> Vec<(u64, u32)> {
-        (0..cycles)
-            .filter_map(|c| source.poll(Cycle::new(c)).map(|t| (c, t.words())))
-            .collect()
+        (0..cycles).filter_map(|c| source.poll(Cycle::new(c)).map(|t| (c, t.words()))).collect()
     }
 
     #[test]
@@ -194,8 +197,7 @@ mod tests {
         let spec = GeneratorSpec::bursty(2, 6, 4, 100, 300, 0, SizeDist::uniform(8, 24));
         let mut source = StochasticSource::new(spec, 21);
         let cycles = 200_000u64;
-        let words: u64 =
-            drain(&mut source, cycles).iter().map(|&(_, w)| u64::from(w)).sum();
+        let words: u64 = drain(&mut source, cycles).iter().map(|&(_, w)| u64::from(w)).sum();
         let load = words as f64 / cycles as f64;
         let predicted = spec.offered_load();
         assert!(

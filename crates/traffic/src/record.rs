@@ -42,9 +42,7 @@ mod tests {
 
     fn drain(source: &mut dyn TrafficSource, cycles: u64) -> Vec<(u64, u32)> {
         (0..cycles)
-            .filter_map(|c| {
-                source.poll(Cycle::new(c)).map(|t| (t.issued_at().index(), t.words()))
-            })
+            .filter_map(|c| source.poll(Cycle::new(c)).map(|t| (t.issued_at().index(), t.words())))
             .collect()
     }
 

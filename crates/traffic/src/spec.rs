@@ -110,7 +110,14 @@ impl GeneratorSpec {
         assert!(burst_min <= burst_max, "burst range reversed");
         assert!(off_min <= off_max, "off-period range reversed");
         GeneratorSpec {
-            arrival: ArrivalSpec::OnOff { burst_min, burst_max, intra_gap, off_min, off_max, phase },
+            arrival: ArrivalSpec::OnOff {
+                burst_min,
+                burst_max,
+                intra_gap,
+                off_min,
+                off_max,
+                phase,
+            },
             size,
             slave: 0,
         }

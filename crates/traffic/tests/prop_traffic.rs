@@ -6,11 +6,7 @@ use traffic_gen::{GeneratorSpec, ReplaySource, SizeDist, StochasticSource, Traff
 
 fn drain(source: &mut dyn TrafficSource, cycles: u64) -> Vec<(u64, u64, u32)> {
     (0..cycles)
-        .filter_map(|c| {
-            source
-                .poll(Cycle::new(c))
-                .map(|t| (c, t.issued_at().index(), t.words()))
-        })
+        .filter_map(|c| source.poll(Cycle::new(c)).map(|t| (c, t.issued_at().index(), t.words())))
         .collect()
 }
 

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?))?;
 
     println!("goal: bandwidth proportional to weights 1:2:3:4\n");
-    println!("{:<12} {:>10} {:>12} {:>10} {:>10}", "component", "entitled", "priority", "rrobin", "lottery");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10}",
+        "component", "entitled", "priority", "rrobin", "lottery"
+    );
     let total: u32 = weights.iter().sum();
     for i in 0..4 {
         println!(

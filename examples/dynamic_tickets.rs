@@ -11,7 +11,9 @@
 //! Run with: `cargo run --release --example dynamic_tickets`
 
 use lotterybus_repro::lottery::{DynamicLotteryArbiter, TicketAssignment};
-use lotterybus_repro::socsim::{Arbiter, BusConfig, Cycle, Grant, MasterId, RequestMap, SystemBuilder};
+use lotterybus_repro::socsim::{
+    Arbiter, BusConfig, Cycle, Grant, MasterId, RequestMap, SystemBuilder,
+};
 use lotterybus_repro::traffic::{GeneratorSpec, SizeDist};
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -1,0 +1,98 @@
+//! Fault sweep: how each arbitration protocol degrades as the bus gets
+//! less reliable.
+//!
+//! Sweeps the slave-error rate upward with a fixed retry policy and
+//! watchdog, and prints the latency (cycles/word) and loss curve for
+//! lottery, static-priority and round-robin arbitration over the same
+//! four-master workload. Run with:
+//!
+//! ```console
+//! cargo run --release --example fault_sweep
+//! ```
+
+use lotterybus_repro::arbiters::{RoundRobinArbiter, StaticPriorityArbiter};
+use lotterybus_repro::lottery::{StaticLotteryArbiter, TicketAssignment};
+use lotterybus_repro::socsim::{
+    Arbiter, BusConfig, BusStats, FaultConfig, MasterId, RetryPolicy, SystemBuilder,
+};
+use lotterybus_repro::traffic::{GeneratorSpec, SizeDist};
+
+const WEIGHTS: [u32; 4] = [1, 2, 3, 4];
+const ERROR_RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+const CYCLES: u64 = 100_000;
+const SEED: u64 = 17;
+
+fn build_arbiter(name: &str) -> Result<Box<dyn Arbiter>, Box<dyn std::error::Error>> {
+    Ok(match name {
+        "lottery" => {
+            let tickets = TicketAssignment::new(WEIGHTS.to_vec())?;
+            Box::new(StaticLotteryArbiter::with_seed(tickets, SEED as u32 | 1)?)
+        }
+        "priority" => Box::new(StaticPriorityArbiter::new(WEIGHTS.to_vec())?),
+        _ => Box::new(RoundRobinArbiter::new(WEIGHTS.len())?),
+    })
+}
+
+fn run(name: &str, error_rate: f64) -> Result<BusStats, Box<dyn std::error::Error>> {
+    let spec = GeneratorSpec::poisson(0.012, SizeDist::fixed(16));
+    let mut builder = SystemBuilder::new(BusConfig::default());
+    for i in 0..WEIGHTS.len() {
+        builder = builder.master(format!("m{i}"), spec.build_source(SEED + i as u64));
+    }
+    if error_rate > 0.0 {
+        builder = builder
+            .faults(FaultConfig { slave_error_rate: error_rate, ..FaultConfig::with_seed(SEED) })
+            .retry_policy(RetryPolicy::exponential(4, 2))
+            .timeout(4_096);
+    }
+    let mut system = builder.arbiter(build_arbiter(name)?).build()?;
+    system.warm_up(10_000);
+    system.run(CYCLES);
+    Ok(system.stats().clone())
+}
+
+/// Words-weighted mean latency in cycles per word across all masters.
+fn mean_latency(stats: &BusStats) -> f64 {
+    let (mut cycles, mut words) = (0.0, 0.0);
+    for i in 0..WEIGHTS.len() {
+        let m = stats.master(MasterId::new(i));
+        if let Some(cpw) = m.cycles_per_word() {
+            cycles += cpw * m.completed_words as f64;
+            words += m.completed_words as f64;
+        }
+    }
+    if words == 0.0 {
+        f64::NAN
+    } else {
+        cycles / words
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("latency degradation under rising slave-error rates");
+    println!("(retry max=4 backoff=2x, watchdog 4096 cycles, {CYCLES} measured cycles)\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>9} {:>9} {:>9}",
+        "arbiter", "err rate", "cyc/word", "retries", "aborted", "util%"
+    );
+    for name in ["lottery", "priority", "rr"] {
+        let mut baseline = None;
+        for rate in ERROR_RATES {
+            let stats = run(name, rate)?;
+            let latency = mean_latency(&stats);
+            let baseline = *baseline.get_or_insert(latency);
+            println!(
+                "{:<10} {:>8.2} {:>9.2} {:>+2.0}% {:>9} {:>9} {:>9.1}",
+                name,
+                rate,
+                latency,
+                (latency / baseline - 1.0) * 100.0,
+                stats.retries,
+                stats.aborted_transactions,
+                stats.bus_utilization() * 100.0,
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

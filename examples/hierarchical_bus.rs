@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // plus the ingress bridge port, which gets a generous ticket share
     // so cross traffic is not starved.
     let channel_arbiter = |seed: u32| -> Result<_, Box<dyn std::error::Error>> {
-        Ok(Box::new(StaticLotteryArbiter::with_seed(
-            TicketAssignment::new(vec![1, 2, 3])?,
-            seed,
-        )?))
+        Ok(Box::new(StaticLotteryArbiter::with_seed(TicketAssignment::new(vec![1, 2, 3])?, seed)?))
     };
 
     // Mostly-local traffic plus a slower cross-channel stream.

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: full systems assembled through the
 //! umbrella crate's public API.
 
-use lotterybus_repro::arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout};
+use lotterybus_repro::arbiters::{
+    RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter, WheelLayout,
+};
 use lotterybus_repro::lottery::{
     self, DynamicLotteryArbiter, QueueProportionalPolicy, StaticLotteryArbiter, TicketAssignment,
 };
@@ -154,9 +156,8 @@ fn lottery_tail_latency_beats_tdma_on_adversarial_bursts() {
         (m.latency_quantile(0.99).expect("served"), m.cycles_per_word().expect("served"))
     };
     let slots: Vec<u32> = weights.iter().map(|w| w * block).collect();
-    let (tdma_p99, tdma_mean) = tail_and_mean(Box::new(
-        TdmaArbiter::new(&slots, WheelLayout::Contiguous).expect("valid"),
-    ));
+    let (tdma_p99, tdma_mean) =
+        tail_and_mean(Box::new(TdmaArbiter::new(&slots, WheelLayout::Contiguous).expect("valid")));
     let (lottery_p99, lottery_mean) = tail_and_mean(Box::new(
         StaticLotteryArbiter::with_seed(
             TicketAssignment::new(weights.to_vec()).expect("valid"),

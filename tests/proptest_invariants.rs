@@ -1,10 +1,11 @@
 //! Property-based tests over the core data structures and protocol
 //! invariants, spanning crates.
 
-use lotterybus_repro::arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout};
+use lotterybus_repro::arbiters::{
+    RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout,
+};
 use lotterybus_repro::lottery::{
-    draw_winner, partial_sums, DynamicLotteryArbiter, Lfsr, StaticLotteryArbiter,
-    TicketAssignment,
+    draw_winner, partial_sums, DynamicLotteryArbiter, Lfsr, StaticLotteryArbiter, TicketAssignment,
 };
 use lotterybus_repro::socsim::{Arbiter, Cycle, MasterId, RequestMap};
 use proptest::prelude::*;

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repo derives `Serialize`/`Deserialize` on its data types but
+//! never actually serializes anything, and the build environment has
+//! no crates.io access. This vendored crate keeps the derive
+//! annotations compiling: the traits are markers with blanket
+//! implementations, and the re-exported derive macros expand to
+//! nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
