@@ -1,40 +1,87 @@
 //! Development aid: sweeps switch parameters to locate a regime that
 //! reproduces the paper's Table 1 shape (static ≈ lottery ≪ TDMA for
 //! port-4 latency; 1:2:4 bandwidth only under lottery).
+//!
+//! Every (tdma-block, burst, architecture) cell is an independent
+//! simulation, so the whole grid fans out over worker threads via
+//! `socsim::pool`; results come back in grid order and the printed
+//! table never depends on worker scheduling. Pass `--jobs N` to pin
+//! the worker count (default: all cores).
 
-use atm_switch::{CellArrivals, SwitchArbiter, SwitchConfig};
+use atm_switch::{AtmReport, CellArrivals, SwitchArbiter, SwitchConfig};
+use std::time::Instant;
+
+const TDMA_BLOCKS: [u32; 5] = [1, 6, 12, 24, 48];
+const BURSTS: [(u32, u32); 3] = [(1, 2), (2, 4), (4, 6)];
+const ARCHS: [SwitchArbiter; 3] =
+    [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery];
+
+// The switch and its arbiter hold `Rc` internals, so they are built
+// inside each job from this plain (Send + Sync) cell description.
+fn run_cell(
+    tdma_block: u32,
+    (burst_min, burst_max): (u32, u32),
+    arch: SwitchArbiter,
+) -> Result<AtmReport, String> {
+    let mut cfg = SwitchConfig::paper_setup();
+    cfg.tdma_block = tdma_block;
+    cfg.arrivals[3] = CellArrivals::Bursty { burst_min, burst_max, off_min: 300, off_max: 900 };
+    cfg.run(arch, 200_000, 11).map_err(|e| e.to_string())
+}
+
+fn jobs_arg() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("usage: tune_sweep [--jobs N]");
+            std::process::exit(2);
+        }),
+        None => 0, // all available cores
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for tdma_block in [1u32, 6, 12, 24, 48] {
-        for (bmin, bmax) in [(1u32, 2u32), (2, 4), (4, 6)] {
-            let mut cfg = SwitchConfig::paper_setup();
-            cfg.tdma_block = tdma_block;
-            cfg.arrivals[3] = CellArrivals::Bursty {
-                burst_min: bmin,
-                burst_max: bmax,
-                off_min: 300,
-                off_max: 900,
-            };
-            let mut row = format!("block={tdma_block:>2} burst={bmin}-{bmax}:");
-            for arch in [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery]
-            {
-                let r = cfg.run(arch, 200_000, 11)?;
-                row += &format!(
-                    "  {}: L4={:5.2} bw=[{:.0}%,{:.0}%,{:.0}%,{:.0}%]",
-                    match arch {
-                        SwitchArbiter::StaticPriority => "SP",
-                        SwitchArbiter::Tdma => "TD",
-                        SwitchArbiter::Lottery => "LO",
-                    },
-                    r.latency(3).unwrap_or(f64::NAN),
-                    r.bandwidth_fraction(0) * 100.0,
-                    r.bandwidth_fraction(1) * 100.0,
-                    r.bandwidth_fraction(2) * 100.0,
-                    r.bandwidth_fraction(3) * 100.0,
-                );
-            }
-            println!("{row}");
+    let jobs = jobs_arg();
+    let grid: Vec<(u32, (u32, u32), SwitchArbiter)> = TDMA_BLOCKS
+        .iter()
+        .flat_map(|&block| {
+            BURSTS
+                .iter()
+                .flat_map(move |&burst| ARCHS.iter().map(move |&arch| (block, burst, arch)))
+        })
+        .collect();
+
+    let start = Instant::now();
+    let results = socsim::pool::parallel_map(jobs, &grid, |_, &(block, burst, arch)| {
+        run_cell(block, burst, arch)
+    });
+    let reports: Vec<AtmReport> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    eprintln!(
+        "ran {} switch simulations in {:.3}s with {} worker(s)",
+        grid.len(),
+        start.elapsed().as_secs_f64(),
+        socsim::pool::resolve_jobs(jobs).min(grid.len()),
+    );
+
+    for (i, &(block, (bmin, bmax), _)) in grid.iter().enumerate().step_by(ARCHS.len()) {
+        let mut row = format!("block={block:>2} burst={bmin}-{bmax}:");
+        for (a, arch) in ARCHS.iter().enumerate() {
+            let r = &reports[i + a];
+            row += &format!(
+                "  {}: L4={:5.2} bw=[{:.0}%,{:.0}%,{:.0}%,{:.0}%]",
+                match arch {
+                    SwitchArbiter::StaticPriority => "SP",
+                    SwitchArbiter::Tdma => "TD",
+                    SwitchArbiter::Lottery => "LO",
+                },
+                r.latency(3).unwrap_or(f64::NAN),
+                r.bandwidth_fraction(0) * 100.0,
+                r.bandwidth_fraction(1) * 100.0,
+                r.bandwidth_fraction(2) * 100.0,
+                r.bandwidth_fraction(3) * 100.0,
+            );
         }
+        println!("{row}");
     }
     Ok(())
 }

@@ -4,14 +4,24 @@
 //! ```console
 //! $ lotterybus-sim my-system.spec
 //! $ lotterybus-sim my-system.spec --vcd waves.vcd   # also dump a waveform
+//! $ lotterybus-sim my-system.spec --jobs 4          # replica fan-out width
 //! $ lotterybus-sim --example                        # print a starter spec
 //! $ cat my-system.spec | lotterybus-sim -
 //! ```
+//!
+//! With `replicas = N` in the spec, the N independent runs (derived
+//! seeds) fan out across `--jobs` worker threads; the report shows
+//! replica 0 followed by a cross-replica aggregate. The worker count
+//! never changes the report — results are collected in replica order —
+//! and wall-clock telemetry goes to stderr only.
 
-use lotterybus_cli::{render_report, SimSpec};
+use lotterybus_cli::{render_report, report::render_replica_summary, SimSpec};
 use socsim::SystemBuilder;
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: lotterybus-sim <spec-file | -> [--vcd <file>] [--jobs <n>] | --example";
 
 const EXAMPLE_SPEC: &str = "\
 # lotterybus-sim example spec
@@ -45,7 +55,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: lotterybus-sim <spec-file | -> [--vcd <file>] | --example");
+            eprintln!("{USAGE}");
             eprintln!("run `lotterybus-sim --example > system.spec` to get started");
             if args.is_empty() {
                 ExitCode::FAILURE
@@ -53,16 +63,21 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
-        Some(path) => match vcd_path(&args).and_then(|vcd| run(path, vcd)) {
-            Ok(report) => {
-                print!("{report}");
-                ExitCode::SUCCESS
+        Some(path) => {
+            let outcome = vcd_path(&args)
+                .and_then(|vcd| jobs_flag(&args).map(|jobs| (vcd, jobs)))
+                .and_then(|(vcd, jobs)| run(path, vcd, jobs));
+            match outcome {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(message) => {
+                    eprintln!("{message}");
+                    ExitCode::FAILURE
+                }
             }
-            Err(message) => {
-                eprintln!("{message}");
-                ExitCode::FAILURE
-            }
-        },
+        }
     }
 }
 
@@ -73,24 +88,26 @@ fn vcd_path(args: &[String]) -> Result<Option<&str>, String> {
         None => Ok(None),
         Some(i) => match args.get(i + 1) {
             Some(file) => Ok(Some(file.as_str())),
-            None => Err("error: `--vcd` requires a file argument\n\
-                         usage: lotterybus-sim <spec-file | -> [--vcd <file>] | --example"
-                .to_owned()),
+            None => Err(format!("error: `--vcd` requires a file argument\n{USAGE}")),
         },
     }
 }
 
-fn run(path: &str, vcd: Option<&str>) -> Result<String, String> {
-    let text = if path == "-" {
-        let mut buffer = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buffer)
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
-        buffer
-    } else {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
-    };
-    let spec = SimSpec::parse(&text).map_err(|e| e.to_string())?;
+/// Extracts the `--jobs <n>` option (worker threads for replica
+/// fan-out; overrides the spec's `jobs` key). `None` = not given.
+fn jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == "--jobs") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(jobs) => Ok(Some(jobs)),
+            None => Err(format!("error: `--jobs` requires a number\n{USAGE}")),
+        },
+    }
+}
+
+/// Runs one replica's simulation and returns its statistics; the VCD
+/// trace path applies only to single-replica runs.
+fn simulate(spec: &SimSpec, vcd: Option<&str>) -> Result<socsim::BusStats, String> {
     let mut builder = SystemBuilder::new(spec.bus_config());
     for (i, master) in spec.masters.iter().enumerate() {
         builder = builder.master(
@@ -124,7 +141,51 @@ fn run(path: &str, vcd: Option<&str>) -> Result<String, String> {
         std::fs::write(vcd_file, document)
             .map_err(|e| format!("cannot write `{vcd_file}`: {e}"))?;
     }
-    Ok(render_report(&spec, system.stats()))
+    Ok(system.stats().clone())
+}
+
+fn run(path: &str, vcd: Option<&str>, jobs: Option<usize>) -> Result<String, String> {
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+    };
+    let spec = SimSpec::parse(&text).map_err(|e| e.to_string())?;
+    let jobs = jobs.unwrap_or(spec.jobs);
+    if spec.replicas > 1 && vcd.is_some() {
+        return Err(format!(
+            "error: `--vcd` requires `replicas = 1` (the spec requests {})\n{USAGE}",
+            spec.replicas
+        ));
+    }
+    let start = Instant::now();
+    let report = if spec.replicas == 1 {
+        render_report(&spec, &simulate(&spec, vcd)?)
+    } else {
+        let indices: Vec<u32> = (0..spec.replicas).collect();
+        let runs =
+            socsim::pool::parallel_map(jobs, &indices, |_, &r| simulate(&spec.replica(r), None))
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()?;
+        // Replica 0 ran with the unchanged seed, so its report is
+        // byte-identical to a single-replica run of the same spec.
+        let mut report = render_report(&spec, &runs[0]);
+        report.push_str(&render_replica_summary(&spec, &runs));
+        report
+    };
+    // Telemetry stays on stderr so stdout remains a clean, diffable
+    // result stream.
+    eprintln!(
+        "ran {} replica(s) in {:.3}s with {} worker(s)",
+        spec.replicas,
+        start.elapsed().as_secs_f64(),
+        socsim::pool::resolve_jobs(jobs).min(spec.replicas.max(1) as usize),
+    );
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -153,5 +214,34 @@ mod tests {
         let err = vcd_path(&args(&["s.spec", "--vcd"])).unwrap_err();
         assert!(err.contains("`--vcd` requires a file argument"), "{err}");
         assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_is_extracted_and_validated() {
+        assert_eq!(jobs_flag(&args(&["s.spec", "--jobs", "4"])).unwrap(), Some(4));
+        assert_eq!(jobs_flag(&args(&["s.spec"])).unwrap(), None);
+        let err = jobs_flag(&args(&["s.spec", "--jobs"])).unwrap_err();
+        assert!(err.contains("`--jobs` requires a number"), "{err}");
+        let err = jobs_flag(&args(&["s.spec", "--jobs", "many"])).unwrap_err();
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn replica_fanout_is_deterministic_and_extends_the_report() {
+        let text = "arbiter = lottery\ncycles = 4000\nwarmup = 0\nreplicas = 3\n\
+                    master cpu weight=3 load=0.4 size=16\n\
+                    master dsp weight=1 load=0.3 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        let simulate_all = |jobs: usize| -> Vec<socsim::BusStats> {
+            let indices: Vec<u32> = (0..spec.replicas).collect();
+            socsim::pool::parallel_map(jobs, &indices, |_, &r| {
+                simulate(&spec.replica(r), None).expect("runs")
+            })
+        };
+        let serial = simulate_all(1);
+        let parallel = simulate_all(3);
+        assert_eq!(serial, parallel, "worker count changed replica results");
+        let report = render_report(&spec, &serial[0]) + &render_replica_summary(&spec, &serial);
+        assert!(report.contains("replica aggregate over 3 runs"), "{report}");
     }
 }

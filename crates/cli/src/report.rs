@@ -50,6 +50,56 @@ pub fn render_report(spec: &SimSpec, stats: &BusStats) -> String {
     out
 }
 
+/// Renders the cross-replica aggregate section: per-master mean ±
+/// spread of bandwidth share and latency over all replica runs, plus
+/// utilization statistics. Appended after the replica-0 report when the
+/// spec requests `replicas > 1`.
+pub fn render_replica_summary(spec: &SimSpec, runs: &[BusStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\nreplica aggregate over {} runs (derived seeds):\n", runs.len()));
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>18} {:>16}\n",
+        "master", "mean bw", "bw min..max", "mean cyc/word"
+    ));
+    for (i, master) in spec.masters.iter().enumerate() {
+        let id = MasterId::new(i);
+        let shares: Vec<f64> = runs.iter().map(|s| s.bandwidth_fraction(id)).collect();
+        let (lo, hi) = min_max(&shares);
+        let latencies: Vec<f64> =
+            runs.iter().filter_map(|s| s.master(id).cycles_per_word()).collect();
+        let lat =
+            if latencies.is_empty() { "-".to_owned() } else { format!("{:.2}", mean(&latencies)) };
+        out.push_str(&format!(
+            "{:<10} {:>11.1}% {:>8.1}%..{:>6.1}% {:>16}\n",
+            master.name,
+            mean(&shares) * 100.0,
+            lo * 100.0,
+            hi * 100.0,
+            lat,
+        ));
+    }
+    let utils: Vec<f64> = runs.iter().map(BusStats::bus_utilization).collect();
+    let (lo, hi) = min_max(&utils);
+    out.push_str(&format!(
+        "bus utilization mean {:.1}% (range {:.1}%..{:.1}%)\n",
+        mean(&utils) * 100.0,
+        lo * 100.0,
+        hi * 100.0,
+    ));
+    out
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +159,27 @@ mod tests {
         let report = render_report(&spec, stats);
         assert!(report.contains(&format!("{} slave errors", stats.slave_errors)));
         assert!(report.contains(&format!("{} retries", stats.retries)));
+    }
+
+    #[test]
+    fn replica_summary_aggregates_across_runs() {
+        let text = "arbiter = lottery\ncycles = 4000\nwarmup = 0\nreplicas = 3\n\
+                    master cpu weight=3 load=0.4 size=16\n\
+                    master dsp weight=1 load=0.3 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        let runs: Vec<socsim::BusStats> = (0..spec.replicas)
+            .map(|r| {
+                let rspec = spec.replica(r);
+                let mut system = build_system(&rspec, rspec.build_arbiter().expect("builds"));
+                system.run(rspec.cycles);
+                system.stats().clone()
+            })
+            .collect();
+        let summary = render_replica_summary(&spec, &runs);
+        assert!(summary.contains("replica aggregate over 3 runs"), "{summary}");
+        assert!(summary.contains("cpu"));
+        assert!(summary.contains("dsp"));
+        assert!(summary.contains("bus utilization mean"));
     }
 
     /// End-to-end failover demo: a deliberately wedged primary trips the

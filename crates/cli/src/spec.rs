@@ -121,6 +121,13 @@ pub struct SimSpec {
     /// Failover patience in cycles from a `failover` line; when set the
     /// selected arbiter is wrapped in a [`FailoverArbiter`].
     pub failover: Option<u64>,
+    /// Independent replica runs with derived seeds (`replicas` key,
+    /// default 1). Replica 0 uses the spec seed unchanged, so a
+    /// single-replica run is byte-identical to earlier versions.
+    pub replicas: u32,
+    /// Worker threads for replica fan-out (`jobs` key; `0` = all
+    /// available cores). Never affects results, only wall-clock time.
+    pub jobs: usize,
     /// The masters, in declaration order.
     pub masters: Vec<MasterSpec>,
 }
@@ -138,6 +145,8 @@ impl Default for SimSpec {
             retry: None,
             timeout: None,
             failover: None,
+            replicas: 1,
+            jobs: 0,
             masters: Vec::new(),
         }
     }
@@ -210,6 +219,8 @@ impl SimSpec {
                 "tdma-block" => spec.tdma_block = parse_num(line_no, key, value)?,
                 "timeout" => spec.timeout = Some(parse_num(line_no, key, value)?),
                 "failover" => spec.failover = Some(parse_num(line_no, key, value)?),
+                "replicas" => spec.replicas = parse_num(line_no, key, value)?,
+                "jobs" => spec.jobs = parse_num(line_no, key, value)?,
                 _ => return Err(err(line_no, format!("unknown key `{key}`"))),
             }
         }
@@ -231,7 +242,24 @@ impl SimSpec {
         if spec.failover == Some(0) {
             return Err(err(0, "failover patience must be at least 1 cycle"));
         }
+        if spec.replicas == 0 {
+            return Err(err(0, "replicas must be at least 1"));
+        }
         Ok(spec)
+    }
+
+    /// The spec for replica `r`: identical except that the seed (and the
+    /// fault-plan seed with it) is re-derived per replica, so replicas
+    /// sample independent traffic and fault streams. Replica 0 keeps
+    /// the spec seed unchanged and therefore reproduces a
+    /// single-replica run exactly.
+    pub fn replica(&self, r: u32) -> SimSpec {
+        let mut spec = self.clone();
+        spec.seed = self.seed.wrapping_add(u64::from(r).wrapping_mul(0x9E37_79B9_97F4_A7C5));
+        if let Some(fault) = &mut spec.fault {
+            fault.seed = spec.seed;
+        }
+        spec
     }
 
     /// Whether the spec configures any fault-injection or recovery
@@ -457,6 +485,32 @@ mod tests {
 
         let e = SimSpec::parse("master m load=2.0").unwrap_err();
         assert!(e.message.contains("load"));
+    }
+
+    #[test]
+    fn replicas_and_jobs_keys_parse() {
+        let text = "replicas = 5\njobs = 2\nmaster m load=0.1\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        assert_eq!(spec.replicas, 5);
+        assert_eq!(spec.jobs, 2);
+        // Defaults: one replica, auto worker count.
+        let spec = SimSpec::parse("master m load=0.1\n").expect("valid");
+        assert_eq!(spec.replicas, 1);
+        assert_eq!(spec.jobs, 0);
+        let e = SimSpec::parse("replicas = 0\nmaster m load=0.1\n").unwrap_err();
+        assert!(e.message.contains("replicas"), "{e}");
+    }
+
+    #[test]
+    fn replica_zero_is_the_base_spec() {
+        let text = "seed = 42\nfault slave-error rate=0.01\nmaster m load=0.1\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        assert_eq!(spec.replica(0), spec);
+        let r1 = spec.replica(1);
+        assert_ne!(r1.seed, spec.seed);
+        assert_eq!(r1.fault.expect("fault kept").seed, r1.seed, "fault plan re-keyed");
+        // Distinct replicas draw distinct seeds.
+        assert_ne!(spec.replica(1).seed, spec.replica(2).seed);
     }
 
     #[test]

@@ -32,11 +32,17 @@ impl<T: RandomSource + ?Sized> RandomSource for Box<T> {
 /// Hardware-faithful draw source: a maximal-length [`Lfsr`].
 ///
 /// For power-of-two bounds it collects `log2(bound)` output bits — the
-/// static manager's fast path (§4.3). For other bounds it collects
-/// `ceil(log2(bound))` bits and reduces them with a modulo, mirroring the
-/// dynamic manager's modulo hardware (§4.4). The modulo introduces the
-/// same slight bias the hardware would have; use a power-of-two bound
-/// (via ticket scaling) when exact proportionality matters.
+/// static manager's fast path (§4.3). For other bounds it samples one
+/// register-width word (`max(width, ceil(log2(bound)))` bits, so the
+/// sample always covers the bound) and reduces it modulo the bound,
+/// mirroring the dynamic manager's modulo hardware (§4.4), which
+/// latches the whole register and feeds it to the modulo unit.
+///
+/// The modulo introduces the same slight bias the hardware would have:
+/// with `b` collected bits the probability of any residue deviates from
+/// `1/bound` by less than `bound / 2^b ≤ bound / 2^width`. Use a
+/// power-of-two bound (via ticket scaling) when exact proportionality
+/// matters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LfsrSource {
     lfsr: Lfsr,
@@ -68,10 +74,17 @@ impl RandomSource for LfsrSource {
             // Static-manager fast path: exactly log2(bound) output bits.
             self.lfsr.next_bits(31 - (bound - 1).leading_zeros() + 1)
         } else {
-            // Dynamic-manager path: reduce a full-width register value
-            // modulo the bound. Using all 32 bits keeps the modulo bias
-            // below bound / 2^32.
-            self.lfsr.next_bits(32) % bound
+            // Dynamic-manager path: one register-width sample reduced
+            // modulo the bound, exactly as the hardware latches the
+            // register into the modulo unit. Collecting a fixed 32 bits
+            // here (the old behaviour) would span multiple periods of a
+            // narrow register and correlate successive draws; width
+            // bits shift the whole register once per draw instead. When
+            // the bound needs more bits than the register holds, widen
+            // the sample just enough to cover it (bias < bound / 2^bits).
+            let need = 32 - (bound - 1).leading_zeros();
+            let bits = self.lfsr.width().max(need);
+            self.lfsr.next_bits(bits) % bound
         }
     }
 
@@ -142,6 +155,57 @@ mod tests {
         }
         for &c in &counts {
             assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_draw_consumes_one_register_width() {
+        // Regression: the modulo path collected a fixed 32 bits, so a
+        // width-8 register was wound through its period 32/8 = 4 times
+        // per draw and successive draws were correlated. One draw must
+        // advance the register exactly `width` steps (the hardware
+        // latches the whole register once into the modulo unit).
+        let mut source = LfsrSource::new(8, 0x5A);
+        let mut shadow = Lfsr::new(8, 0x5A);
+        let expected = shadow.next_bits(8) % 10;
+        assert_eq!(source.draw(10), expected);
+        assert_eq!(source.lfsr().state(), shadow.state(), "register advanced past one width");
+    }
+
+    #[test]
+    fn wide_bounds_on_narrow_registers_still_cover_the_range() {
+        // A 4-bit register asked for draws in [0, 100): the sample is
+        // widened to ceil(log2(100)) = 7 bits so every value is
+        // reachable; values above 15 must actually occur.
+        let mut source = LfsrSource::new(4, 0xE);
+        let mut above_register_range = 0;
+        for _ in 0..200 {
+            let draw = source.draw(100);
+            assert!(draw < 100);
+            if draw > 15 {
+                above_register_range += 1;
+            }
+        }
+        assert!(above_register_range > 50, "only {above_register_range}/200 draws above 15");
+    }
+
+    #[test]
+    fn narrow_register_modulo_draws_are_balanced() {
+        // Width 7 steps its full 127-state period over 127 draws (7 is
+        // coprime to 127), so the empirical distribution over one full
+        // sweep is the exact distribution of state % bound.
+        let mut source = LfsrSource::new(7, 0x2B);
+        let mut counts = [0u32; 5];
+        const DRAWS: u32 = 635; // 5 full periods
+        for _ in 0..DRAWS {
+            counts[source.draw(5) as usize] += 1;
+        }
+        let expected = DRAWS / 5;
+        for (residue, &count) in counts.iter().enumerate() {
+            assert!(
+                count >= expected / 2 && count <= expected * 2,
+                "residue {residue}: {count}/{DRAWS} draws"
+            );
         }
     }
 

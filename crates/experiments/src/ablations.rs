@@ -12,6 +12,8 @@
 //! * **TDMA wheel layout** — contiguous blocks vs interleaved slots.
 
 use crate::common::{self, RunSettings};
+use crate::json::{Json, ToJson};
+use crate::runner;
 use arbiters::{TdmaArbiter, WheelLayout};
 use lotterybus::{
     DynamicLotteryArbiter, QueueProportionalPolicy, StaticLotteryArbiter, StdRngSource,
@@ -53,27 +55,25 @@ pub struct BurstRow {
 /// Burst-size ablation: the maximum transfer size trades arbitration
 /// frequency against head-of-line blocking.
 pub fn burst_size(settings: &RunSettings) -> Vec<BurstRow> {
-    [1u32, 4, 16, 64]
-        .into_iter()
-        .map(|max_burst| {
-            let s = RunSettings { bus: BusConfig { max_burst, ..settings.bus }, ..*settings };
-            let sat = common::run_system(
-                &saturating_specs(4),
-                Box::new(StaticLotteryArbiter::with_seed(weight_tickets(), 3).expect("valid")),
-                &s,
-            );
-            let t6 = common::run_system(
-                &TrafficClass::T6.specs_with_frame(&WEIGHTS, crate::fig6::TDMA_BLOCK),
-                Box::new(StaticLotteryArbiter::with_seed(weight_tickets(), 3).expect("valid")),
-                &s,
-            );
-            BurstRow {
-                max_burst,
-                proportionality_error: proportionality_error(&common::bandwidth_fractions(&sat, 4)),
-                t6_latency_w4: t6.master(MasterId::new(3)).cycles_per_word(),
-            }
-        })
-        .collect()
+    let bursts = [1u32, 4, 16, 64];
+    runner::map(settings, &bursts, |_, &max_burst| {
+        let s = RunSettings { bus: BusConfig { max_burst, ..settings.bus }, ..*settings };
+        let sat = common::run_system(
+            &saturating_specs(4),
+            Box::new(StaticLotteryArbiter::with_seed(weight_tickets(), 3).expect("valid")),
+            &s,
+        );
+        let t6 = common::run_system(
+            &TrafficClass::T6.specs_with_frame(&WEIGHTS, crate::fig6::TDMA_BLOCK),
+            Box::new(StaticLotteryArbiter::with_seed(weight_tickets(), 3).expect("valid")),
+            &s,
+        );
+        BurstRow {
+            max_burst,
+            proportionality_error: proportionality_error(&common::bandwidth_fractions(&sat, 4)),
+            t6_latency_w4: t6.master(MasterId::new(3)).cycles_per_word(),
+        }
+    })
 }
 
 /// One row of the draw-source ablation.
@@ -87,21 +87,21 @@ pub struct DrawSourceRow {
 
 /// Draw-source ablation: the hardware LFSR vs an ideal uniform RNG.
 pub fn draw_source(settings: &RunSettings) -> Vec<DrawSourceRow> {
-    let lfsr = StaticLotteryArbiter::with_seed(weight_tickets(), 0xACE1).expect("valid");
-    let ideal = StaticLotteryArbiter::with_source(weight_tickets(), Box::new(StdRngSource::new(7)))
-        .expect("valid");
-    [("lfsr", lfsr), ("stdrng", ideal)]
-        .into_iter()
-        .map(|(name, arbiter)| {
-            let stats = common::run_system(&saturating_specs(4), Box::new(arbiter), settings);
-            DrawSourceRow {
-                source: name.into(),
-                proportionality_error: proportionality_error(&common::bandwidth_fractions(
-                    &stats, 4,
-                )),
-            }
-        })
-        .collect()
+    let sources = ["lfsr", "stdrng"];
+    runner::map(settings, &sources, |_, &name| {
+        // Arbiters are built inside the job (they are not `Send`).
+        let arbiter = if name == "lfsr" {
+            StaticLotteryArbiter::with_seed(weight_tickets(), 0xACE1).expect("valid")
+        } else {
+            StaticLotteryArbiter::with_source(weight_tickets(), Box::new(StdRngSource::new(7)))
+                .expect("valid")
+        };
+        let stats = common::run_system(&saturating_specs(4), Box::new(arbiter), settings);
+        DrawSourceRow {
+            source: name.into(),
+            proportionality_error: proportionality_error(&common::bandwidth_fractions(&stats, 4)),
+        }
+    })
 }
 
 /// One row of the scaling-resolution ablation.
@@ -151,19 +151,14 @@ pub fn update_period(settings: &RunSettings) -> Vec<UpdatePeriodRow> {
         GeneratorSpec::bursty(6, 10, 0, 400, 900, 0, SizeDist::fixed(16)),
         GeneratorSpec::poisson(0.045, SizeDist::fixed(16)),
     ];
-    [1u64, 16, 256, 4096]
-        .into_iter()
-        .map(|period| {
-            let tickets = TicketAssignment::new(vec![1, 1]).expect("valid");
-            let mut arbiter = DynamicLotteryArbiter::with_seed(tickets, 5).expect("valid");
-            arbiter.set_policy(Box::new(QueueProportionalPolicy::new(vec![1, 1])), period);
-            let stats = common::run_system(&specs, Box::new(arbiter), settings);
-            UpdatePeriodRow {
-                period,
-                bursty_latency: stats.master(MasterId::new(0)).cycles_per_word(),
-            }
-        })
-        .collect()
+    let periods = [1u64, 16, 256, 4096];
+    runner::map(settings, &periods, |_, &period| {
+        let tickets = TicketAssignment::new(vec![1, 1]).expect("valid");
+        let mut arbiter = DynamicLotteryArbiter::with_seed(tickets, 5).expect("valid");
+        arbiter.set_policy(Box::new(QueueProportionalPolicy::new(vec![1, 1])), period);
+        let stats = common::run_system(&specs, Box::new(arbiter), settings);
+        UpdatePeriodRow { period, bursty_latency: stats.master(MasterId::new(0)).cycles_per_word() }
+    })
 }
 
 /// One row of the wheel-layout ablation.
@@ -179,18 +174,17 @@ pub struct WheelLayoutRow {
 /// interleaved slots, on the TDMA-hostile class T6.
 pub fn wheel_layout(settings: &RunSettings) -> Vec<WheelLayoutRow> {
     let slots: Vec<u32> = WEIGHTS.iter().map(|w| w * crate::fig6::TDMA_BLOCK).collect();
-    [("contiguous", WheelLayout::Contiguous), ("interleaved", WheelLayout::Interleaved)]
-        .into_iter()
-        .map(|(name, layout)| {
-            let arbiter = TdmaArbiter::new(&slots, layout).expect("valid wheel");
-            let stats = common::run_system(
-                &TrafficClass::T6.specs_with_frame(&WEIGHTS, crate::fig6::TDMA_BLOCK),
-                Box::new(arbiter),
-                settings,
-            );
-            WheelLayoutRow { layout: name.into(), t6_latency: common::latencies(&stats, 4) }
-        })
-        .collect()
+    let layouts =
+        [("contiguous", WheelLayout::Contiguous), ("interleaved", WheelLayout::Interleaved)];
+    runner::map(settings, &layouts, |_, &(name, layout)| {
+        let arbiter = TdmaArbiter::new(&slots, layout).expect("valid wheel");
+        let stats = common::run_system(
+            &TrafficClass::T6.specs_with_frame(&WEIGHTS, crate::fig6::TDMA_BLOCK),
+            Box::new(arbiter),
+            settings,
+        );
+        WheelLayoutRow { layout: name.into(), t6_latency: common::latencies(&stats, 4) }
+    })
 }
 
 /// All ablations bundled for printing.
@@ -216,6 +210,62 @@ pub fn run(settings: &RunSettings) -> Ablations {
         scaling: scaling_resolution(),
         update: update_period(settings),
         wheel: wheel_layout(settings),
+    }
+}
+
+impl ToJson for Ablations {
+    fn to_json(&self) -> Json {
+        let burst: Vec<Json> = self
+            .burst
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("max_burst", r.max_burst)
+                    .field("proportionality_error", r.proportionality_error)
+                    .field("t6_latency_w4", r.t6_latency_w4)
+            })
+            .collect();
+        let draw: Vec<Json> = self
+            .draw
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("source", r.source.as_str())
+                    .field("proportionality_error", r.proportionality_error)
+            })
+            .collect();
+        let scaling: Vec<Json> = self
+            .scaling
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("extra_bits", r.extra_bits)
+                    .field("scaled_total", r.scaled_total)
+                    .field("ratio_error", r.ratio_error)
+            })
+            .collect();
+        let update: Vec<Json> = self
+            .update
+            .iter()
+            .map(|r| {
+                Json::obj().field("period", r.period).field("bursty_latency", r.bursty_latency)
+            })
+            .collect();
+        let wheel: Vec<Json> = self
+            .wheel
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("layout", r.layout.as_str())
+                    .field("t6_latency", r.t6_latency.clone())
+            })
+            .collect();
+        Json::obj()
+            .field("burst", Json::Arr(burst))
+            .field("draw", Json::Arr(draw))
+            .field("scaling", Json::Arr(scaling))
+            .field("update", Json::Arr(update))
+            .field("wheel", Json::Arr(wheel))
     }
 }
 

@@ -1,0 +1,89 @@
+//! Runs the full experiment suite and emits one deterministic JSON
+//! document on stdout (or `--out FILE`).
+//!
+//! ```text
+//! suite [--quick] [--jobs N] [--out FILE] [--bench FILE]
+//! ```
+//!
+//! * `--quick` — short measurement window (CI-friendly).
+//! * `--jobs N` — worker threads; `0` (default) = all cores. Never
+//!   affects the JSON output, only wall-clock time.
+//! * `--out FILE` — write the JSON document to FILE instead of stdout.
+//! * `--bench FILE` — run the suite serially (`--jobs 1`) and then with
+//!   the requested worker count, assert the outputs are byte-identical,
+//!   and write wall-clock/speedup telemetry to FILE (the
+//!   `BENCH_PR2.json` artifact).
+//!
+//! Timing telemetry always goes to **stderr** so stdout stays a clean,
+//! diffable result stream.
+
+use experiments::suite::{run_suite, SuiteOptions};
+
+fn usage() -> ! {
+    eprintln!("usage: suite [--quick] [--jobs N] [--out FILE] [--bench FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = SuiteOptions { quick: false, jobs: 0 };
+    let mut out: Option<String> = None;
+    let mut bench: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                opts.jobs = value.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--bench" => bench = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let workers = socsim::pool::resolve_jobs(opts.jobs);
+
+    if let Some(bench_path) = bench {
+        // Serial baseline first, then the parallel run; the two result
+        // documents must be byte-identical (the determinism guarantee
+        // the rest of the tooling relies on).
+        let serial = run_suite(&SuiteOptions { jobs: 1, ..opts });
+        eprintln!("{}", serial.telemetry.report(1));
+        let parallel = run_suite(&opts);
+        eprintln!("{}", parallel.telemetry.report(workers));
+        assert_eq!(
+            serial.json, parallel.json,
+            "suite output differs between --jobs 1 and --jobs {workers}"
+        );
+
+        let serial_wall = serial.telemetry.total_wall().as_secs_f64();
+        let parallel_wall = parallel.telemetry.total_wall().as_secs_f64();
+        let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 1.0 };
+        let report = experiments::json::Json::obj()
+            .field("quick", opts.quick)
+            .field("host_parallelism", socsim::pool::available_jobs())
+            .field("jobs", workers)
+            .field("serial_wall_secs", serial_wall)
+            .field("parallel_wall_secs", parallel_wall)
+            .field("speedup", speedup)
+            .field("byte_identical", true)
+            .field("serial", serial.telemetry.to_json())
+            .field("parallel", parallel.telemetry.to_json());
+        std::fs::write(&bench_path, report.render() + "\n").expect("write bench report");
+        eprintln!("speedup {speedup:.2}x with {workers} worker(s); bench report: {bench_path}");
+        emit(out.as_deref(), &parallel.json);
+    } else {
+        let run = run_suite(&opts);
+        eprintln!("{}", run.telemetry.report(workers));
+        emit(out.as_deref(), &run.json);
+    }
+}
+
+fn emit(out: Option<&str>, json: &str) {
+    match out {
+        Some(path) => std::fs::write(path, json.to_owned() + "\n").expect("write suite output"),
+        None => println!("{json}"),
+    }
+}

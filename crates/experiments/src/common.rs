@@ -14,17 +14,33 @@ pub struct RunSettings {
     pub seed: u64,
     /// Bus configuration.
     pub bus: BusConfig,
+    /// Worker threads for independent runs within one experiment
+    /// (`0` = all available cores). Never affects results — every run
+    /// owns its seed and results are collected in input order — only
+    /// wall-clock time.
+    pub jobs: usize,
 }
 
 impl RunSettings {
     /// The full-length window used for published numbers.
     pub fn new() -> Self {
-        RunSettings { warmup: 20_000, measure: 200_000, seed: 0xC0FFEE, bus: BusConfig::default() }
+        RunSettings {
+            warmup: 20_000,
+            measure: 200_000,
+            seed: 0xC0FFEE,
+            bus: BusConfig::default(),
+            jobs: 0,
+        }
     }
 
     /// A shorter window for tests (same shapes, faster).
     pub fn quick() -> Self {
         RunSettings { measure: 60_000, ..RunSettings::new() }
+    }
+
+    /// These settings with an explicit worker count.
+    pub fn with_jobs(self, jobs: usize) -> Self {
+        RunSettings { jobs, ..self }
     }
 }
 
@@ -57,6 +73,38 @@ pub fn run_system(
     system.warm_up(settings.warmup);
     system.run(settings.measure);
     system.stats().clone()
+}
+
+/// Builds the arbiter at `index` of the shared five-protocol comparison
+/// lineup (static-priority, round-robin, deficit-RR, two-level TDMA,
+/// static lottery) for a 1:2:3:4-weighted four-master system. Used by
+/// the load sweeps and the fairness table, and callable from worker
+/// threads because the arbiter is constructed inside the job.
+///
+/// # Panics
+///
+/// Panics if `index` is not in `0..5` (the lineup is fixed).
+pub fn protocol_arbiter(index: usize, seed: u64) -> Box<dyn Arbiter> {
+    use arbiters::{
+        DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter,
+        WheelLayout,
+    };
+    use lotterybus::{StaticLotteryArbiter, TicketAssignment};
+    let weights = [1u32, 2, 3, 4];
+    match index {
+        0 => Box::new(StaticPriorityArbiter::new(weights.to_vec()).expect("valid")),
+        1 => Box::new(RoundRobinArbiter::new(4).expect("valid")),
+        2 => Box::new(DeficitRoundRobinArbiter::new(&weights, 8).expect("valid")),
+        3 => Box::new(TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).expect("valid")),
+        4 => Box::new(
+            StaticLotteryArbiter::with_seed(
+                TicketAssignment::new(weights.to_vec()).expect("valid"),
+                seed as u32 | 1,
+            )
+            .expect("valid"),
+        ),
+        _ => panic!("protocol index {index} outside the five-protocol lineup"),
+    }
 }
 
 /// Per-master bandwidth fractions from a run.

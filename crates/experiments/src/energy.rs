@@ -9,6 +9,8 @@
 //! supports adopting the richer protocol.
 
 use crate::common::{self, RunSettings};
+use crate::json::{Json, ToJson};
+use crate::runner;
 use arbiters::{RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout};
 use hwmodel::power::{estimate_energy, ActivityCounts, EnergyModel, EnergyReport};
 use hwmodel::{managers, CellLibrary};
@@ -45,65 +47,86 @@ pub fn run(settings: &RunSettings) -> EnergyTable {
     let specs = TrafficClass::T1.specs_with_frame(&weights, crate::fig6::TDMA_BLOCK);
     let slots: Vec<u32> = weights.iter().map(|w| w * 6).collect();
 
-    let candidates: Vec<(&str, Box<dyn socsim::Arbiter>, hwmodel::HwEstimate)> = vec![
-        (
-            "static-priority",
-            Box::new(StaticPriorityArbiter::new(weights.to_vec()).expect("valid")),
-            managers::static_priority_arbiter(&lib, 4).total,
-        ),
-        (
-            "round-robin",
-            Box::new(RoundRobinArbiter::new(4).expect("valid")),
-            managers::static_priority_arbiter(&lib, 4).total,
-        ),
-        (
-            "tdma-2level",
-            Box::new(TdmaArbiter::new(&slots, WheelLayout::Contiguous).expect("valid")),
-            managers::tdma_arbiter(&lib, 4, 60).total,
-        ),
-        (
-            "lottery-static",
-            Box::new(
+    // Hardware estimates are precomputed (plain data crosses the thread
+    // boundary); the arbiters themselves are built inside each job from
+    // the architecture name, since `Box<dyn Arbiter>` is not `Send`.
+    let candidates: Vec<(&str, hwmodel::HwEstimate)> = vec![
+        ("static-priority", managers::static_priority_arbiter(&lib, 4).total),
+        ("round-robin", managers::static_priority_arbiter(&lib, 4).total),
+        ("tdma-2level", managers::tdma_arbiter(&lib, 4, 60).total),
+        ("lottery-static", managers::static_lottery_manager(&lib, 4, 8).total),
+        ("lottery-dynamic", managers::dynamic_lottery_manager(&lib, 4, 8).total),
+    ];
+
+    let rows = runner::map(settings, &candidates, |_, &(name, hw)| {
+        let arbiter: Box<dyn socsim::Arbiter> = match name {
+            "static-priority" => {
+                Box::new(StaticPriorityArbiter::new(weights.to_vec()).expect("valid"))
+            }
+            "round-robin" => Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            "tdma-2level" => {
+                Box::new(TdmaArbiter::new(&slots, WheelLayout::Contiguous).expect("valid"))
+            }
+            "lottery-static" => Box::new(
                 StaticLotteryArbiter::with_seed(
                     TicketAssignment::new(weights.to_vec()).expect("valid"),
                     settings.seed as u32 | 1,
                 )
                 .expect("valid"),
             ),
-            managers::static_lottery_manager(&lib, 4, 8).total,
-        ),
-        (
-            "lottery-dynamic",
-            Box::new(
+            "lottery-dynamic" => Box::new(
                 lotterybus::DynamicLotteryArbiter::with_seed(
                     TicketAssignment::new(weights.to_vec()).expect("valid"),
                     settings.seed as u32 | 1,
                 )
                 .expect("valid"),
             ),
-            managers::dynamic_lottery_manager(&lib, 4, 8).total,
-        ),
-    ];
-
-    let rows = candidates
-        .into_iter()
-        .map(|(name, arbiter, hw)| {
-            let stats = common::run_system(&specs, arbiter, settings);
-            let activity = ActivityCounts {
-                words: stats.busy_cycles,
-                decisions: stats.grants,
-                cycles: stats.cycles,
-            };
-            let report = estimate_energy(&model, &activity, &hw);
-            EnergyRow {
-                architecture: name.into(),
-                activity,
-                average_power_mw: report.average_power_mw(activity.cycles, 66.0),
-                report,
-            }
-        })
-        .collect();
+            other => panic!("unknown architecture {other}"),
+        };
+        let stats = common::run_system(&specs, arbiter, settings);
+        let activity = ActivityCounts {
+            words: stats.busy_cycles,
+            decisions: stats.grants,
+            cycles: stats.cycles,
+        };
+        let report = estimate_energy(&model, &activity, &hw);
+        EnergyRow {
+            architecture: name.into(),
+            activity,
+            average_power_mw: report.average_power_mw(activity.cycles, 66.0),
+            report,
+        }
+    });
     EnergyTable { rows }
+}
+
+impl ToJson for EnergyTable {
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("architecture", r.architecture.as_str())
+                    .field(
+                        "activity",
+                        Json::obj()
+                            .field("words", r.activity.words)
+                            .field("decisions", r.activity.decisions)
+                            .field("cycles", r.activity.cycles),
+                    )
+                    .field(
+                        "report",
+                        Json::obj()
+                            .field("transfer_pj", r.report.transfer_pj)
+                            .field("arbitration_pj", r.report.arbitration_pj)
+                            .field("idle_pj", r.report.idle_pj),
+                    )
+                    .field("average_power_mw", r.average_power_mw)
+            })
+            .collect();
+        Json::obj().field("rows", Json::Arr(rows))
+    }
 }
 
 impl std::fmt::Display for EnergyTable {

@@ -13,6 +13,8 @@
 
 use crate::common::{self, RunSettings};
 use crate::fig6::TDMA_BLOCK;
+use crate::json::{Json, ToJson};
+use crate::runner;
 use arbiters::{TdmaArbiter, WheelLayout};
 use lotterybus::{StaticLotteryArbiter, TicketAssignment};
 use serde::{Deserialize, Serialize};
@@ -39,24 +41,39 @@ pub struct Fig12a {
     pub rows: Vec<Fig12aRow>,
 }
 
-/// Runs Figure 12(a).
+/// Runs Figure 12(a). The nine traffic classes are independent
+/// simulations, fanned out across `settings.jobs` workers.
 pub fn run_bandwidth(settings: &RunSettings) -> Fig12a {
-    let rows = TrafficClass::all()
-        .into_iter()
-        .map(|class| {
-            let specs = class.specs_with_frame(&WEIGHTS, TDMA_BLOCK);
-            let tickets = TicketAssignment::new(WEIGHTS.to_vec()).expect("valid");
-            let arbiter = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
-                .expect("4-master LUT fits");
-            let stats = common::run_system(&specs, Box::new(arbiter), settings);
-            Fig12aRow {
-                class,
-                bandwidth: common::bandwidth_fractions(&stats, 4),
-                unused: stats.unused_fraction(),
-            }
-        })
-        .collect();
+    let classes = TrafficClass::all();
+    let rows = runner::map(settings, &classes, |_, &class| {
+        let specs = class.specs_with_frame(&WEIGHTS, TDMA_BLOCK);
+        let tickets = TicketAssignment::new(WEIGHTS.to_vec()).expect("valid");
+        let arbiter = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
+            .expect("4-master LUT fits");
+        let stats = common::run_system(&specs, Box::new(arbiter), settings);
+        Fig12aRow {
+            class,
+            bandwidth: common::bandwidth_fractions(&stats, 4),
+            unused: stats.unused_fraction(),
+        }
+    });
     Fig12a { rows }
+}
+
+impl ToJson for Fig12a {
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::obj()
+                    .field("class", row.class.to_string())
+                    .field("bandwidth", row.bandwidth.clone())
+                    .field("unused", row.unused)
+            })
+            .collect();
+        Json::obj().field("rows", Json::Arr(rows))
+    }
 }
 
 impl std::fmt::Display for Fig12a {
@@ -115,18 +132,16 @@ pub fn run_lottery_latency(settings: &RunSettings) -> LatencySurface {
 fn run_latency_surface(
     name: &str,
     settings: &RunSettings,
-    mut make_arbiter: impl FnMut(u32) -> Box<dyn socsim::Arbiter>,
+    make_arbiter: impl Fn(u32) -> Box<dyn socsim::Arbiter> + Sync,
 ) -> LatencySurface {
     let classes: Vec<TrafficClass> = TrafficClass::latency_set().to_vec();
-    let latency = classes
-        .iter()
-        .map(|class| {
-            let specs = class.specs_with_frame(&WEIGHTS, TDMA_BLOCK);
-            let stats =
-                common::run_system(&specs, make_arbiter(settings.seed as u32 | 1), settings);
-            common::latencies(&stats, 4)
-        })
-        .collect();
+    // Each class runs on its own worker; the arbiter is constructed
+    // inside the job (`Box<dyn Arbiter>` is not `Send`).
+    let latency = runner::map(settings, &classes, |_, class| {
+        let specs = class.specs_with_frame(&WEIGHTS, TDMA_BLOCK);
+        let stats = common::run_system(&specs, make_arbiter(settings.seed as u32 | 1), settings);
+        common::latencies(&stats, 4)
+    });
     LatencySurface { architecture: name.into(), classes, latency }
 }
 
@@ -150,6 +165,17 @@ impl LatencySurface {
             }
         }
         (lo, hi)
+    }
+}
+
+impl ToJson for LatencySurface {
+    fn to_json(&self) -> Json {
+        let classes: Vec<Json> = self.classes.iter().map(|c| c.to_string().into()).collect();
+        let latency: Vec<Json> = self.latency.iter().map(|row| row.clone().into()).collect();
+        Json::obj()
+            .field("architecture", self.architecture.as_str())
+            .field("classes", Json::Arr(classes))
+            .field("latency", Json::Arr(latency))
     }
 }
 

@@ -8,6 +8,8 @@
 //! lowest priority).
 
 use crate::common::{self, RunSettings};
+use crate::json::{Json, ToJson};
+use crate::runner;
 use arbiters::StaticPriorityArbiter;
 use serde::{Deserialize, Serialize};
 
@@ -30,21 +32,21 @@ pub struct Fig4 {
     pub rows: Vec<Fig4Row>,
 }
 
-/// Runs the Figure 4 experiment.
+/// Runs the Figure 4 experiment. The 24 permutations are independent
+/// simulations, so they fan out across `settings.jobs` workers with
+/// results collected in permutation order.
 pub fn run(settings: &RunSettings) -> Fig4 {
     let specs = traffic_gen::classes::saturating_specs(4);
-    let rows = common::permutations(4)
-        .into_iter()
-        .map(|perm| {
-            let arbiter = StaticPriorityArbiter::new(perm.clone()).expect("unique priorities");
-            let stats = common::run_system(&specs, Box::new(arbiter), settings);
-            Fig4Row {
-                assignment: common::permutation_label(&perm),
-                priorities: perm,
-                bandwidth: common::bandwidth_fractions(&stats, 4),
-            }
-        })
-        .collect();
+    let perms = common::permutations(4);
+    let rows = runner::map(settings, &perms, |_, perm| {
+        let arbiter = StaticPriorityArbiter::new(perm.clone()).expect("unique priorities");
+        let stats = common::run_system(&specs, Box::new(arbiter), settings);
+        Fig4Row {
+            assignment: common::permutation_label(perm),
+            priorities: perm.clone(),
+            bandwidth: common::bandwidth_fractions(&stats, 4),
+        }
+    });
     Fig4 { rows }
 }
 
@@ -71,6 +73,21 @@ impl Fig4 {
     pub fn mean_when_lowest_priority(&self, c: usize) -> f64 {
         let rows: Vec<&Fig4Row> = self.rows.iter().filter(|r| r.priorities[c] == 1).collect();
         rows.iter().map(|r| r.bandwidth[c]).sum::<f64>() / rows.len() as f64
+    }
+}
+
+impl ToJson for Fig4Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("assignment", self.assignment.as_str())
+            .field("priorities", self.priorities.clone())
+            .field("bandwidth", self.bandwidth.clone())
+    }
+}
+
+impl ToJson for Fig4 {
+    fn to_json(&self) -> Json {
+        Json::obj().field("rows", self.rows.to_json())
     }
 }
 

@@ -10,6 +10,7 @@
 //! transaction wait three slots for the block to come around — the
 //! paper's Example 2.
 
+use crate::json::{Json, ToJson};
 use arbiters::{TdmaArbiter, WheelLayout};
 use serde::{Deserialize, Serialize};
 use socsim::{BusConfig, MasterId, SystemBuilder};
@@ -76,7 +77,33 @@ fn replay_run(slots_early: u64, rotations: usize) -> Fig5Trace {
 /// Runs the Figure 5 experiment: the same periodic request pattern with
 /// and without a phase shift relative to the slot reservations.
 pub fn run() -> Fig5 {
-    Fig5 { aligned: replay_run(0, 12), misaligned: replay_run(3, 12) }
+    run_jobs(1)
+}
+
+/// [`run`] with an explicit worker count (`0` = auto): the two replays
+/// are independent, fully deterministic simulations, so running them
+/// concurrently produces the identical `Fig5`.
+pub fn run_jobs(jobs: usize) -> Fig5 {
+    let (aligned, misaligned) =
+        socsim::pool::join(jobs, || replay_run(0, 12), || replay_run(3, 12));
+    Fig5 { aligned, misaligned }
+}
+
+impl ToJson for Fig5Trace {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("slots_early", self.slots_early)
+            .field("mean_wait", self.mean_wait)
+            .field("bus_trace", self.bus_trace.as_str())
+    }
+}
+
+impl ToJson for Fig5 {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("aligned", self.aligned.to_json())
+            .field("misaligned", self.misaligned.to_json())
+    }
 }
 
 impl std::fmt::Display for Fig5 {
@@ -123,6 +150,11 @@ mod tests {
         assert_eq!(a.aligned.bus_trace, "000000111111222222000000111111222222000000111111222222");
         assert_eq!(a.aligned.mean_wait, 0.0);
         assert_eq!(a.misaligned.mean_wait, 3.0);
+    }
+
+    #[test]
+    fn concurrent_replays_match_serial() {
+        assert_eq!(run_jobs(2), run());
     }
 
     #[test]

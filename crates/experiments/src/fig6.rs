@@ -9,6 +9,8 @@
 //!   lottery (the paper reports 8.55 → 2.7 cycles/word).
 
 use crate::common::{self, RunSettings};
+use crate::json::{Json, ToJson};
+use crate::runner;
 use arbiters::{TdmaArbiter, WheelLayout};
 use lotterybus::{StaticLotteryArbiter, TicketAssignment};
 use serde::{Deserialize, Serialize};
@@ -36,23 +38,23 @@ pub struct Fig6a {
     pub rows: Vec<Fig6aRow>,
 }
 
-/// Runs Figure 6(a).
+/// Runs Figure 6(a). Each ticket permutation is an independent
+/// simulation (the arbiter is constructed inside the job), so the 24
+/// rows fan out across `settings.jobs` workers.
 pub fn run_bandwidth(settings: &RunSettings) -> Fig6a {
     let specs = traffic_gen::classes::saturating_specs(4);
-    let rows = common::permutations(4)
-        .into_iter()
-        .map(|perm| {
-            let tickets = TicketAssignment::new(perm.clone()).expect("valid tickets");
-            let arbiter = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
-                .expect("4-master LUT fits");
-            let stats = common::run_system(&specs, Box::new(arbiter), settings);
-            Fig6aRow {
-                assignment: common::permutation_label(&perm),
-                tickets: perm,
-                bandwidth: common::bandwidth_fractions(&stats, 4),
-            }
-        })
-        .collect();
+    let perms = common::permutations(4);
+    let rows = runner::map(settings, &perms, |_, perm| {
+        let tickets = TicketAssignment::new(perm.clone()).expect("valid tickets");
+        let arbiter = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
+            .expect("4-master LUT fits");
+        let stats = common::run_system(&specs, Box::new(arbiter), settings);
+        Fig6aRow {
+            assignment: common::permutation_label(perm),
+            tickets: perm.clone(),
+            bandwidth: common::bandwidth_fractions(&stats, 4),
+        }
+    });
     Fig6a { rows }
 }
 
@@ -69,6 +71,22 @@ impl Fig6a {
             }
         }
         worst
+    }
+}
+
+impl ToJson for Fig6a {
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::obj()
+                    .field("assignment", row.assignment.as_str())
+                    .field("tickets", row.tickets.clone())
+                    .field("bandwidth", row.bandwidth.clone())
+            })
+            .collect();
+        Json::obj().field("rows", Json::Arr(rows))
     }
 }
 
@@ -112,17 +130,33 @@ pub struct Fig6b {
 pub fn run_latency(class: TrafficClass, settings: &RunSettings) -> Fig6b {
     let weights = [1u32, 2, 3, 4];
     let specs = class.specs_with_frame(&weights, TDMA_BLOCK);
-    let slots: Vec<u32> = weights.iter().map(|w| w * TDMA_BLOCK).collect();
-    let tdma = TdmaArbiter::new(&slots, WheelLayout::Contiguous).expect("valid wheel");
-    let tdma_stats = common::run_system(&specs, Box::new(tdma), settings);
-    let tickets = TicketAssignment::new(weights.to_vec()).expect("valid tickets");
-    let lottery = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
-        .expect("4-master LUT fits");
-    let lottery_stats = common::run_system(&specs, Box::new(lottery), settings);
+    let (tdma_stats, lottery_stats) = runner::join(
+        settings,
+        || {
+            let slots: Vec<u32> = weights.iter().map(|w| w * TDMA_BLOCK).collect();
+            let tdma = TdmaArbiter::new(&slots, WheelLayout::Contiguous).expect("valid wheel");
+            common::run_system(&specs, Box::new(tdma), settings)
+        },
+        || {
+            let tickets = TicketAssignment::new(weights.to_vec()).expect("valid tickets");
+            let lottery = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
+                .expect("4-master LUT fits");
+            common::run_system(&specs, Box::new(lottery), settings)
+        },
+    );
     Fig6b {
         class,
         tdma: common::latencies(&tdma_stats, 4),
         lottery: common::latencies(&lottery_stats, 4),
+    }
+}
+
+impl ToJson for Fig6b {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("class", self.class.to_string())
+            .field("tdma", self.tdma.clone())
+            .field("lottery", self.lottery.clone())
     }
 }
 

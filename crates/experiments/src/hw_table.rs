@@ -8,6 +8,7 @@
 //! count that contrasts the static design's exponential LUT with the
 //! dynamic design's adder tree.
 
+use crate::json::{Json, ToJson};
 use hwmodel::{managers, CellLibrary, ManagerReport};
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,24 @@ pub fn run() -> HwTable {
     let dynamic_sweep =
         (2..=8).map(|n| managers::dynamic_lottery_manager(&lib, n, TICKET_BITS)).collect();
     HwTable { four_master, static_sweep, dynamic_sweep }
+}
+
+fn report_json(report: &ManagerReport) -> Json {
+    Json::obj()
+        .field("name", report.name.as_str())
+        .field("masters", report.masters)
+        .field("width_bits", report.width_bits)
+        .field("area_grids", report.total.area_grids)
+        .field("delay_ns", report.total.delay_ns)
+}
+
+impl ToJson for HwTable {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("four_master", Json::Arr(self.four_master.iter().map(report_json).collect()))
+            .field("static_sweep", Json::Arr(self.static_sweep.iter().map(report_json).collect()))
+            .field("dynamic_sweep", Json::Arr(self.dynamic_sweep.iter().map(report_json).collect()))
+    }
 }
 
 impl std::fmt::Display for HwTable {

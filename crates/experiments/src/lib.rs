@@ -25,8 +25,12 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod hw_table;
+pub mod json;
+pub mod runner;
 pub mod starvation;
+pub mod suite;
 pub mod sweeps;
 pub mod table1;
+pub mod telemetry;
 
 pub use common::RunSettings;

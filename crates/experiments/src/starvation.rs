@@ -8,14 +8,13 @@
 //! measured side by side, together with the fairness of the resulting
 //! allocation under every arbiter.
 
-use crate::common::RunSettings;
-use arbiters::{
-    DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout,
-};
+use crate::common::{self, RunSettings};
+use crate::json::{Json, ToJson};
+use crate::runner;
 use lotterybus::{analysis, StaticLotteryArbiter, TicketAssignment};
 use serde::{Deserialize, Serialize};
 use socsim::stats::jain_fairness_index;
-use socsim::{Arbiter, BusConfig, MasterId, SystemBuilder};
+use socsim::{BusConfig, MasterId, SystemBuilder};
 use traffic_gen::{GeneratorSpec, SizeDist};
 
 /// One row of the win-within-n CDF.
@@ -51,6 +50,13 @@ pub const FAIRNESS_PROTOCOLS: [&str; 5] =
 /// Runs the starvation experiment: a 1-of-10 ticket holder with light
 /// traffic against a 9-of-10 saturating competitor.
 pub fn run(settings: &RunSettings) -> Starvation {
+    // The long CDF simulation and the five fairness runs are
+    // independent; run them side by side.
+    let (cdf, fairness) = runner::join(settings, || cdf_curve(settings), || fairness_row(settings));
+    Starvation { tickets: 1, total: 10, cdf, fairness }
+}
+
+fn cdf_curve(settings: &RunSettings) -> Vec<CdfPoint> {
     let (tickets, total) = (1u32, 10u32);
     // The light component issues single-word messages so each
     // transaction's wait counts whole competitor grants.
@@ -71,8 +77,7 @@ pub fn run(settings: &RunSettings) -> Starvation {
 
     // Convert the wait histogram into "competitor grants waited": each
     // lost lottery costs one competitor burst of up to 16 cycles.
-    let transactions = observed.transactions.max(1);
-    let cdf = [1u32, 2, 4, 8, 16, 32]
+    [1u32, 2, 4, 8, 16, 32]
         .into_iter()
         .map(|drawings| {
             let within_cycles = u64::from(drawings) * 16;
@@ -84,41 +89,45 @@ pub fn run(settings: &RunSettings) -> Starvation {
                 measured: measured.min(1.0),
             }
         })
-        .collect();
-
-    let _ = transactions;
-    Starvation { tickets, total, cdf, fairness: fairness_row(settings) }
+        .collect()
 }
 
 fn fairness_row(settings: &RunSettings) -> Vec<f64> {
     let weights = [1u32, 2, 3, 4];
-    let arbiters: Vec<Box<dyn Arbiter>> = vec![
-        Box::new(StaticPriorityArbiter::new(weights.to_vec()).expect("valid")),
-        Box::new(RoundRobinArbiter::new(4).expect("valid")),
-        Box::new(DeficitRoundRobinArbiter::new(&weights, 8).expect("valid")),
-        Box::new(TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).expect("valid")),
-        Box::new(
-            StaticLotteryArbiter::with_seed(
-                TicketAssignment::new(weights.to_vec()).expect("valid"),
-                settings.seed as u32 | 1,
+    let protocols: Vec<usize> = (0..FAIRNESS_PROTOCOLS.len()).collect();
+    runner::map(settings, &protocols, |_, &protocol| {
+        let arbiter = common::protocol_arbiter(protocol, settings.seed);
+        let stats =
+            common::run_system(&traffic_gen::classes::saturating_specs(4), arbiter, settings);
+        let weighted: Vec<f64> = (0..4)
+            .map(|i| stats.bandwidth_fraction(MasterId::new(i)) / f64::from(weights[i]))
+            .collect();
+        jain_fairness_index(&weighted)
+    })
+}
+
+impl ToJson for Starvation {
+    fn to_json(&self) -> Json {
+        let cdf: Vec<Json> = self
+            .cdf
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("drawings", p.drawings)
+                    .field("predicted", p.predicted)
+                    .field("measured", p.measured)
+            })
+            .collect();
+        Json::obj()
+            .field("tickets", self.tickets)
+            .field("total", self.total)
+            .field("cdf", Json::Arr(cdf))
+            .field(
+                "fairness_protocols",
+                Json::Arr(FAIRNESS_PROTOCOLS.iter().map(|&n| n.into()).collect()),
             )
-            .expect("valid"),
-        ),
-    ];
-    arbiters
-        .into_iter()
-        .map(|arbiter| {
-            let stats = crate::common::run_system(
-                &traffic_gen::classes::saturating_specs(4),
-                arbiter,
-                settings,
-            );
-            let weighted: Vec<f64> = (0..4)
-                .map(|i| stats.bandwidth_fraction(MasterId::new(i)) / f64::from(weights[i]))
-                .collect();
-            jain_fairness_index(&weighted)
-        })
-        .collect()
+            .field("fairness", self.fairness.clone())
+    }
 }
 
 impl std::fmt::Display for Starvation {

@@ -14,9 +14,8 @@
 //!   each protocol's knee sits.
 
 use crate::common::{self, RunSettings};
-use arbiters::{
-    DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout,
-};
+use crate::json::{Json, ToJson};
+use crate::runner;
 use lotterybus::{StaticLotteryArbiter, TicketAssignment};
 use serde::{Deserialize, Serialize};
 use socsim::MasterId;
@@ -36,23 +35,21 @@ pub struct GranularityPoint {
 /// Sweeps one component's ticket count against three single-ticket
 /// competitors on a saturated bus.
 pub fn ticket_granularity(settings: &RunSettings) -> Vec<GranularityPoint> {
-    [1u32, 2, 3, 5, 8, 13, 21, 34, 64]
-        .into_iter()
-        .map(|k| {
-            let tickets = TicketAssignment::new(vec![k, 1, 1, 1]).expect("valid");
-            let arbiter = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
-                .expect("4-master LUT fits");
-            // Every master must offer more than any possible entitlement
-            // (up to 64/67 ≈ 96 %), so each offers ~1.4× bus capacity.
-            let spec = GeneratorSpec::poisson(0.09, SizeDist::fixed(16));
-            let stats = common::run_system(&vec![spec; 4], Box::new(arbiter), settings);
-            GranularityPoint {
-                tickets: k,
-                entitled: f64::from(k) / f64::from(k + 3),
-                measured: stats.bandwidth_fraction(MasterId::new(0)),
-            }
-        })
-        .collect()
+    let counts = [1u32, 2, 3, 5, 8, 13, 21, 34, 64];
+    runner::map(settings, &counts, |_, &k| {
+        let tickets = TicketAssignment::new(vec![k, 1, 1, 1]).expect("valid");
+        let arbiter = StaticLotteryArbiter::with_seed(tickets, settings.seed as u32 | 1)
+            .expect("4-master LUT fits");
+        // Every master must offer more than any possible entitlement
+        // (up to 64/67 ≈ 96 %), so each offers ~1.4× bus capacity.
+        let spec = GeneratorSpec::poisson(0.09, SizeDist::fixed(16));
+        let stats = common::run_system(&vec![spec; 4], Box::new(arbiter), settings);
+        GranularityPoint {
+            tickets: k,
+            entitled: f64::from(k) / f64::from(k + 3),
+            measured: stats.bandwidth_fraction(MasterId::new(0)),
+        }
+    })
 }
 
 /// One point of the latency-vs-load sweep.
@@ -75,39 +72,32 @@ pub const LATENCY_PROTOCOLS: [&str; 5] =
 /// tickets).
 pub fn latency_vs_load(settings: &RunSettings) -> Vec<LoadPoint> {
     let weights = [1u32, 2, 3, 4];
-    [0.3, 0.5, 0.7, 0.85, 1.0, 1.2]
-        .into_iter()
-        .map(|load| {
-            let specs: Vec<GeneratorSpec> = weights
-                .iter()
-                .map(|&w| {
-                    let rate = load * f64::from(w) / 10.0 / 16.0;
-                    GeneratorSpec::poisson(rate, SizeDist::fixed(16))
-                })
-                .collect();
-            let arbiters: Vec<Box<dyn socsim::Arbiter>> = vec![
-                Box::new(StaticPriorityArbiter::new(weights.to_vec()).expect("valid")),
-                Box::new(RoundRobinArbiter::new(4).expect("valid")),
-                Box::new(DeficitRoundRobinArbiter::new(&weights, 8).expect("valid")),
-                Box::new(
-                    TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).expect("valid"),
-                ),
-                Box::new(
-                    StaticLotteryArbiter::with_seed(
-                        TicketAssignment::new(weights.to_vec()).expect("valid"),
-                        settings.seed as u32 | 1,
-                    )
-                    .expect("valid"),
-                ),
-            ];
-            let latency = arbiters
-                .into_iter()
-                .map(|arbiter| {
-                    let stats = common::run_system(&specs, arbiter, settings);
-                    stats.master(MasterId::new(3)).cycles_per_word()
-                })
-                .collect();
-            LoadPoint { load, latency }
+    let loads = [0.3, 0.5, 0.7, 0.85, 1.0, 1.2];
+    // Flatten the (load × protocol) cross-product into one job list so
+    // all 30 simulations fan out together; arbiters are built inside
+    // each job from the lineup index ([`common::protocol_arbiter`]).
+    let cells: Vec<(f64, usize)> = loads
+        .iter()
+        .flat_map(|&load| (0..LATENCY_PROTOCOLS.len()).map(move |p| (load, p)))
+        .collect();
+    let latencies = runner::map(settings, &cells, |_, &(load, protocol)| {
+        let specs: Vec<GeneratorSpec> = weights
+            .iter()
+            .map(|&w| {
+                let rate = load * f64::from(w) / 10.0 / 16.0;
+                GeneratorSpec::poisson(rate, SizeDist::fixed(16))
+            })
+            .collect();
+        let arbiter = common::protocol_arbiter(protocol, settings.seed);
+        let stats = common::run_system(&specs, arbiter, settings);
+        stats.master(MasterId::new(3)).cycles_per_word()
+    });
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            let row = &latencies[i * LATENCY_PROTOCOLS.len()..(i + 1) * LATENCY_PROTOCOLS.len()];
+            LoadPoint { load, latency: row.to_vec() }
         })
         .collect()
 }
@@ -124,6 +114,30 @@ pub struct Sweeps {
 /// Runs both sweeps.
 pub fn run(settings: &RunSettings) -> Sweeps {
     Sweeps { granularity: ticket_granularity(settings), load: latency_vs_load(settings) }
+}
+
+impl ToJson for Sweeps {
+    fn to_json(&self) -> Json {
+        let granularity: Vec<Json> = self
+            .granularity
+            .iter()
+            .map(|p| {
+                Json::obj()
+                    .field("tickets", p.tickets)
+                    .field("entitled", p.entitled)
+                    .field("measured", p.measured)
+            })
+            .collect();
+        let load: Vec<Json> = self
+            .load
+            .iter()
+            .map(|p| Json::obj().field("load", p.load).field("latency", p.latency.clone()))
+            .collect();
+        Json::obj()
+            .field("protocols", Json::Arr(LATENCY_PROTOCOLS.iter().map(|&n| n.into()).collect()))
+            .field("granularity", Json::Arr(granularity))
+            .field("load", Json::Arr(load))
+    }
 }
 
 impl std::fmt::Display for Sweeps {

@@ -1,5 +1,6 @@
 //! Table 1: the output-queued ATM switch under all three architectures.
 
+use crate::json::{Json, ToJson};
 use atm_switch::{AtmReport, SwitchArbiter, SwitchConfig};
 use serde::{Deserialize, Serialize};
 
@@ -16,11 +17,25 @@ pub struct Table1 {
 ///
 /// Returns an error if the switch configuration cannot be assembled.
 pub fn run(cycles: u64, seed: u64) -> Result<Table1, Box<dyn std::error::Error>> {
+    run_jobs(cycles, seed, 1).map_err(Into::into)
+}
+
+/// [`run`] with an explicit worker count (`0` = auto). The three
+/// architectures are independent simulations of the same switch config,
+/// so they fan out one per worker; errors cross the thread boundary as
+/// strings (`Box<dyn Error>` is not `Send`).
+///
+/// # Errors
+///
+/// Returns the first architecture's error message, in row order.
+pub fn run_jobs(cycles: u64, seed: u64, jobs: usize) -> Result<Table1, String> {
     let cfg = SwitchConfig::paper_setup();
-    let rows = [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery]
-        .into_iter()
-        .map(|arch| cfg.run(arch, cycles, seed))
-        .collect::<Result<Vec<_>, _>>()?;
+    let archs = [SwitchArbiter::StaticPriority, SwitchArbiter::Tdma, SwitchArbiter::Lottery];
+    let rows = socsim::pool::parallel_map(jobs, &archs, |_, &arch| {
+        cfg.run(arch, cycles, seed).map_err(|e| e.to_string())
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     Ok(Table1 { rows })
 }
 
@@ -33,6 +48,26 @@ impl Table1 {
             SwitchArbiter::Lottery => 2,
         };
         &self.rows[idx]
+    }
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::obj()
+                    .field("architecture", row.architecture.as_str())
+                    .field("bandwidth", row.bandwidth.clone())
+                    .field("latency_cycles_per_word", row.latency_cycles_per_word.clone())
+                    .field("cells_forwarded", row.cells_forwarded.clone())
+                    .field("cells_dropped", row.cells_dropped.clone())
+                    .field("cells_aborted", row.cells_aborted.clone())
+                    .field("utilization", row.utilization)
+            })
+            .collect();
+        Json::obj().field("rows", Json::Arr(rows))
     }
 }
 
@@ -65,6 +100,13 @@ impl std::fmt::Display for Table1 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_rows_match_serial() {
+        let serial = run_jobs(20_000, 17, 1).expect("switch runs");
+        let parallel = run_jobs(20_000, 17, 3).expect("switch runs");
+        assert_eq!(serial, parallel);
+    }
 
     #[test]
     fn table1_reproduces_paper_shape() {

@@ -1,0 +1,71 @@
+//! The tentpole guarantee: fanning experiments across worker threads
+//! never changes their results. Serial (`jobs = 1`) and parallel
+//! (`jobs > 1`) runs must serialize to byte-identical JSON.
+
+use experiments::json::ToJson;
+use experiments::RunSettings;
+use traffic_gen::TrafficClass;
+
+fn settings(jobs: usize) -> RunSettings {
+    RunSettings { measure: 20_000, warmup: 2_000, ..RunSettings::quick() }.with_jobs(jobs)
+}
+
+#[test]
+fn fig4_is_byte_identical_across_worker_counts() {
+    let serial = experiments::fig4::run(&settings(1));
+    let parallel = experiments::fig4::run(&settings(4));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+}
+
+#[test]
+fn fig6_is_byte_identical_across_worker_counts() {
+    let serial = experiments::fig6::run_bandwidth(&settings(1));
+    let parallel = experiments::fig6::run_bandwidth(&settings(3));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+
+    let serial = experiments::fig6::run_latency(TrafficClass::T6, &settings(1));
+    let parallel = experiments::fig6::run_latency(TrafficClass::T6, &settings(2));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+}
+
+#[test]
+fn fig12_surfaces_are_byte_identical_across_worker_counts() {
+    let serial = experiments::fig12::run_bandwidth(&settings(1));
+    let parallel = experiments::fig12::run_bandwidth(&settings(4));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+
+    let serial = experiments::fig12::run_tdma_latency(&settings(1));
+    let parallel = experiments::fig12::run_tdma_latency(&settings(4));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+}
+
+#[test]
+fn sweeps_and_starvation_are_byte_identical_across_worker_counts() {
+    let serial = experiments::sweeps::run(&settings(1));
+    let parallel = experiments::sweeps::run(&settings(4));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+
+    let serial = experiments::starvation::run(&settings(1));
+    let parallel = experiments::starvation::run(&settings(4));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+}
+
+#[test]
+fn energy_and_ablations_are_byte_identical_across_worker_counts() {
+    let serial = experiments::energy::run(&settings(1));
+    let parallel = experiments::energy::run(&settings(4));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+
+    let serial = experiments::ablations::run(&settings(1));
+    let parallel = experiments::ablations::run(&settings(4));
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+}
+
+#[test]
+fn auto_job_count_matches_serial_too() {
+    // `jobs = 0` (all available cores) must also be output-neutral.
+    let serial = experiments::fig12::run_bandwidth(&settings(1));
+    let auto = experiments::fig12::run_bandwidth(&settings(0));
+    assert_eq!(serial.to_json().render(), auto.to_json().render());
+}

@@ -9,9 +9,13 @@
 //! with data transfer so that (by default) no bus cycles are lost to the
 //! arbiter itself.
 //!
-//! The kernel is deterministic and single-threaded: given the same traffic
-//! sources and arbiter it produces the same cycle-by-cycle schedule, which
-//! makes experiments exactly reproducible.
+//! The kernel is deterministic: given the same traffic sources and
+//! arbiter it produces the same cycle-by-cycle schedule, which makes
+//! experiments exactly reproducible. Each [`System`] is single-threaded
+//! by construction, but independent systems share nothing — the
+//! [`pool`] module fans whole simulations out across cores and collects
+//! results in input order, so parallel sweeps stay byte-identical to
+//! serial ones.
 //!
 //! ## Quick example
 //!
@@ -47,6 +51,7 @@ pub mod fault;
 pub mod ids;
 pub mod master;
 pub mod multichannel;
+pub mod pool;
 pub mod request;
 pub mod slave;
 pub mod split;

@@ -53,12 +53,14 @@ impl LatencyHistogram {
     /// Estimated fraction of recorded latencies that are at most
     /// `latency` cycles (the empirical CDF), or `None` if nothing was
     /// recorded. Within the bucket containing `latency` the count is
-    /// linearly interpolated.
+    /// linearly interpolated. The result is monotone nondecreasing in
+    /// `latency` and reaches 1.0 once `latency` covers every bucket.
     ///
     /// ```
     /// use socsim::stats::LatencyHistogram;
     /// let mut h = LatencyHistogram::new();
-    /// for v in [1, 2, 3, 100] { h.record(v); }
+    /// for v in [0, 1, 2, 100] { h.record(v); }
+    /// assert_eq!(h.fraction_at_most(0), Some(0.25));  // half of bucket [0, 2)
     /// assert_eq!(h.fraction_at_most(3), Some(0.75));
     /// assert_eq!(h.fraction_at_most(1_000), Some(1.0));
     /// ```
@@ -73,9 +75,11 @@ impl LatencyHistogram {
             }
             let lo = 1u64.checked_shl(k as u32).unwrap_or(u64::MAX);
             let hi = 1u64.checked_shl(k as u32 + 1).unwrap_or(u64::MAX);
-            if k == 0 && latency >= 1 {
-                // Bucket 0 holds latencies 0 and 1.
-                included += c as f64;
+            if k == 0 {
+                // Bucket 0 spans latencies [0, 2): `record(0)` and
+                // `record(1)` both land here. At `latency == 0` half the
+                // span is covered, matching the interpolation below.
+                included += if latency >= 1 { c as f64 } else { c as f64 / 2.0 };
             } else if hi <= latency.saturating_add(1) {
                 included += c as f64;
             } else if lo <= latency {
@@ -451,6 +455,42 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn histogram_rejects_silly_quantiles() {
         let _ = LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn zero_latency_records_are_visible_in_the_cdf() {
+        // Regression: `record(0)` lands in bucket 0, but the old bucket-0
+        // branch required `latency >= 1`, so `fraction_at_most(0)` was
+        // 0.0 no matter how many zero-latency transactions were recorded.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(0);
+        }
+        // Bucket 0 spans [0, 2); latency 0 covers half the span.
+        assert_eq!(h.fraction_at_most(0), Some(0.5));
+        assert_eq!(h.fraction_at_most(1), Some(1.0));
+
+        // Mixed with larger latencies the zero records still count.
+        h.record(8);
+        let at_zero = h.fraction_at_most(0).expect("recorded");
+        assert!(at_zero > 0.0, "zero-latency records invisible: {at_zero}");
+        assert_eq!(h.fraction_at_most(1), Some(0.8));
+    }
+
+    #[test]
+    fn cdf_is_monotone_from_zero_and_reaches_one() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 0, 1, 3, 7, 90, 1000] {
+            h.record(v);
+        }
+        let mut previous = -1.0f64;
+        for latency in (0..=2048).chain([u64::MAX / 2, u64::MAX]) {
+            let f = h.fraction_at_most(latency).expect("recorded");
+            assert!(f >= previous, "CDF dipped at {latency}: {f} < {previous}");
+            assert!((0.0..=1.0).contains(&f));
+            previous = f;
+        }
+        assert_eq!(h.fraction_at_most(u64::MAX), Some(1.0));
     }
 
     #[test]

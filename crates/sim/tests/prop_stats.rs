@@ -1,0 +1,59 @@
+//! Property-based tests for the latency-histogram CDF.
+
+use proptest::prelude::*;
+use socsim::stats::LatencyHistogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `fraction_at_most` is a CDF: monotone nondecreasing in the
+    /// latency argument and exactly 1.0 once every bucket is covered —
+    /// including when zero-latency transactions were recorded.
+    #[test]
+    fn fraction_at_most_is_monotone_and_reaches_one(
+        latencies in prop::collection::vec(
+            prop_oneof![0u64..4, 0u64..200, 1u64..1_000_000],
+            1..80,
+        ),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &latencies {
+            h.record(v);
+        }
+        let max = *latencies.iter().max().expect("nonempty");
+        let mut probes: Vec<u64> = (0..=16)
+            .map(|i| i * (max / 16).max(1))
+            .chain([max, max.saturating_add(1), max.saturating_mul(2), u64::MAX])
+            .collect();
+        probes.sort_unstable();
+        let mut previous = 0.0f64;
+        for probe in probes {
+            let f = h.fraction_at_most(probe).expect("recorded");
+            prop_assert!((0.0..=1.0).contains(&f), "CDF out of range at {probe}: {f}");
+            prop_assert!(
+                f >= previous - 1e-12,
+                "CDF not monotone at {probe}: {f} < {previous}"
+            );
+            previous = f;
+        }
+        // The CDF saturates at 1.0 at (or before) the top of the bucket
+        // holding the largest recorded latency.
+        prop_assert_eq!(h.fraction_at_most(u64::MAX), Some(1.0));
+    }
+
+    /// Records never disappear: any recorded latency is visible in the
+    /// CDF at its own value with positive mass.
+    #[test]
+    fn every_recorded_latency_has_mass_at_itself(
+        latencies in prop::collection::vec(0u64..100_000, 1..40),
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &latencies {
+            h.record(v);
+        }
+        for &v in &latencies {
+            let f = h.fraction_at_most(v).expect("recorded");
+            prop_assert!(f > 0.0, "latency {v} recorded but invisible in the CDF");
+        }
+    }
+}

@@ -4,21 +4,26 @@
 //! Sweeps the slave-error rate upward with a fixed retry policy and
 //! watchdog, and prints the latency (cycles/word) and loss curve for
 //! lottery, static-priority and round-robin arbitration over the same
-//! four-master workload. Run with:
+//! four-master workload. The (arbiter, error-rate) grid fans out over
+//! worker threads; results are collected in grid order, so the printed
+//! table is identical no matter the worker count. Run with:
 //!
 //! ```console
-//! cargo run --release --example fault_sweep
+//! cargo run --release --example fault_sweep            # all cores
+//! cargo run --release --example fault_sweep -- --jobs 1
 //! ```
 
 use lotterybus_repro::arbiters::{RoundRobinArbiter, StaticPriorityArbiter};
 use lotterybus_repro::lottery::{StaticLotteryArbiter, TicketAssignment};
 use lotterybus_repro::socsim::{
-    Arbiter, BusConfig, BusStats, FaultConfig, MasterId, RetryPolicy, SystemBuilder,
+    pool, Arbiter, BusConfig, BusStats, FaultConfig, MasterId, RetryPolicy, SystemBuilder,
 };
 use lotterybus_repro::traffic::{GeneratorSpec, SizeDist};
+use std::time::Instant;
 
 const WEIGHTS: [u32; 4] = [1, 2, 3, 4];
 const ERROR_RATES: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.10];
+const ARBITERS: [&str; 3] = ["lottery", "priority", "rr"];
 const CYCLES: u64 = 100_000;
 const SEED: u64 = 17;
 
@@ -33,7 +38,9 @@ fn build_arbiter(name: &str) -> Result<Box<dyn Arbiter>, Box<dyn std::error::Err
     })
 }
 
-fn run(name: &str, error_rate: f64) -> Result<BusStats, Box<dyn std::error::Error>> {
+// Errors come back as `String` (not `Box<dyn Error>`) so results can
+// cross thread boundaries in the parallel fan-out.
+fn run(name: &str, error_rate: f64) -> Result<BusStats, String> {
     let spec = GeneratorSpec::poisson(0.012, SizeDist::fixed(16));
     let mut builder = SystemBuilder::new(BusConfig::default());
     for i in 0..WEIGHTS.len() {
@@ -45,7 +52,10 @@ fn run(name: &str, error_rate: f64) -> Result<BusStats, Box<dyn std::error::Erro
             .retry_policy(RetryPolicy::exponential(4, 2))
             .timeout(4_096);
     }
-    let mut system = builder.arbiter(build_arbiter(name)?).build()?;
+    let mut system = builder
+        .arbiter(build_arbiter(name).map_err(|e| e.to_string())?)
+        .build()
+        .map_err(|e| e.to_string())?;
     system.warm_up(10_000);
     system.run(CYCLES);
     Ok(system.stats().clone())
@@ -68,18 +78,49 @@ fn mean_latency(stats: &BusStats) -> f64 {
     }
 }
 
+fn jobs_arg() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("usage: fault_sweep [--jobs N]");
+            std::process::exit(2);
+        }),
+        None => 0, // all available cores
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = jobs_arg();
     println!("latency degradation under rising slave-error rates");
     println!("(retry max=4 backoff=2x, watchdog 4096 cycles, {CYCLES} measured cycles)\n");
     println!(
         "{:<10} {:>8} {:>12} {:>9} {:>9} {:>9}",
         "arbiter", "err rate", "cyc/word", "retries", "aborted", "util%"
     );
-    for name in ["lottery", "priority", "rr"] {
+
+    // Every grid cell is an independent simulation: fan the full
+    // (arbiter x error-rate) cross product out at once and reassemble
+    // rows afterwards. `parallel_map` preserves input order, so the
+    // table below never depends on worker scheduling.
+    let grid: Vec<(&str, f64)> = ARBITERS
+        .iter()
+        .flat_map(|&name| ERROR_RATES.iter().map(move |&rate| (name, rate)))
+        .collect();
+    let start = Instant::now();
+    let results = pool::parallel_map(jobs, &grid, |_, &(name, rate)| run(name, rate));
+    let cells: Vec<BusStats> = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    eprintln!(
+        "ran {} simulations in {:.3}s with {} worker(s)",
+        grid.len(),
+        start.elapsed().as_secs_f64(),
+        pool::resolve_jobs(jobs).min(grid.len()),
+    );
+
+    for (a, name) in ARBITERS.iter().enumerate() {
         let mut baseline = None;
-        for rate in ERROR_RATES {
-            let stats = run(name, rate)?;
-            let latency = mean_latency(&stats);
+        for (r, rate) in ERROR_RATES.iter().enumerate() {
+            let stats = &cells[a * ERROR_RATES.len() + r];
+            let latency = mean_latency(stats);
             let baseline = *baseline.get_or_insert(latency);
             println!(
                 "{:<10} {:>8.2} {:>9.2} {:>+2.0}% {:>9} {:>9} {:>9.1}",
