@@ -1,7 +1,7 @@
 //! Deficit-weighted round-robin arbitration.
 //!
 //! The paper positions LOTTERYBUS against the traffic-scheduling
-//! literature for high-speed switches (its refs [13]–[15]); deficit
+//! literature for high-speed switches (its refs \[13\]–\[15\]); deficit
 //! round robin is the classic representative of that family, so it is
 //! included as an additional weighted baseline. Each master has a
 //! *quantum* proportional to its weight; masters are visited in cyclic

@@ -1,0 +1,208 @@
+//! A transparent instrumentation wrapper around any arbiter.
+//!
+//! [`InstrumentedArbiter`] counts arbitration decisions as they happen
+//! — how often the arbiter was consulted, how often it left the bus
+//! idle, how often the decision was contended, and how many grants each
+//! master won — and publishes them through a shared
+//! [`ArbiterCounters`] handle. The wrapper is *transparent*: it
+//! forwards `arbitrate`, `name` and `failovers` unchanged, so wrapping
+//! an arbiter never changes simulation results, only what you can see.
+//!
+//! The counters are atomics behind an [`Arc`], so the caller keeps a
+//! handle while the system (which owns the boxed arbiter) runs — even
+//! when whole simulations are fanned out to worker threads by
+//! `socsim::pool`.
+//!
+//! ```
+//! use arbiters::{InstrumentedArbiter, RoundRobinArbiter};
+//! use socsim::{Arbiter, Cycle, MasterId, RequestMap};
+//!
+//! # fn main() -> Result<(), arbiters::ArbiterConfigError> {
+//! let inner = RoundRobinArbiter::new(2)?;
+//! let (mut arb, counters) = InstrumentedArbiter::new(inner, 2);
+//! let mut map = RequestMap::new(2);
+//! map.set_pending(MasterId::new(1), 4);
+//! arb.arbitrate(&map, Cycle::ZERO);
+//! assert_eq!(counters.decisions(), 1);
+//! assert_eq!(counters.grants(1), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use socsim::{Arbiter, Cycle, Grant, RequestMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Grant-decision counters published by an [`InstrumentedArbiter`].
+///
+/// All reads use relaxed ordering: the counters are monotone event
+/// counts, not synchronization points, and are normally read after the
+/// simulation has finished.
+#[derive(Debug)]
+pub struct ArbiterCounters {
+    decisions: AtomicU64,
+    idle: AtomicU64,
+    contended: AtomicU64,
+    grants: Vec<AtomicU64>,
+}
+
+impl ArbiterCounters {
+    fn new(masters: usize) -> Self {
+        ArbiterCounters {
+            decisions: AtomicU64::new(0),
+            idle: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            grants: (0..masters).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Times the wrapped arbiter was asked to decide.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Decisions that left the bus idle (the arbiter returned no grant).
+    pub fn idle(&self) -> u64 {
+        self.idle.load(Ordering::Relaxed)
+    }
+
+    /// Decisions taken while two or more masters were pending.
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Grants won by `master` (0 for masters outside the counted range).
+    pub fn grants(&self, master: usize) -> u64 {
+        self.grants.get(master).map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+
+    /// Grants won per master, in master order.
+    pub fn grants_per_master(&self) -> Vec<u64> {
+        self.grants.iter().map(|g| g.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Wraps any [`Arbiter`] and counts its decisions without changing them.
+#[derive(Debug)]
+pub struct InstrumentedArbiter<A> {
+    inner: A,
+    counters: Arc<ArbiterCounters>,
+}
+
+impl<A: Arbiter> InstrumentedArbiter<A> {
+    /// Wraps `inner` (serving `masters` masters) and returns the
+    /// wrapper together with the shared counter handle.
+    pub fn new(inner: A, masters: usize) -> (Self, Arc<ArbiterCounters>) {
+        let counters = Arc::new(ArbiterCounters::new(masters));
+        (InstrumentedArbiter { inner, counters: Arc::clone(&counters) }, counters)
+    }
+
+    /// The wrapped arbiter.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: Arbiter> Arbiter for InstrumentedArbiter<A> {
+    fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+        let decision = self.inner.arbitrate(requests, now);
+        self.counters.decisions.fetch_add(1, Ordering::Relaxed);
+        if requests.pending_count() >= 2 {
+            self.counters.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        match decision {
+            Some(grant) => {
+                if let Some(g) = self.counters.grants.get(grant.master.index()) {
+                    g.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.counters.idle.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        decision
+    }
+
+    fn name(&self) -> &str {
+        // Transparent: reports show the wrapped protocol's name.
+        self.inner.name()
+    }
+
+    fn failovers(&self) -> u64 {
+        self.inner.failovers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundRobinArbiter;
+    use socsim::MasterId;
+
+    fn map_with(pending: &[usize]) -> RequestMap {
+        let mut map = RequestMap::new(4);
+        for &m in pending {
+            map.set_pending(MasterId::new(m), 4);
+        }
+        map
+    }
+
+    #[test]
+    fn wrapping_never_changes_decisions() {
+        let mut plain = RoundRobinArbiter::new(4).expect("valid");
+        let (mut wrapped, _) =
+            InstrumentedArbiter::new(RoundRobinArbiter::new(4).expect("valid"), 4);
+        for cycle in 0..64u64 {
+            let map = map_with(&[(cycle % 4) as usize, ((cycle / 2) % 4) as usize]);
+            let now = Cycle::new(cycle);
+            assert_eq!(plain.arbitrate(&map, now), wrapped.arbitrate(&map, now));
+        }
+        assert_eq!(wrapped.name(), "round-robin");
+        assert_eq!(wrapped.failovers(), 0);
+    }
+
+    #[test]
+    fn counters_classify_decisions() {
+        let (mut arb, counters) =
+            InstrumentedArbiter::new(RoundRobinArbiter::new(4).expect("valid"), 4);
+        arb.arbitrate(&map_with(&[]), Cycle::ZERO); // idle
+        arb.arbitrate(&map_with(&[2]), Cycle::new(1)); // uncontended grant
+        arb.arbitrate(&map_with(&[0, 3]), Cycle::new(2)); // contended grant
+        assert_eq!(counters.decisions(), 3);
+        assert_eq!(counters.idle(), 1);
+        assert_eq!(counters.contended(), 1);
+        assert_eq!(counters.grants_per_master().iter().sum::<u64>(), 2);
+        assert_eq!(counters.grants(2), 1);
+        assert_eq!(counters.grants(17), 0, "out-of-range master reads zero");
+    }
+
+    #[test]
+    fn counters_survive_the_system_owning_the_arbiter() {
+        use socsim::{BusConfig, SystemBuilder, TrafficSource, Transaction};
+
+        struct Always;
+        impl TrafficSource for Always {
+            fn poll(&mut self, now: Cycle) -> Option<Transaction> {
+                now.index()
+                    .is_multiple_of(8)
+                    .then(|| Transaction::new(socsim::SlaveId::new(0), 4, now))
+            }
+        }
+
+        let (arb, counters) =
+            InstrumentedArbiter::new(RoundRobinArbiter::new(2).expect("valid"), 2);
+        let mut system = SystemBuilder::new(BusConfig::default())
+            .master("a", Box::new(Always))
+            .master("b", Box::new(Always))
+            .arbiter(Box::new(arb))
+            .build()
+            .expect("valid");
+        let stats = system.run(1_000).clone();
+        assert_eq!(
+            counters.grants_per_master().iter().sum::<u64>(),
+            stats.grants,
+            "instrumented grant count agrees with kernel statistics"
+        );
+        assert!(counters.decisions() >= stats.grants);
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`FailoverArbiter`] — a robustness wrapper around any of the
 //!   above: it detects a wedged or contract-violating primary and
 //!   permanently falls over to round-robin, keeping the bus serviced.
+//! * [`InstrumentedArbiter`] — an observability wrapper around any of
+//!   the above: counts decisions, idle cycles, contention and grants
+//!   per master through a shared [`ArbiterCounters`] handle without
+//!   changing the wrapped protocol's behaviour.
 //!
 //! All arbiters implement [`socsim::Arbiter`] and plug into a
 //! [`socsim::SystemBuilder`].
@@ -41,6 +45,7 @@
 pub mod deficit_rr;
 pub mod error;
 pub mod failover;
+pub mod instrument;
 pub mod round_robin;
 pub mod static_priority;
 pub mod tdma;
@@ -49,6 +54,7 @@ pub mod token_ring;
 pub use deficit_rr::DeficitRoundRobinArbiter;
 pub use error::ArbiterConfigError;
 pub use failover::FailoverArbiter;
+pub use instrument::{ArbiterCounters, InstrumentedArbiter};
 pub use round_robin::RoundRobinArbiter;
 pub use static_priority::StaticPriorityArbiter;
 pub use tdma::{TdmaArbiter, WheelLayout};

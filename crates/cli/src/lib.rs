@@ -52,9 +52,24 @@
 //! reproducible. Reports for specs with any of these lines gain a
 //! `faults:` / `recovery:` section; specs without them render exactly as
 //! before.
+//!
+//! ## Observability (optional)
+//!
+//! ```text
+//! metrics window=1000             # windowed metrics section in the report
+//! trace sink=jsonl:events.jsonl   # stream trace events as JSON lines
+//! trace sink=vcd:waves.vcd        # or stream a VCD waveform directly
+//! ```
+//!
+//! `metrics` samples counters every `window` cycles and appends a
+//! windowed-metrics section (per-window utilization and per-master
+//! bandwidth-share sparklines) to the report. `trace sink=` streams
+//! every bus event to a file as the run progresses — unlike the
+//! bounded in-memory trace buffer, a streaming sink never truncates.
+//! Neither feature changes simulation results.
 
 pub mod report;
 pub mod spec;
 
-pub use report::render_report;
-pub use spec::{ArbiterKind, MasterSpec, ParseSpecError, SimSpec};
+pub use report::{render_metrics, render_report};
+pub use spec::{ArbiterKind, MasterSpec, ParseSpecError, SimSpec, TraceSinkSpec};

@@ -15,8 +15,9 @@
 //! never changes the report — results are collected in replica order —
 //! and wall-clock telemetry goes to stderr only.
 
-use lotterybus_cli::{render_report, report::render_replica_summary, SimSpec};
-use socsim::SystemBuilder;
+use lotterybus_cli::report::render_replica_summary;
+use lotterybus_cli::{render_metrics, render_report, SimSpec, TraceSinkSpec};
+use socsim::{SystemBuilder, TraceSink, WindowSample};
 use std::io::Read;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -45,6 +46,11 @@ master dma   weight=1 load=0.15 size=8  periodic
 # retry max=4 backoff=2x
 # timeout  = 256      # abort transactions wedged this many cycles
 # failover = 64       # wrap the arbiter; fall over to round-robin
+
+# Optional observability (uncomment to enable).
+# metrics window=1000             # windowed metrics in the report
+# trace sink=jsonl:events.jsonl   # stream trace events as JSON lines
+# trace sink=vcd:waves.vcd        # or stream a VCD waveform
 ";
 
 fn main() -> ExitCode {
@@ -105,9 +111,16 @@ fn jobs_flag(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
-/// Runs one replica's simulation and returns its statistics; the VCD
-/// trace path applies only to single-replica runs.
-fn simulate(spec: &SimSpec, vcd: Option<&str>) -> Result<socsim::BusStats, String> {
+/// Results of one replica's run: the statistics plus the windowed
+/// metric samples when the spec enables metrics.
+struct SimOutcome {
+    stats: socsim::BusStats,
+    samples: Option<Vec<WindowSample>>,
+}
+
+/// Runs one replica's simulation; the VCD trace path and the spec's
+/// streaming trace sink apply only to single-replica runs.
+fn simulate(spec: &SimSpec, vcd: Option<&str>) -> Result<SimOutcome, String> {
     let mut builder = SystemBuilder::new(spec.bus_config());
     for (i, master) in spec.masters.iter().enumerate() {
         builder = builder.master(
@@ -124,6 +137,12 @@ fn simulate(spec: &SimSpec, vcd: Option<&str>) -> Result<socsim::BusStats, Strin
     if let Some(timeout) = spec.timeout {
         builder = builder.timeout(timeout);
     }
+    if let Some(window) = spec.metrics {
+        builder = builder.metrics_window(window);
+    }
+    if let Some(sink_spec) = &spec.trace_sink {
+        builder = builder.trace_sink(build_sink(spec, sink_spec)?);
+    }
     if vcd.is_some() {
         // Record enough events for the whole measured window (a grant
         // plus a word event per cycle, worst case).
@@ -136,12 +155,40 @@ fn simulate(spec: &SimSpec, vcd: Option<&str>) -> Result<socsim::BusStats, Strin
     system.warm_up(spec.warmup);
     system.run(spec.cycles);
     if let Some(vcd_file) = vcd {
+        // The buffered trace is bounded; if it overflowed, say so
+        // instead of silently rendering a waveform with a hole in it.
+        if system.trace().is_truncated() {
+            eprintln!(
+                "warning: trace buffer overflowed; {} event(s) dropped, `{vcd_file}` is \
+                 incomplete (use `trace sink=vcd:...` to stream without a buffer)",
+                system.trace().dropped(),
+            );
+        }
         let names: Vec<String> = spec.masters.iter().map(|m| m.name.clone()).collect();
         let document = socsim::vcd::trace_to_vcd(system.trace(), &names, spec.warmup + spec.cycles);
         std::fs::write(vcd_file, document)
             .map_err(|e| format!("cannot write `{vcd_file}`: {e}"))?;
     }
-    Ok(system.stats().clone())
+    if let Some(sink_spec) = &spec.trace_sink {
+        system.finish_trace().map_err(|e| format!("cannot write `{}`: {e}", sink_spec.path()))?;
+    }
+    system.flush_metrics();
+    let samples = system.metrics().map(|m| m.samples().to_vec());
+    Ok(SimOutcome { stats: system.stats().clone(), samples })
+}
+
+/// Opens the spec's streaming trace destination.
+fn build_sink(spec: &SimSpec, sink_spec: &TraceSinkSpec) -> Result<Box<dyn TraceSink>, String> {
+    let file = std::fs::File::create(sink_spec.path())
+        .map_err(|e| format!("cannot create `{}`: {e}", sink_spec.path()))?;
+    let writer = std::io::BufWriter::new(file);
+    Ok(match sink_spec {
+        TraceSinkSpec::Jsonl(_) => Box::new(socsim::JsonlSink::new(writer)),
+        TraceSinkSpec::Vcd(_) => {
+            let names: Vec<String> = spec.masters.iter().map(|m| m.name.clone()).collect();
+            Box::new(socsim::VcdSink::new(writer, &names, spec.warmup + spec.cycles))
+        }
+    })
 }
 
 fn run(path: &str, vcd: Option<&str>, jobs: Option<usize>) -> Result<String, String> {
@@ -164,7 +211,12 @@ fn run(path: &str, vcd: Option<&str>, jobs: Option<usize>) -> Result<String, Str
     }
     let start = Instant::now();
     let report = if spec.replicas == 1 {
-        render_report(&spec, &simulate(&spec, vcd)?)
+        let outcome = simulate(&spec, vcd)?;
+        let mut report = render_report(&spec, &outcome.stats);
+        if let (Some(window), Some(samples)) = (spec.metrics, &outcome.samples) {
+            report.push_str(&render_metrics(&spec, window, samples));
+        }
+        report
     } else {
         let indices: Vec<u32> = (0..spec.replicas).collect();
         let runs =
@@ -173,8 +225,12 @@ fn run(path: &str, vcd: Option<&str>, jobs: Option<usize>) -> Result<String, Str
                 .collect::<Result<Vec<_>, _>>()?;
         // Replica 0 ran with the unchanged seed, so its report is
         // byte-identical to a single-replica run of the same spec.
-        let mut report = render_report(&spec, &runs[0]);
-        report.push_str(&render_replica_summary(&spec, &runs));
+        let mut report = render_report(&spec, &runs[0].stats);
+        if let (Some(window), Some(samples)) = (spec.metrics, &runs[0].samples) {
+            report.push_str(&render_metrics(&spec, window, samples));
+        }
+        let stats: Vec<socsim::BusStats> = runs.iter().map(|r| r.stats.clone()).collect();
+        report.push_str(&render_replica_summary(&spec, &stats));
         report
     };
     // Telemetry stays on stderr so stdout remains a clean, diffable
@@ -235,7 +291,7 @@ mod tests {
         let simulate_all = |jobs: usize| -> Vec<socsim::BusStats> {
             let indices: Vec<u32> = (0..spec.replicas).collect();
             socsim::pool::parallel_map(jobs, &indices, |_, &r| {
-                simulate(&spec.replica(r), None).expect("runs")
+                simulate(&spec.replica(r), None).expect("runs").stats
             })
         };
         let serial = simulate_all(1);

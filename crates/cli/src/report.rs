@@ -1,7 +1,7 @@
 //! Rendering simulation results for the terminal.
 
 use crate::spec::SimSpec;
-use socsim::{BusStats, MasterId};
+use socsim::{BusStats, MasterId, WindowSample};
 
 /// Renders the end-of-run report: one row per master plus totals, with
 /// an ASCII bandwidth bar.
@@ -48,6 +48,64 @@ pub fn render_report(spec: &SimSpec, stats: &BusStats) -> String {
         ));
     }
     out
+}
+
+/// Renders the windowed-metrics section (`metrics window=<n>` in the
+/// spec): the per-window utilization range plus, per master, the range
+/// of its within-window bandwidth share and a sparkline of that share
+/// over time (downsampled to at most 50 characters). Starvation that
+/// an end-of-run average hides — a master that gets nothing for long
+/// stretches — is visible here as blank runs in the sparkline.
+pub fn render_metrics(spec: &SimSpec, window: u64, samples: &[WindowSample]) -> String {
+    let mut out = format!("\nwindowed metrics ({} windows of {} cycles):\n", samples.len(), window);
+    if samples.is_empty() {
+        out.push_str("  (no complete windows)\n");
+        return out;
+    }
+    let utils: Vec<f64> = samples.iter().map(WindowSample::utilization).collect();
+    let (lo, hi) = min_max(&utils);
+    out.push_str(&format!(
+        "bus utilization mean {:.1}% (window range {:.1}%..{:.1}%)\n",
+        mean(&utils) * 100.0,
+        lo * 100.0,
+        hi * 100.0,
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>9} {:>16}  share per window\n",
+        "master", "mean bw", "bw min..max"
+    ));
+    for (i, master) in spec.masters.iter().enumerate() {
+        let shares: Vec<f64> = samples.iter().map(|s| s.bandwidth_share(i)).collect();
+        let (lo, hi) = min_max(&shares);
+        out.push_str(&format!(
+            "{:<10} {:>8.1}% {:>6.1}%..{:>6.1}%  [{}]\n",
+            master.name,
+            mean(&shares) * 100.0,
+            lo * 100.0,
+            hi * 100.0,
+            sparkline(&shares),
+        ));
+    }
+    out
+}
+
+/// A fixed-alphabet sparkline of `values` scaled to their maximum,
+/// downsampled by averaging to at most 50 characters.
+fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let stride = values.len().div_ceil(50).max(1);
+    let max = values.iter().fold(0.0_f64, |m, &v| m.max(v));
+    values
+        .chunks(stride)
+        .map(|chunk| {
+            let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            if max <= 0.0 {
+                return LEVELS[0];
+            }
+            let level = (avg / max * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[level.min(LEVELS.len() - 1)]
+        })
+        .collect()
 }
 
 /// Renders the cross-replica aggregate section: per-master mean ±
@@ -180,6 +238,49 @@ mod tests {
         assert!(summary.contains("cpu"));
         assert!(summary.contains("dsp"));
         assert!(summary.contains("bus utilization mean"));
+    }
+
+    #[test]
+    fn metrics_section_shows_windows_and_sparklines() {
+        let text = "arbiter = priority\ncycles = 10000\nwarmup = 0\nmetrics window=1000\n\
+                    master cpu weight=2 load=0.9 size=16\n\
+                    master dsp weight=1 load=0.9 size=16\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        let mut builder = SystemBuilder::new(spec.bus_config());
+        for (i, master) in spec.masters.iter().enumerate() {
+            builder = builder.master(
+                master.name.clone(),
+                master.generator(i).build_source(spec.seed + i as u64),
+            );
+        }
+        let mut system = builder
+            .metrics_window(spec.metrics.expect("metrics configured"))
+            .arbiter(spec.build_arbiter().expect("builds"))
+            .build()
+            .expect("valid");
+        system.run(spec.cycles);
+        system.flush_metrics();
+        let samples = system.metrics().expect("metrics on").samples().to_vec();
+        assert_eq!(samples.len(), 10);
+        let section = render_metrics(&spec, 1000, &samples);
+        assert!(section.contains("windowed metrics (10 windows of 1000 cycles)"), "{section}");
+        assert!(section.contains("cpu"), "{section}");
+        assert!(section.contains("dsp"), "{section}");
+        assert!(section.contains("bus utilization mean"), "{section}");
+        // Sparklines render one row per master; scaling by the row
+        // maximum guarantees at least one full-height character.
+        let sparks: Vec<&str> = section.lines().filter(|l| l.contains('[')).collect();
+        assert_eq!(sparks.len(), 2, "{section}");
+        for line in sparks {
+            assert!(line.contains('#'), "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_metrics_section_is_explicit() {
+        let spec = SimSpec::parse("master m load=0.1\n").expect("valid");
+        let section = render_metrics(&spec, 500, &[]);
+        assert!(section.contains("(no complete windows)"), "{section}");
     }
 
     /// End-to-end failover demo: a deliberately wedged primary trips the

@@ -96,6 +96,26 @@ impl MasterSpec {
     }
 }
 
+/// A streaming trace destination from the spec's `trace sink=` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSinkSpec {
+    /// `jsonl:<path>` — one JSON object per trace event, streamed to
+    /// the file as the simulation runs (never truncated).
+    Jsonl(String),
+    /// `vcd:<path>` — a VCD waveform streamed to the file as the
+    /// simulation runs (unlike `--vcd`, which buffers events first).
+    Vcd(String),
+}
+
+impl TraceSinkSpec {
+    /// The destination path.
+    pub fn path(&self) -> &str {
+        match self {
+            TraceSinkSpec::Jsonl(path) | TraceSinkSpec::Vcd(path) => path,
+        }
+    }
+}
+
 /// A parsed simulation spec.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimSpec {
@@ -128,6 +148,13 @@ pub struct SimSpec {
     /// Worker threads for replica fan-out (`jobs` key; `0` = all
     /// available cores). Never affects results, only wall-clock time.
     pub jobs: usize,
+    /// Windowed-metrics window length in cycles, from a
+    /// `metrics window=<n>` line; when set the report gains a windowed
+    /// metrics section. Metrics never change results.
+    pub metrics: Option<u64>,
+    /// Streaming trace destination from a `trace sink=<kind>:<path>`
+    /// line; requires `replicas = 1`.
+    pub trace_sink: Option<TraceSinkSpec>,
     /// The masters, in declaration order.
     pub masters: Vec<MasterSpec>,
 }
@@ -147,6 +174,8 @@ impl Default for SimSpec {
             failover: None,
             replicas: 1,
             jobs: 0,
+            metrics: None,
+            trace_sink: None,
             masters: Vec::new(),
         }
     }
@@ -203,6 +232,14 @@ impl SimSpec {
                 spec.retry = Some(parse_retry(line_no, rest)?);
                 continue;
             }
+            if let Some(rest) = line.strip_prefix("metrics ") {
+                spec.metrics = Some(parse_metrics(line_no, rest)?);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("trace ") {
+                spec.trace_sink = Some(parse_trace(line_no, rest)?);
+                continue;
+            }
             let (key, value) = line
                 .split_once('=')
                 .ok_or_else(|| err(line_no, format!("expected `key = value`, got `{line}`")))?;
@@ -244,6 +281,12 @@ impl SimSpec {
         }
         if spec.replicas == 0 {
             return Err(err(0, "replicas must be at least 1"));
+        }
+        if spec.trace_sink.is_some() && spec.replicas > 1 {
+            return Err(err(
+                0,
+                "`trace sink=` writes one file and therefore requires `replicas = 1`",
+            ));
         }
         Ok(spec)
     }
@@ -385,6 +428,57 @@ fn parse_fault(line: usize, rest: &str, fault: &mut FaultConfig) -> Result<(), P
         return Err(err(line, format!("`max=` only applies to master-stall, not {class}")));
     }
     Ok(())
+}
+
+/// Parses a `metrics window=<cycles>` line.
+fn parse_metrics(line: usize, rest: &str) -> Result<u64, ParseSpecError> {
+    let mut window: Option<u64> = None;
+    for word in rest.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected `key=value`, got `{word}`")))?;
+        match key {
+            "window" => window = Some(parse_num(line, key, value)?),
+            _ => return Err(err(line, format!("unknown metrics key `{key}`"))),
+        }
+    }
+    let window = window.ok_or_else(|| err(line, "metrics line needs a `window=`"))?;
+    if window == 0 {
+        return Err(err(line, "metrics window must be at least 1 cycle"));
+    }
+    Ok(window)
+}
+
+/// Parses a `trace sink=<kind>:<path>` line (`jsonl:` or `vcd:`).
+fn parse_trace(line: usize, rest: &str) -> Result<TraceSinkSpec, ParseSpecError> {
+    let mut sink: Option<TraceSinkSpec> = None;
+    for word in rest.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected `key=value`, got `{word}`")))?;
+        match key {
+            "sink" => {
+                let (kind, path) = value.split_once(':').ok_or_else(|| {
+                    err(line, format!("expected `sink=<kind>:<path>`, got `sink={value}`"))
+                })?;
+                if path.is_empty() {
+                    return Err(err(line, "trace sink needs a non-empty path"));
+                }
+                sink = Some(match kind {
+                    "jsonl" => TraceSinkSpec::Jsonl(path.to_owned()),
+                    "vcd" => TraceSinkSpec::Vcd(path.to_owned()),
+                    _ => {
+                        return Err(err(
+                            line,
+                            format!("unknown trace sink kind `{kind}` (expected jsonl or vcd)"),
+                        ))
+                    }
+                });
+            }
+            _ => return Err(err(line, format!("unknown trace key `{key}`"))),
+        }
+    }
+    sink.ok_or_else(|| err(line, "trace line needs a `sink=`"))
 }
 
 /// Parses a `retry max=<n> [backoff=<f>x] [base=<cycles>]` line.
@@ -601,6 +695,52 @@ mod tests {
 
         let e = SimSpec::parse(&format!("failover = 0\n{base}")).unwrap_err();
         assert!(e.message.contains("patience"), "{e}");
+    }
+
+    #[test]
+    fn metrics_and_trace_lines_parse() {
+        let text = "metrics window=1000\n\
+                    trace sink=jsonl:events.jsonl\n\
+                    master m load=0.1\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        assert_eq!(spec.metrics, Some(1000));
+        assert_eq!(spec.trace_sink, Some(TraceSinkSpec::Jsonl("events.jsonl".into())));
+        assert_eq!(spec.trace_sink.as_ref().unwrap().path(), "events.jsonl");
+
+        let text = "trace sink=vcd:waves.vcd\nmaster m load=0.1\n";
+        let spec = SimSpec::parse(text).expect("valid");
+        assert_eq!(spec.trace_sink, Some(TraceSinkSpec::Vcd("waves.vcd".into())));
+
+        // Defaults: both observability features off.
+        let spec = SimSpec::parse("master m load=0.1\n").expect("valid");
+        assert_eq!(spec.metrics, None);
+        assert_eq!(spec.trace_sink, None);
+    }
+
+    #[test]
+    fn metrics_and_trace_line_errors_are_specific() {
+        let base = "master m load=0.1\n";
+        let e = SimSpec::parse(&format!("metrics window=0\n{base}")).unwrap_err();
+        assert!(e.message.contains("at least 1 cycle"), "{e}");
+
+        let e = SimSpec::parse(&format!("metrics depth=3\n{base}")).unwrap_err();
+        assert!(e.message.contains("unknown metrics key"), "{e}");
+
+        let e = SimSpec::parse(&format!("metrics\n{base}")).unwrap_err();
+        assert!(e.message.contains("expected `key = value`"), "{e}");
+
+        let e = SimSpec::parse(&format!("trace sink=csv:out.csv\n{base}")).unwrap_err();
+        assert!(e.message.contains("unknown trace sink kind"), "{e}");
+
+        let e = SimSpec::parse(&format!("trace sink=jsonl\n{base}")).unwrap_err();
+        assert!(e.message.contains("sink=<kind>:<path>"), "{e}");
+
+        let e = SimSpec::parse(&format!("trace sink=jsonl:\n{base}")).unwrap_err();
+        assert!(e.message.contains("non-empty path"), "{e}");
+
+        let e =
+            SimSpec::parse(&format!("trace sink=jsonl:a.jsonl\nreplicas = 2\n{base}")).unwrap_err();
+        assert!(e.message.contains("replicas = 1"), "{e}");
     }
 
     #[test]

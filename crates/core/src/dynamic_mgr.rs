@@ -96,7 +96,7 @@ impl DynamicLotteryArbiter {
     }
 
     /// Enables Waldspurger-style *compensation tickets* (the lottery
-    /// scheduling technique of the paper's reference [16]) with the
+    /// scheduling technique of the paper's reference \[16\]) with the
     /// given quantum in words — typically the bus's maximum burst size.
     ///
     /// A master that consumes only a fraction `f` of the quantum when it

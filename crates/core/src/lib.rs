@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # lotterybus — lottery-based SoC bus arbitration (the paper's contribution)
 //!
 //! This crate implements the LOTTERYBUS communication architecture of

@@ -2,6 +2,7 @@
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let settings = experiments::RunSettings::new();
     println!("{}\n", experiments::fig4::run(&settings));
+    println!("{}\n", experiments::fig4::run_timeseries(&settings));
     println!("{}\n", experiments::fig5::run());
     println!("{}\n", experiments::fig6::run_bandwidth(&settings));
     println!("{}\n", experiments::fig6::run_latency(traffic_gen::TrafficClass::T6, &settings));

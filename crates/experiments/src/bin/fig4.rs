@@ -1,4 +1,7 @@
-//! Regenerates Figure 4: bandwidth sharing under static priority.
+//! Regenerates Figure 4: bandwidth sharing under static priority,
+//! plus the windowed starvation time-series (priority vs lottery).
 fn main() {
-    println!("{}", experiments::fig4::run(&experiments::RunSettings::new()));
+    let settings = experiments::RunSettings::new();
+    println!("{}\n", experiments::fig4::run(&settings));
+    println!("{}", experiments::fig4::run_timeseries(&settings));
 }

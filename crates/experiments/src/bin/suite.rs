@@ -2,30 +2,37 @@
 //! document on stdout (or `--out FILE`).
 //!
 //! ```text
-//! suite [--quick] [--jobs N] [--out FILE] [--bench FILE]
+//! suite [--quick] [--jobs N] [--metrics W] [--out FILE] [--bench FILE]
 //! ```
 //!
 //! * `--quick` — short measurement window (CI-friendly).
 //! * `--jobs N` — worker threads; `0` (default) = all cores. Never
 //!   affects the JSON output, only wall-clock time.
+//! * `--metrics W` — also collect windowed metrics (window of W cycles)
+//!   in every simulation. The samples are discarded, so the JSON output
+//!   is byte-identical with or without this flag; it exists to exercise
+//!   and measure the observability layer.
 //! * `--out FILE` — write the JSON document to FILE instead of stdout.
-//! * `--bench FILE` — run the suite serially (`--jobs 1`) and then with
-//!   the requested worker count, assert the outputs are byte-identical,
-//!   and write wall-clock/speedup telemetry to FILE (the
-//!   `BENCH_PR2.json` artifact).
+//! * `--bench FILE` — benchmark mode: run the suite serially (`--jobs
+//!   1`) and with the requested worker count, with metrics off and on,
+//!   assert all four result documents are byte-identical, profile the
+//!   cycle kernel's phases, and write the wall-clock report to FILE
+//!   (the `BENCH_PR3.json` artifact: speedup, metrics overhead, and
+//!   per-phase breakdown).
 //!
 //! Timing telemetry always goes to **stderr** so stdout stays a clean,
 //! diffable result stream.
 
 use experiments::suite::{run_suite, SuiteOptions};
+use experiments::telemetry::{sim_phases_json, sim_phases_report};
 
 fn usage() -> ! {
-    eprintln!("usage: suite [--quick] [--jobs N] [--out FILE] [--bench FILE]");
+    eprintln!("usage: suite [--quick] [--jobs N] [--metrics W] [--out FILE] [--bench FILE]");
     std::process::exit(2);
 }
 
 fn main() {
-    let mut opts = SuiteOptions { quick: false, jobs: 0 };
+    let mut opts = SuiteOptions { quick: false, jobs: 0, metrics_window: None };
     let mut out: Option<String> = None;
     let mut bench: Option<String> = None;
 
@@ -37,6 +44,14 @@ fn main() {
                 let value = args.next().unwrap_or_else(|| usage());
                 opts.jobs = value.parse().unwrap_or_else(|_| usage());
             }
+            "--metrics" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let window: u64 = value.parse().unwrap_or_else(|_| usage());
+                if window == 0 {
+                    usage();
+                }
+                opts.metrics_window = Some(window);
+            }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--bench" => bench = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
@@ -46,39 +61,91 @@ fn main() {
     let workers = socsim::pool::resolve_jobs(opts.jobs);
 
     if let Some(bench_path) = bench {
-        // Serial baseline first, then the parallel run; the two result
-        // documents must be byte-identical (the determinism guarantee
-        // the rest of the tooling relies on).
-        let serial = run_suite(&SuiteOptions { jobs: 1, ..opts });
-        eprintln!("{}", serial.telemetry.report(1));
-        let parallel = run_suite(&opts);
-        eprintln!("{}", parallel.telemetry.report(workers));
-        assert_eq!(
-            serial.json, parallel.json,
-            "suite output differs between --jobs 1 and --jobs {workers}"
-        );
-
-        let serial_wall = serial.telemetry.total_wall().as_secs_f64();
-        let parallel_wall = parallel.telemetry.total_wall().as_secs_f64();
-        let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 1.0 };
-        let report = experiments::json::Json::obj()
-            .field("quick", opts.quick)
-            .field("host_parallelism", socsim::pool::available_jobs())
-            .field("jobs", workers)
-            .field("serial_wall_secs", serial_wall)
-            .field("parallel_wall_secs", parallel_wall)
-            .field("speedup", speedup)
-            .field("byte_identical", true)
-            .field("serial", serial.telemetry.to_json())
-            .field("parallel", parallel.telemetry.to_json());
-        std::fs::write(&bench_path, report.render() + "\n").expect("write bench report");
-        eprintln!("speedup {speedup:.2}x with {workers} worker(s); bench report: {bench_path}");
-        emit(out.as_deref(), &parallel.json);
+        emit(out.as_deref(), &run_bench(&opts, workers, &bench_path));
     } else {
         let run = run_suite(&opts);
         eprintln!("{}", run.telemetry.report(workers));
         emit(out.as_deref(), &run.json);
     }
+}
+
+/// The benchmark flow: four suite runs (serial/parallel × metrics
+/// off/on), a byte-identity check across all of them, a profiled probe
+/// simulation, and the JSON report. Returns the suite result document.
+fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
+    let window = opts.metrics_window.unwrap_or(1_000);
+    let off = SuiteOptions { metrics_window: None, ..*opts };
+    let on = SuiteOptions { metrics_window: Some(window), ..*opts };
+
+    // Serial baseline first, then the parallel run; the two result
+    // documents must be byte-identical (the determinism guarantee the
+    // rest of the tooling relies on).
+    let serial = run_suite(&SuiteOptions { jobs: 1, ..off });
+    eprintln!("{}", serial.telemetry.report(1));
+    let parallel = run_suite(&off);
+    eprintln!("{}", parallel.telemetry.report(workers));
+    assert_eq!(
+        serial.json, parallel.json,
+        "suite output differs between --jobs 1 and --jobs {workers}"
+    );
+
+    // The same pair with windowed metrics collected in every system.
+    // Metrics must neither perturb results nor break the jobs
+    // invariance, so all four documents are identical.
+    let serial_metrics = run_suite(&SuiteOptions { jobs: 1, ..on });
+    let parallel_metrics = run_suite(&on);
+    assert_eq!(
+        serial.json, serial_metrics.json,
+        "suite output changed when metrics (window={window}) were enabled"
+    );
+    assert_eq!(
+        serial_metrics.json, parallel_metrics.json,
+        "metrics-on output differs between --jobs 1 and --jobs {workers}"
+    );
+
+    let serial_wall = serial.telemetry.total_wall().as_secs_f64();
+    let parallel_wall = parallel.telemetry.total_wall().as_secs_f64();
+    let metrics_serial_wall = serial_metrics.telemetry.total_wall().as_secs_f64();
+    let metrics_parallel_wall = parallel_metrics.telemetry.total_wall().as_secs_f64();
+    let speedup = if parallel_wall > 0.0 { serial_wall / parallel_wall } else { 1.0 };
+    let overhead_pct = if serial_wall > 0.0 {
+        (metrics_serial_wall - serial_wall) / serial_wall * 100.0
+    } else {
+        0.0
+    };
+
+    // Where does simulation time go? Profile one saturated four-master
+    // system (with metrics on, like the overhead run).
+    let probe_settings = on.settings().with_jobs(1);
+    let (_, profiler) = experiments::common::run_system_profiled(
+        &traffic_gen::classes::saturating_specs(4),
+        experiments::common::protocol_arbiter(4, probe_settings.seed),
+        &probe_settings,
+    );
+    eprintln!("{}", sim_phases_report(&profiler));
+
+    let report = experiments::json::Json::obj()
+        .field("quick", opts.quick)
+        .field("host_parallelism", socsim::pool::available_jobs())
+        .field("jobs", workers)
+        .field("serial_wall_secs", serial_wall)
+        .field("parallel_wall_secs", parallel_wall)
+        .field("speedup", speedup)
+        .field("byte_identical", true)
+        .field("metrics_window", window)
+        .field("metrics_serial_wall_secs", metrics_serial_wall)
+        .field("metrics_parallel_wall_secs", metrics_parallel_wall)
+        .field("metrics_overhead_pct", overhead_pct)
+        .field("metrics_byte_identical", true)
+        .field("sim_phases", sim_phases_json(&profiler))
+        .field("serial", serial.telemetry.to_json())
+        .field("parallel", parallel.telemetry.to_json());
+    std::fs::write(bench_path, report.render() + "\n").expect("write bench report");
+    eprintln!(
+        "speedup {speedup:.2}x with {workers} worker(s); metrics overhead {overhead_pct:.2}% \
+         at window={window}; bench report: {bench_path}"
+    );
+    parallel.json
 }
 
 fn emit(out: Option<&str>, json: &str) {

@@ -1,6 +1,6 @@
 //! Shared experiment plumbing: system assembly, runs, permutations.
 
-use socsim::{Arbiter, BusConfig, BusStats, MasterId, SystemBuilder};
+use socsim::{Arbiter, BusConfig, BusStats, MasterId, PhaseProfiler, SystemBuilder, WindowSample};
 use traffic_gen::GeneratorSpec;
 
 /// Simulation window settings shared by all experiments.
@@ -19,6 +19,12 @@ pub struct RunSettings {
     /// owns its seed and results are collected in input order — only
     /// wall-clock time.
     pub jobs: usize,
+    /// When set, every system built by [`run_system`] also collects
+    /// windowed metrics with this window length. The samples are
+    /// collected and discarded, so results (and the suite JSON) stay
+    /// byte-identical to a metrics-off run; the point is to measure the
+    /// observability overhead with `suite --bench`.
+    pub metrics_window: Option<u64>,
 }
 
 impl RunSettings {
@@ -30,6 +36,7 @@ impl RunSettings {
             seed: 0xC0FFEE,
             bus: BusConfig::default(),
             jobs: 0,
+            metrics_window: None,
         }
     }
 
@@ -41,6 +48,11 @@ impl RunSettings {
     /// These settings with an explicit worker count.
     pub fn with_jobs(self, jobs: usize) -> Self {
         RunSettings { jobs, ..self }
+    }
+
+    /// These settings with windowed metrics enabled in every run.
+    pub fn with_metrics(self, window: u64) -> Self {
+        RunSettings { metrics_window: Some(window), ..self }
     }
 }
 
@@ -62,6 +74,57 @@ pub fn run_system(
     arbiter: Box<dyn Arbiter>,
     settings: &RunSettings,
 ) -> BusStats {
+    let mut system = build_system(specs, arbiter, settings);
+    system.warm_up(settings.warmup);
+    system.run(settings.measure);
+    system.stats().clone()
+}
+
+/// Like [`run_system`], but also returns the windowed metric samples
+/// of the measured interval. The window length is explicit (it is part
+/// of the experiment's definition, not a tuning knob), and only the
+/// measured interval lands in the series: warm-up samples are
+/// discarded with the warm-up statistics, and a trailing partial
+/// window is flushed as a final short sample.
+///
+/// # Panics
+///
+/// Panics if the system cannot be built or `window` is zero.
+pub fn run_system_timeseries(
+    specs: &[GeneratorSpec],
+    arbiter: Box<dyn Arbiter>,
+    settings: &RunSettings,
+    window: u64,
+) -> (BusStats, Vec<WindowSample>) {
+    let with_metrics = RunSettings { metrics_window: Some(window), ..*settings };
+    let mut system = build_system(specs, arbiter, &with_metrics);
+    system.warm_up(settings.warmup);
+    system.run(settings.measure);
+    system.flush_metrics();
+    let samples = system.metrics().expect("metrics enabled").samples().to_vec();
+    (system.stats().clone(), samples)
+}
+
+/// Like [`run_system`], but with the cycle kernel's phase profiler on;
+/// returns the per-phase wall-clock breakdown of the measured interval
+/// alongside the statistics. Used by `suite --bench` to report where
+/// simulation time goes.
+pub fn run_system_profiled(
+    specs: &[GeneratorSpec],
+    arbiter: Box<dyn Arbiter>,
+    settings: &RunSettings,
+) -> (BusStats, PhaseProfiler) {
+    let mut builder = system_builder(specs, settings).profiling(true);
+    if let Some(window) = settings.metrics_window {
+        builder = builder.metrics_window(window);
+    }
+    let mut system = builder.arbiter(arbiter).build().expect("experiment system is valid");
+    system.warm_up(settings.warmup);
+    system.run(settings.measure);
+    (system.stats().clone(), system.profiler().clone())
+}
+
+fn system_builder(specs: &[GeneratorSpec], settings: &RunSettings) -> SystemBuilder {
     let mut builder = SystemBuilder::new(settings.bus);
     for (i, spec) in specs.iter().enumerate() {
         builder = builder.master(
@@ -69,10 +132,19 @@ pub fn run_system(
             spec.build_source(settings.seed.wrapping_add(i as u64 * 0x9E37_79B9)),
         );
     }
-    let mut system = builder.arbiter(arbiter).build().expect("experiment system is valid");
-    system.warm_up(settings.warmup);
-    system.run(settings.measure);
-    system.stats().clone()
+    builder
+}
+
+fn build_system(
+    specs: &[GeneratorSpec],
+    arbiter: Box<dyn Arbiter>,
+    settings: &RunSettings,
+) -> socsim::System {
+    let mut builder = system_builder(specs, settings);
+    if let Some(window) = settings.metrics_window {
+        builder = builder.metrics_window(window);
+    }
+    builder.arbiter(arbiter).build().expect("experiment system is valid")
 }
 
 /// Builds the arbiter at `index` of the shared five-protocol comparison
@@ -169,6 +241,52 @@ mod tests {
     #[test]
     fn labels_concatenate_digits() {
         assert_eq!(permutation_label(&[3, 1, 4, 2]), "3142");
+    }
+
+    #[test]
+    fn metrics_collection_never_changes_results() {
+        let settings = RunSettings { warmup: 1_000, measure: 8_000, ..RunSettings::quick() };
+        let plain = run_system(
+            &saturating_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings,
+        );
+        let observed = run_system(
+            &saturating_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings.with_metrics(500),
+        );
+        assert_eq!(plain, observed, "metrics collection perturbed the simulation");
+    }
+
+    #[test]
+    fn timeseries_covers_the_measured_interval() {
+        let settings = RunSettings { warmup: 1_000, measure: 10_000, ..RunSettings::quick() };
+        let (stats, samples) = run_system_timeseries(
+            &saturating_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings,
+            1_000,
+        );
+        assert_eq!(stats.cycles, 10_000);
+        assert_eq!(samples.len(), 10, "10k measured cycles / 1k window");
+        assert_eq!(samples.iter().map(|s| s.cycles).sum::<u64>(), 10_000);
+        let words: u64 = samples.iter().flat_map(|s| s.per_master.iter().map(|m| m.words)).sum();
+        let total: u64 = stats.masters().iter().map(|m| m.words).sum();
+        assert_eq!(words, total, "window word counts add up to the run total");
+    }
+
+    #[test]
+    fn profiled_run_attributes_wall_time() {
+        let settings = RunSettings { warmup: 500, measure: 4_000, ..RunSettings::quick() };
+        let (stats, profiler) = run_system_profiled(
+            &saturating_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings,
+        );
+        assert_eq!(stats.cycles, 4_000);
+        assert_eq!(profiler.laps(), 4_000, "warm-up laps are discarded");
+        assert!(profiler.total_wall() > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -20,13 +20,22 @@ pub struct SuiteOptions {
     pub quick: bool,
     /// Worker threads (`0` = all available cores).
     pub jobs: usize,
+    /// When set, every simulation also collects windowed metrics with
+    /// this window length. The samples are discarded, so the result
+    /// JSON is byte-identical either way; `suite --bench` uses this to
+    /// measure the observability overhead.
+    pub metrics_window: Option<u64>,
 }
 
 impl SuiteOptions {
     /// The settings implied by these options.
     pub fn settings(&self) -> RunSettings {
         let base = if self.quick { RunSettings::quick() } else { RunSettings::new() };
-        base.with_jobs(self.jobs)
+        let base = base.with_jobs(self.jobs);
+        match self.metrics_window {
+            Some(window) => base.with_metrics(window),
+            None => base,
+        }
     }
 }
 
@@ -46,6 +55,7 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteRun {
     let mut t = Telemetry::new();
 
     let fig4 = t.time("fig4", 24, || crate::fig4::run(&settings));
+    let fig4_ts = t.time("fig4_timeseries", 2, || crate::fig4::run_timeseries(&settings));
     let fig5 = t.time("fig5", 2, || crate::fig5::run_jobs(settings.jobs));
     let fig6a = t.time("fig6a", 24, || crate::fig6::run_bandwidth(&settings));
     let fig6b = t.time("fig6b", 2, || crate::fig6::run_latency(TrafficClass::T6, &settings));
@@ -71,6 +81,7 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteRun {
                 .field("quick", opts.quick),
         )
         .field("fig4", fig4.to_json())
+        .field("fig4_timeseries", fig4_ts.to_json())
         .field("fig5", fig5.to_json())
         .field("fig6a", fig6a.to_json())
         .field("fig6b", fig6b.to_json())
@@ -93,12 +104,14 @@ mod tests {
 
     #[test]
     fn options_map_to_settings() {
-        let opts = SuiteOptions { quick: true, jobs: 3 };
+        let opts = SuiteOptions { quick: true, jobs: 3, metrics_window: None };
         let s = opts.settings();
         assert_eq!(s.jobs, 3);
         assert_eq!(s.measure, RunSettings::quick().measure);
-        let full = SuiteOptions { quick: false, jobs: 0 }.settings();
+        assert_eq!(s.metrics_window, None);
+        let full = SuiteOptions { quick: false, jobs: 0, metrics_window: Some(1_000) }.settings();
         assert_eq!(full.measure, RunSettings::new().measure);
         assert_eq!(full.jobs, 0);
+        assert_eq!(full.metrics_window, Some(1_000));
     }
 }

@@ -120,9 +120,57 @@ impl Telemetry {
     }
 }
 
+/// The per-simulation-phase JSON breakdown of a profiled run (the
+/// `sim_phases` section of the bench artifact): where wall-clock time
+/// goes *inside* the cycle kernel — polling sources, stepping the bus,
+/// or accounting — as measured by [`socsim::PhaseProfiler`].
+pub fn sim_phases_json(profiler: &socsim::PhaseProfiler) -> Json {
+    let phases: Vec<Json> = socsim::SimPhase::ALL
+        .iter()
+        .map(|&phase| {
+            Json::obj()
+                .field("name", phase.label())
+                .field("wall_secs", profiler.total(phase).as_secs_f64())
+                .field("fraction", profiler.fraction(phase))
+        })
+        .collect();
+    Json::obj()
+        .field("cycles", profiler.laps())
+        .field("total_wall_secs", profiler.total_wall().as_secs_f64())
+        .field("phases", Json::Arr(phases))
+}
+
+/// A human-readable one-liner-per-phase table for stderr.
+pub fn sim_phases_report(profiler: &socsim::PhaseProfiler) -> String {
+    let mut out = format!("cycle kernel profile ({} cycles):\n", profiler.laps());
+    for &phase in &socsim::SimPhase::ALL {
+        let pct = profiler.fraction(phase).map_or(0.0, |f| f * 100.0);
+        out.push_str(&format!(
+            "  {:<12} {:>8.3}s  {:>5.1}%\n",
+            phase.label(),
+            profiler.total(phase).as_secs_f64(),
+            pct
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sim_phase_json_and_report_are_stable() {
+        let profiler = socsim::PhaseProfiler::disabled();
+        let json = sim_phases_json(&profiler).render();
+        assert!(json.starts_with("{\"cycles\":0,"), "{json}");
+        assert!(json.contains("\"name\":\"poll\""), "{json}");
+        assert!(json.contains("\"name\":\"bus\""), "{json}");
+        assert!(json.contains("\"name\":\"accounting\""), "{json}");
+        let report = sim_phases_report(&profiler);
+        assert!(report.contains("cycle kernel profile"), "{report}");
+        assert!(report.contains("accounting"), "{report}");
+    }
 
     #[test]
     fn timed_phases_accumulate() {

@@ -174,6 +174,9 @@ impl Bus {
                         map.set_pending(port.id(), port.pending_words());
                     }
                 }
+                if map.pending_count() >= 2 {
+                    stats.record_contended_arbitration();
+                }
                 match arbiter.arbitrate(&map, now) {
                     Some(grant) => {
                         assert!(

@@ -30,6 +30,9 @@ pub enum BuildSystemError {
     /// The watchdog timeout is invalid (zero cycles would abort every
     /// transaction immediately).
     InvalidTimeout(u64),
+    /// The metrics sampling window is invalid (a zero-cycle window can
+    /// never close).
+    InvalidMetricsWindow(u64),
 }
 
 impl fmt::Display for BuildSystemError {
@@ -49,6 +52,9 @@ impl fmt::Display for BuildSystemError {
             }
             BuildSystemError::InvalidTimeout(cycles) => {
                 write!(f, "invalid watchdog timeout: {cycles} cycles (must be at least 1)")
+            }
+            BuildSystemError::InvalidMetricsWindow(cycles) => {
+                write!(f, "invalid metrics window: {cycles} cycles (must be at least 1)")
             }
         }
     }

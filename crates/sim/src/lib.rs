@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # socsim — a cycle-based system-on-chip shared-bus simulation kernel
 //!
 //! This crate is the simulation substrate for the LOTTERYBUS reproduction.
@@ -16,6 +17,14 @@
 //! [`pool`] module fans whole simulations out across cores and collects
 //! results in input order, so parallel sweeps stay byte-identical to
 //! serial ones.
+//!
+//! Observability is layered on top without disturbing determinism: the
+//! [`metrics`] module samples windowed counters/gauges/histograms into
+//! time-series, the [`trace`] module streams events into pluggable
+//! sinks (ring buffer, JSON lines, VCD), and the [`profile`] module
+//! attributes wall-clock time to the kernel's simulation phases. All
+//! three are off by default and cost at most a branch per cycle when
+//! off.
 //!
 //! ## Quick example
 //!
@@ -50,8 +59,10 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod master;
+pub mod metrics;
 pub mod multichannel;
 pub mod pool;
+pub mod profile;
 pub mod request;
 pub mod slave;
 pub mod split;
@@ -68,8 +79,11 @@ pub use error::BuildSystemError;
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan, RetryPolicy};
 pub use ids::{MasterId, SlaveId};
 pub use master::{MasterPort, RetryOutcome};
+pub use metrics::{BusMetrics, WindowSample};
+pub use profile::{PhaseProfiler, SimPhase};
 pub use request::{RequestMap, Transaction, MAX_MASTERS};
 pub use slave::Slave;
 pub use stats::{BusStats, MasterStats};
 pub use system::{System, SystemBuilder, TrafficSource};
-pub use trace::{BusTrace, TraceEvent};
+pub use trace::{BusTrace, JsonlSink, RingSink, TraceEvent, TraceSink};
+pub use vcd::VcdSink;

@@ -125,7 +125,7 @@ impl SplitSystemBuilder {
 
     /// Adds a split-capable slave with the given access `latency` and
     /// `capacity` concurrently outstanding requests. Slaves receive
-    /// dense [`SlaveId`]s in the order added.
+    /// dense [`crate::SlaveId`]s in the order added.
     pub fn split_slave(mut self, name: impl Into<String>, latency: u32, capacity: usize) -> Self {
         self.slaves.push((name.into(), latency, capacity.max(1)));
         self

@@ -239,6 +239,9 @@ pub struct BusStats {
     pub aborted_transactions: u64,
     /// Times the failover arbiter replaced a misbehaving primary.
     pub failovers: u64,
+    /// Arbitration decisions taken with two or more masters pending —
+    /// the cycles in which the arbiter actually had to choose.
+    pub contended_arbitrations: u64,
     per_master: Vec<MasterStats>,
 }
 
@@ -257,6 +260,7 @@ impl BusStats {
             timeouts: 0,
             aborted_transactions: 0,
             failovers: 0,
+            contended_arbitrations: 0,
             per_master: vec![MasterStats::default(); masters],
         }
     }
@@ -366,6 +370,12 @@ impl BusStats {
     /// consequences, not separate disturbances).
     pub fn fault_disturbances(&self) -> u64 {
         self.slave_errors + self.dropped_grants + self.corrupted_grants
+    }
+
+    /// Records an arbitration decision taken while two or more masters
+    /// were pending (a *contended* arbitration).
+    pub fn record_contended_arbitration(&mut self) {
+        self.contended_arbitrations += 1;
     }
 
     /// Counts one elapsed simulation cycle. Called once per [`crate::System::step`],

@@ -8,10 +8,12 @@ use crate::error::BuildSystemError;
 use crate::fault::{FaultConfig, FaultEvent, RetryPolicy};
 use crate::ids::MasterId;
 use crate::master::MasterPort;
+use crate::metrics::BusMetrics;
+use crate::profile::{PhaseProfiler, SimPhase};
 use crate::request::{Transaction, MAX_MASTERS};
 use crate::slave::Slave;
 use crate::stats::BusStats;
-use crate::trace::BusTrace;
+use crate::trace::{BusTrace, TraceSink};
 
 /// A source of communication transactions for one master — the
 /// simulator-side stand-in for the component's computation.
@@ -80,9 +82,12 @@ pub struct SystemBuilder {
     slaves: Vec<Slave>,
     arbiter: Option<Box<dyn Arbiter>>,
     trace_capacity: usize,
+    trace_sink: Option<Box<dyn TraceSink>>,
     faults: Option<FaultConfig>,
     retry: Option<RetryPolicy>,
     timeout: Option<u64>,
+    metrics_window: Option<u64>,
+    profiling: bool,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -106,9 +111,12 @@ impl SystemBuilder {
             slaves: Vec::new(),
             arbiter: None,
             trace_capacity: 0,
+            trace_sink: None,
             faults: None,
             retry: None,
             timeout: None,
+            metrics_window: None,
+            profiling: false,
         }
     }
 
@@ -132,9 +140,37 @@ impl SystemBuilder {
         self
     }
 
-    /// Enables bus tracing, recording at most `capacity` events.
+    /// Enables bus tracing, buffering at most `capacity` events in
+    /// memory. Overflow is counted (see [`BusTrace::is_truncated`])
+    /// rather than silently discarded; attach a streaming sink via
+    /// [`SystemBuilder::trace_sink`] to capture unbounded runs.
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Attaches a streaming trace sink (JSONL writer, ring, VCD bridge —
+    /// see [`crate::trace`]) that observes every bus event with no
+    /// capacity limit, independently of the in-memory buffer.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Enables the metrics registry (see [`crate::metrics`]): windowed
+    /// counters, gauges and latency histograms sampled every `window`
+    /// cycles into a time-series. Off by default; when off the kernel
+    /// pays one branch per cycle.
+    pub fn metrics_window(mut self, window: u64) -> Self {
+        self.metrics_window = Some(window);
+        self
+    }
+
+    /// Enables wall-clock phase profiling of the cycle kernel (see
+    /// [`crate::profile`]). Off by default; profiling never affects
+    /// simulated behaviour, only wall-clock reporting.
+    pub fn profiling(mut self, enabled: bool) -> Self {
+        self.profiling = enabled;
         self
     }
 
@@ -164,11 +200,14 @@ impl SystemBuilder {
     /// # Errors
     ///
     /// Returns an error if no master was added, too many masters were
-    /// added, no arbiter was set, or the bus, fault, retry or timeout
-    /// configuration is invalid.
+    /// added, no arbiter was set, or the bus, fault, retry, timeout or
+    /// metrics configuration is invalid.
     pub fn build(self) -> Result<System, BuildSystemError> {
         if self.names.is_empty() {
             return Err(BuildSystemError::NoMasters);
+        }
+        if self.metrics_window == Some(0) {
+            return Err(BuildSystemError::InvalidMetricsWindow(0));
         }
         if self.names.len() > MAX_MASTERS {
             return Err(BuildSystemError::TooManyMasters {
@@ -186,11 +225,14 @@ impl SystemBuilder {
             .map(|(i, name)| MasterPort::new(MasterId::new(i), name.clone()))
             .collect();
         let n = masters.len();
-        let trace = if self.trace_capacity > 0 {
+        let mut trace = if self.trace_capacity > 0 {
             BusTrace::enabled(self.trace_capacity)
         } else {
             BusTrace::disabled()
         };
+        if let Some(sink) = self.trace_sink {
+            trace = trace.with_sink(sink);
+        }
         Ok(System {
             bus: match fault_layer {
                 Some(layer) => Bus::with_faults(self.config, layer),
@@ -202,6 +244,12 @@ impl SystemBuilder {
             arbiter,
             stats: BusStats::new(n),
             trace,
+            metrics: self.metrics_window.map(|w| BusMetrics::new(w, n)),
+            profiler: if self.profiling {
+                PhaseProfiler::enabled()
+            } else {
+                PhaseProfiler::disabled()
+            },
             now: Cycle::ZERO,
             failover_baseline: 0,
         })
@@ -218,6 +266,8 @@ pub struct System {
     arbiter: Box<dyn Arbiter>,
     stats: BusStats,
     trace: BusTrace,
+    metrics: Option<BusMetrics>,
+    profiler: PhaseProfiler,
     now: Cycle,
     /// Arbiter failover count at the last statistics reset, so
     /// steady-state windows report only their own failovers.
@@ -281,23 +331,65 @@ impl System {
         self.bus.fault_events()
     }
 
+    /// The metrics registry's time-series, or `None` when metrics were
+    /// not enabled via [`SystemBuilder::metrics_window`]. Call
+    /// [`System::flush_metrics`] first if the run length is not a
+    /// multiple of the window and the tail matters.
+    pub fn metrics(&self) -> Option<&BusMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Closes a partial metrics window at the current cycle, if any
+    /// cycles elapsed since the last boundary. No-op without metrics.
+    pub fn flush_metrics(&mut self) {
+        if let Some(metrics) = self.metrics.as_mut() {
+            metrics.flush(self.now, &self.stats, &self.masters);
+        }
+    }
+
+    /// The wall-clock phase profiler (disabled unless enabled via
+    /// [`SystemBuilder::profiling`]).
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
+    }
+
+    /// Completes the streaming trace sink, if one is attached: flushes
+    /// buffered output (and, for VCD, writes the closing timestamp) and
+    /// surfaces any I/O error latched during the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error the sink latched while recording.
+    pub fn finish_trace(&mut self) -> std::io::Result<()> {
+        self.trace.finish_sink()
+    }
+
     /// Clears accumulated statistics, e.g. after a warm-up period, so
-    /// that subsequent measurements reflect steady state only.
+    /// that subsequent measurements reflect steady state only. The
+    /// metrics time-series and profiler are reset along with the
+    /// aggregate counters.
     pub fn reset_stats(&mut self) {
         self.stats = BusStats::new(self.masters.len());
         self.failover_baseline = self.arbiter.failovers();
+        if let Some(metrics) = self.metrics.as_mut() {
+            metrics.reset(self.now);
+        }
+        self.profiler.reset();
     }
 
     /// Simulates one bus cycle: polls every traffic source, then steps
-    /// the bus/arbiter.
+    /// the bus/arbiter, then updates statistics and (when enabled) the
+    /// metrics registry.
     pub fn step(&mut self) {
         let now = self.now;
+        let mut lap = self.profiler.start();
         for (port, source) in self.masters.iter_mut().zip(self.sources.iter_mut()) {
             if let Some(txn) = source.poll_with_backlog(now, port.backlog_transactions()) {
                 port.enqueue(txn);
             }
         }
-        self.bus.step(
+        self.profiler.lap(SimPhase::Poll, &mut lap);
+        let completed = self.bus.step(
             &mut *self.arbiter,
             &mut self.masters,
             &self.slaves,
@@ -306,8 +398,16 @@ impl System {
             &mut self.stats,
             &mut self.trace,
         );
+        self.profiler.lap(SimPhase::Bus, &mut lap);
         self.stats.record_cycle();
         self.stats.failovers = self.arbiter.failovers() - self.failover_baseline;
+        if let Some(metrics) = self.metrics.as_mut() {
+            if let Some((_, done)) = completed {
+                metrics.note_completion(done.latency());
+            }
+            metrics.end_cycle(now, &self.stats, &self.masters);
+        }
+        self.profiler.lap(SimPhase::Accounting, &mut lap);
         self.now += 1;
     }
 

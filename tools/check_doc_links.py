@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links point at files that exist.
+
+Usage: tools/check_doc_links.py README.md DESIGN.md EXPERIMENTS.md ...
+
+Scans each document for inline markdown links `[text](target)` and
+verifies every relative target resolves to a file or directory in the
+repository (anchors and external URLs are skipped). Exits non-zero and
+lists every broken link, so CI fails when a doc refactor leaves a
+dangling reference.
+"""
+
+import os
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check(path: str) -> list[str]:
+    broken = []
+    root = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]  # strip in-file anchors
+        if not target:
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        if not os.path.exists(os.path.join(root, target)):
+            broken.append(f"{path}:{line}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for doc in sys.argv[1:]:
+        failures.extend(check(doc))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK across {len(sys.argv) - 1} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
