@@ -105,6 +105,12 @@ impl Arbiter for DeficitRoundRobinArbiter {
     fn name(&self) -> &str {
         "deficit-rr"
     }
+
+    /// An empty arbitration returns before touching the pointer or any
+    /// deficit, so idle spans change nothing: never pins the horizon.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,33 @@ impl Arbiter for FailoverArbiter {
     fn failovers(&self) -> u64 {
         self.failovers
     }
+
+    /// Delegates to whichever arbiter is in charge. A custom primary
+    /// that does not implement `next_event` reports `now` (the
+    /// conservative default), so a misbehaving primary — one that might
+    /// grant on an empty map — is never skipped over.
+    fn next_event(&self, now: Cycle) -> Cycle {
+        if self.failed_over {
+            self.fallback.next_event(now)
+        } else {
+            self.primary.next_event(now)
+        }
+    }
+
+    /// Replays `delta` empty arbitrations: the delegate skips, and (pre
+    /// failover) the starvation counter resets exactly as each empty
+    /// call would have reset it.
+    fn skip_idle(&mut self, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if self.failed_over {
+            self.fallback.skip_idle(delta);
+        } else {
+            self.primary.skip_idle(delta);
+            self.starved = 0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +320,41 @@ mod tests {
             arb.arbitrate(&map, Cycle::new(c));
         }
         assert!(!arb.is_failed_over());
+    }
+
+    #[test]
+    fn skip_idle_delegates_to_the_arbiter_in_charge() {
+        use crate::tdma::{TdmaArbiter, WheelLayout};
+        let make = || {
+            let primary =
+                Box::new(TdmaArbiter::new(&[1, 1, 1], WheelLayout::Contiguous).expect("valid"));
+            FailoverArbiter::with_patience(primary, 3, 5).expect("valid")
+        };
+        let empty = RequestMap::new(3);
+        let mut stepped = make();
+        let mut skipped = make();
+        for c in 0..7u64 {
+            assert!(stepped.arbitrate(&empty, Cycle::new(c)).is_none());
+        }
+        skipped.skip_idle(7);
+        // The primary TDMA wheel rotated identically: the next real
+        // decision (slot owner after 7 rotations) agrees.
+        let map = pending(3, &[0, 1, 2]);
+        assert_eq!(stepped.arbitrate(&map, Cycle::new(7)), skipped.arbitrate(&map, Cycle::new(7)));
+        assert!(!stepped.is_failed_over() && !skipped.is_failed_over());
+    }
+
+    #[test]
+    fn default_primary_horizon_blocks_skipping() {
+        // A custom primary without a `next_event` override must report
+        // `now`: the kernel then never skips, so a rogue empty-map grant
+        // can still trip the failover at its exact cycle.
+        let mut arb = FailoverArbiter::new(Box::new(RogueGranter), 2).expect("valid");
+        assert_eq!(arb.next_event(Cycle::new(9)), Cycle::new(9));
+        // After failing over, the round-robin fallback frees the horizon.
+        let _ = arb.arbitrate(&pending(2, &[0]), Cycle::ZERO);
+        assert!(arb.is_failed_over());
+        assert_eq!(arb.next_event(Cycle::new(9)), Cycle::NEVER);
     }
 
     #[test]

@@ -131,6 +131,19 @@ impl<A: Arbiter> Arbiter for InstrumentedArbiter<A> {
     fn failovers(&self) -> u64 {
         self.inner.failovers()
     }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.inner.next_event(now)
+    }
+
+    /// Batches what `delta` empty arbitrations would have counted —
+    /// `delta` decisions, all idle, none contended, no grants — and
+    /// forwards the skip to the wrapped arbiter.
+    fn skip_idle(&mut self, delta: u64) {
+        self.counters.decisions.fetch_add(delta, Ordering::Relaxed);
+        self.counters.idle.fetch_add(delta, Ordering::Relaxed);
+        self.inner.skip_idle(delta);
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +187,23 @@ mod tests {
         assert_eq!(counters.grants_per_master().iter().sum::<u64>(), 2);
         assert_eq!(counters.grants(2), 1);
         assert_eq!(counters.grants(17), 0, "out-of-range master reads zero");
+    }
+
+    #[test]
+    fn skip_idle_batches_the_counters() {
+        let (mut stepped, c1) =
+            InstrumentedArbiter::new(RoundRobinArbiter::new(4).expect("valid"), 4);
+        let (mut skipped, c2) =
+            InstrumentedArbiter::new(RoundRobinArbiter::new(4).expect("valid"), 4);
+        let empty = map_with(&[]);
+        for cycle in 0..250u64 {
+            stepped.arbitrate(&empty, Cycle::new(cycle));
+        }
+        skipped.skip_idle(250);
+        assert_eq!(c1.decisions(), c2.decisions());
+        assert_eq!(c1.idle(), c2.idle());
+        assert_eq!(c1.contended(), c2.contended());
+        assert_eq!(c1.grants_per_master(), c2.grants_per_master());
     }
 
     #[test]

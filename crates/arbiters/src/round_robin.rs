@@ -69,6 +69,12 @@ impl Arbiter for RoundRobinArbiter {
     fn name(&self) -> &str {
         "round-robin"
     }
+
+    /// An empty arbitration scans without moving `last`, so idle spans
+    /// change nothing: never pins the fast-forward horizon.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
 }
 
 #[cfg(test)]

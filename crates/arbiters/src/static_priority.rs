@@ -102,6 +102,12 @@ impl Arbiter for StaticPriorityArbiter {
     fn name(&self) -> &str {
         "static-priority"
     }
+
+    /// Stateless decision function: idle spans change nothing, never
+    /// pins the fast-forward horizon.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
 }
 
 #[cfg(test)]

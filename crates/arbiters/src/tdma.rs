@@ -178,6 +178,22 @@ impl Arbiter for TdmaArbiter {
     fn name(&self) -> &str {
         "tdma-2level"
     }
+
+    /// The wheel has no timed events of its own — it rotates per
+    /// *arbitration*, not per absolute cycle, so idle spans are freely
+    /// skippable as long as [`TdmaArbiter::skip_idle`] replays the
+    /// rotations.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
+
+    /// Replays `delta` empty arbitrations: the wheel rotates once per
+    /// call regardless of requests, while the second-level round-robin
+    /// pointer only moves on a reclaimed grant and therefore stays put.
+    fn skip_idle(&mut self, delta: u64) {
+        self.position =
+            (self.position + (delta % self.wheel.len() as u64) as usize) % self.wheel.len();
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +258,29 @@ mod tests {
         let map = RequestMap::new(2);
         assert!(arb.arbitrate(&map, Cycle::ZERO).is_none());
         assert_eq!(arb.position(), 1, "wheel still rotates");
+    }
+
+    #[test]
+    fn skip_idle_matches_empty_arbitrations() {
+        let empty = RequestMap::new(3);
+        for delta in [0u64, 1, 5, 6, 7, 100, 12_345] {
+            let mut stepped = TdmaArbiter::new(&[1, 2, 3], WheelLayout::Interleaved).expect("ok");
+            stepped.rr = 1;
+            let mut skipped = stepped.clone();
+            for c in 0..delta {
+                assert!(stepped.arbitrate(&empty, Cycle::new(c)).is_none());
+            }
+            skipped.skip_idle(delta);
+            assert_eq!(stepped.position(), skipped.position(), "delta {delta}");
+            assert_eq!(stepped.rr, skipped.rr, "delta {delta}");
+            // And the next real decision agrees.
+            let mut map = RequestMap::new(3);
+            pending(&mut map, &[2]);
+            assert_eq!(
+                stepped.arbitrate(&map, Cycle::new(delta)),
+                skipped.arbitrate(&map, Cycle::new(delta))
+            );
+        }
     }
 
     #[test]

@@ -80,6 +80,27 @@ impl Arbiter for TokenRingArbiter {
     fn name(&self) -> &str {
         "token-ring"
     }
+
+    /// The token has no timed schedule — it hops per *arbitration*, so
+    /// idle spans are skippable once [`TokenRingArbiter::skip_idle`]
+    /// replays the hops.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
+
+    /// Replays `delta` empty arbitrations: a pending release resolves
+    /// first (its hop and the idle-holder hop share the first call), then
+    /// the token hops once per remaining call.
+    fn skip_idle(&mut self, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if self.must_pass {
+            self.holder = (self.holder + 1) % self.masters;
+            self.must_pass = false;
+        }
+        self.holder = (self.holder + (delta % self.masters as u64) as usize) % self.masters;
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +145,33 @@ mod tests {
             }
         }
         assert_eq!(wins, [100, 100, 100]);
+    }
+
+    #[test]
+    fn skip_idle_matches_empty_arbitrations() {
+        let empty = RequestMap::new(4);
+        for released in [false, true] {
+            for delta in [0u64, 1, 3, 4, 5, 97] {
+                let mut stepped = TokenRingArbiter::new(4).expect("valid");
+                let mut map = RequestMap::new(4);
+                if released {
+                    // Grant master 0 so the token owes a release pass.
+                    map.set_pending(MasterId::new(0), 2);
+                    assert!(stepped.arbitrate(&map, Cycle::ZERO).is_some());
+                }
+                let mut skipped = stepped.clone();
+                for c in 0..delta {
+                    assert!(stepped.arbitrate(&empty, Cycle::new(c)).is_none());
+                }
+                skipped.skip_idle(delta);
+                assert_eq!(
+                    stepped.holder(),
+                    skipped.holder(),
+                    "released {released}, delta {delta}"
+                );
+                assert_eq!(stepped.must_pass, skipped.must_pass);
+            }
+        }
     }
 
     #[test]

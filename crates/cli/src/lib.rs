@@ -67,9 +67,20 @@
 //! every bus event to a file as the run progresses — unlike the
 //! bounded in-memory trace buffer, a streaming sink never truncates.
 //! Neither feature changes simulation results.
+//!
+//! ## Kernel selection (optional)
+//!
+//! ```text
+//! kernel = fast                   # fast | cycle (default cycle)
+//! ```
+//!
+//! `kernel = fast` runs the event-driven fast-forward kernel, which
+//! skips provably idle spans instead of stepping them cycle by cycle.
+//! Both kernels produce byte-identical reports (and traces and
+//! waveforms); only wall-clock time changes.
 
 pub mod report;
 pub mod spec;
 
 pub use report::{render_metrics, render_report};
-pub use spec::{ArbiterKind, MasterSpec, ParseSpecError, SimSpec, TraceSinkSpec};
+pub use spec::{ArbiterKind, KernelKind, MasterSpec, ParseSpecError, SimSpec, TraceSinkSpec};

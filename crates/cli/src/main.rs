@@ -51,6 +51,10 @@ master dma   weight=1 load=0.15 size=8  periodic
 # metrics window=1000             # windowed metrics in the report
 # trace sink=jsonl:events.jsonl   # stream trace events as JSON lines
 # trace sink=vcd:waves.vcd        # or stream a VCD waveform
+
+# Optional kernel selection. `fast` skips provably idle spans; the
+# report is byte-identical either way, only wall-clock time changes.
+# kernel = fast                   # fast | cycle (default cycle)
 ";
 
 fn main() -> ExitCode {
@@ -149,6 +153,7 @@ fn simulate(spec: &SimSpec, vcd: Option<&str>) -> Result<SimOutcome, String> {
         builder = builder.trace_capacity(3 * spec.cycles as usize);
     }
     let mut system = builder
+        .fast_forward(spec.kernel.is_fast())
         .arbiter(spec.build_arbiter().map_err(|e| e.to_string())?)
         .build()
         .map_err(|e| e.to_string())?;
@@ -280,6 +285,23 @@ mod tests {
         assert!(err.contains("`--jobs` requires a number"), "{err}");
         let err = jobs_flag(&args(&["s.spec", "--jobs", "many"])).unwrap_err();
         assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn fast_kernel_report_is_byte_identical() {
+        let base = "arbiter = lottery\ncycles = 5000\nwarmup = 500\nmetrics window=500\n\
+                    master cpu weight=3 load=0.2 size=16 periodic\n\
+                    master dma weight=1 load=0.1 size=8 periodic\n";
+        let render = |kernel: &str| -> String {
+            let spec = SimSpec::parse(&format!("kernel = {kernel}\n{base}")).expect("valid spec");
+            let outcome = simulate(&spec, None).expect("runs");
+            let mut report = render_report(&spec, &outcome.stats);
+            if let (Some(window), Some(samples)) = (spec.metrics, &outcome.samples) {
+                report.push_str(&render_metrics(&spec, window, samples));
+            }
+            report
+        };
+        assert_eq!(render("cycle"), render("fast"), "kernels must render identically");
     }
 
     #[test]

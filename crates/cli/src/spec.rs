@@ -53,6 +53,36 @@ impl ArbiterKind {
     }
 }
 
+/// Which simulation kernel the spec selects (`kernel = fast|cycle`).
+///
+/// Both kernels produce byte-identical reports; `fast` skips provably
+/// idle spans (see `socsim::fastforward`) and only changes wall-clock
+/// time. The report never mentions the kernel, so outputs stay
+/// diffable across the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Step every cycle (the reference kernel).
+    #[default]
+    Cycle,
+    /// Fast-forward across provably idle spans.
+    Fast,
+}
+
+impl KernelKind {
+    fn parse(word: &str) -> Option<Self> {
+        Some(match word {
+            "cycle" => KernelKind::Cycle,
+            "fast" => KernelKind::Fast,
+            _ => return None,
+        })
+    }
+
+    /// Whether this kernel runs with fast-forward enabled.
+    pub fn is_fast(self) -> bool {
+        self == KernelKind::Fast
+    }
+}
+
 /// One `master` line of the spec.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MasterSpec {
@@ -155,6 +185,9 @@ pub struct SimSpec {
     /// Streaming trace destination from a `trace sink=<kind>:<path>`
     /// line; requires `replicas = 1`.
     pub trace_sink: Option<TraceSinkSpec>,
+    /// Simulation kernel from a `kernel = fast|cycle` line (default
+    /// `cycle`). Never affects results, only wall-clock time.
+    pub kernel: KernelKind,
     /// The masters, in declaration order.
     pub masters: Vec<MasterSpec>,
 }
@@ -176,6 +209,7 @@ impl Default for SimSpec {
             jobs: 0,
             metrics: None,
             trace_sink: None,
+            kernel: KernelKind::Cycle,
             masters: Vec::new(),
         }
     }
@@ -258,6 +292,11 @@ impl SimSpec {
                 "failover" => spec.failover = Some(parse_num(line_no, key, value)?),
                 "replicas" => spec.replicas = parse_num(line_no, key, value)?,
                 "jobs" => spec.jobs = parse_num(line_no, key, value)?,
+                "kernel" => {
+                    spec.kernel = KernelKind::parse(value).ok_or_else(|| {
+                        err(line_no, format!("unknown kernel `{value}` (expected fast or cycle)"))
+                    })?;
+                }
                 _ => return Err(err(line_no, format!("unknown key `{key}`"))),
             }
         }
@@ -605,6 +644,22 @@ mod tests {
         assert_eq!(r1.fault.expect("fault kept").seed, r1.seed, "fault plan re-keyed");
         // Distinct replicas draw distinct seeds.
         assert_ne!(spec.replica(1).seed, spec.replica(2).seed);
+    }
+
+    #[test]
+    fn kernel_key_parses_and_defaults_to_cycle() {
+        let spec = SimSpec::parse("kernel = fast\nmaster m load=0.1\n").expect("valid");
+        assert_eq!(spec.kernel, KernelKind::Fast);
+        assert!(spec.kernel.is_fast());
+
+        let spec = SimSpec::parse("kernel = cycle\nmaster m load=0.1\n").expect("valid");
+        assert_eq!(spec.kernel, KernelKind::Cycle);
+
+        let spec = SimSpec::parse("master m load=0.1\n").expect("valid");
+        assert_eq!(spec.kernel, KernelKind::Cycle, "default is the reference kernel");
+
+        let e = SimSpec::parse("kernel = warp\nmaster m load=0.1\n").unwrap_err();
+        assert!(e.message.contains("unknown kernel"), "{e}");
     }
 
     #[test]

@@ -201,6 +201,25 @@ impl Arbiter for DynamicLotteryArbiter {
     fn name(&self) -> &str {
         "lottery-dynamic"
     }
+
+    /// Without a policy the manager is stateless on an empty map (the
+    /// LFSR only draws once contenders exist) — never pins the horizon.
+    /// With a policy attached, ticket updates fire on every multiple of
+    /// the update period *even when nothing is pending*, so the horizon
+    /// is the next such multiple: the kernel fast-forwards between
+    /// updates and replays each update at its exact cycle.
+    fn next_event(&self, now: Cycle) -> Cycle {
+        if self.policy.is_none() {
+            return Cycle::NEVER;
+        }
+        let idx = now.index();
+        let rem = idx % self.update_period;
+        if rem == 0 {
+            now
+        } else {
+            Cycle::new(idx + self.update_period - rem)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +264,16 @@ mod tests {
         }
         let share1 = f64::from(wins[1]) / 10_000.0;
         assert!((share1 - 0.9).abs() < 0.03, "share {share1}");
+    }
+
+    #[test]
+    fn horizon_lands_on_policy_update_cycles() {
+        let mut arb = arbiter(vec![1, 1]);
+        assert_eq!(arb.next_event(Cycle::new(7)), Cycle::NEVER, "no policy, no schedule");
+        arb.set_policy(Box::new(QueueProportionalPolicy::new(vec![1, 1])), 10);
+        assert_eq!(arb.next_event(Cycle::new(7)), Cycle::new(10));
+        assert_eq!(arb.next_event(Cycle::new(10)), Cycle::new(10), "on a multiple: unskippable");
+        assert_eq!(arb.next_event(Cycle::new(11)), Cycle::new(20));
     }
 
     #[test]

@@ -184,6 +184,13 @@ impl Arbiter for StaticLotteryArbiter {
     fn name(&self) -> &str {
         "lottery-static"
     }
+
+    /// An empty arbitration returns before the LFSR draws, so the random
+    /// stream's cadence is untouched by idle cycles: never pins the
+    /// fast-forward horizon.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +208,27 @@ mod tests {
     fn arbiter(tickets: Vec<u32>) -> StaticLotteryArbiter {
         StaticLotteryArbiter::with_seed(TicketAssignment::new(tickets).expect("valid"), 0xACE1)
             .expect("valid")
+    }
+
+    #[test]
+    fn idle_cycles_never_consume_the_random_stream() {
+        // The fast-forward kernel skips idle arbitrations entirely (the
+        // default `skip_idle` is a no-op); that is only sound because an
+        // empty map returns before the LFSR draws.
+        let mut stepped = arbiter(vec![1, 2, 3]);
+        let mut fresh = arbiter(vec![1, 2, 3]);
+        let empty = map_with(3, &[]);
+        for c in 0..1_000u64 {
+            assert!(stepped.arbitrate(&empty, Cycle::new(c)).is_none());
+        }
+        let map = map_with(3, &[0, 1, 2]);
+        for c in 0..50u64 {
+            assert_eq!(
+                stepped.arbitrate(&map, Cycle::new(1_000 + c)),
+                fresh.arbitrate(&map, Cycle::new(c)),
+                "idle span shifted the draw cadence"
+            );
+        }
     }
 
     #[test]

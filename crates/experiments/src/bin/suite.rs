@@ -2,7 +2,7 @@
 //! document on stdout (or `--out FILE`).
 //!
 //! ```text
-//! suite [--quick] [--jobs N] [--metrics W] [--out FILE] [--bench FILE]
+//! suite [--quick] [--jobs N] [--metrics W] [--kernel K] [--out FILE] [--bench FILE]
 //! ```
 //!
 //! * `--quick` — short measurement window (CI-friendly).
@@ -12,13 +12,19 @@
 //!   in every simulation. The samples are discarded, so the JSON output
 //!   is byte-identical with or without this flag; it exists to exercise
 //!   and measure the observability layer.
+//! * `--kernel K` — simulation kernel, `fast` or `cycle` (default
+//!   `cycle`). The fast-forward kernel skips provably idle spans; the
+//!   JSON output is byte-identical either way (the CI kernel-diff gate
+//!   checks exactly that), only wall-clock time changes.
 //! * `--out FILE` — write the JSON document to FILE instead of stdout.
 //! * `--bench FILE` — benchmark mode: run the suite serially (`--jobs
 //!   1`) and with the requested worker count, with metrics off and on,
-//!   assert all four result documents are byte-identical, profile the
-//!   cycle kernel's phases, and write the wall-clock report to FILE
-//!   (the `BENCH_PR3.json` artifact: speedup, metrics overhead, and
-//!   per-phase breakdown).
+//!   and once under the fast-forward kernel; assert all result
+//!   documents are byte-identical, profile the cycle kernel's phases,
+//!   time the fast kernel against the cycle kernel on a low-utilization
+//!   and a saturated workload, and write the wall-clock report to FILE
+//!   (the `BENCH_PR4.json` artifact: parallel speedup, metrics
+//!   overhead, kernel speedups, and per-phase breakdown).
 //!
 //! Timing telemetry always goes to **stderr** so stdout stays a clean,
 //! diffable result stream.
@@ -27,12 +33,16 @@ use experiments::suite::{run_suite, SuiteOptions};
 use experiments::telemetry::{sim_phases_json, sim_phases_report};
 
 fn usage() -> ! {
-    eprintln!("usage: suite [--quick] [--jobs N] [--metrics W] [--out FILE] [--bench FILE]");
+    eprintln!(
+        "usage: suite [--quick] [--jobs N] [--metrics W] [--kernel fast|cycle] [--out FILE] \
+         [--bench FILE]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut opts = SuiteOptions { quick: false, jobs: 0, metrics_window: None };
+    let mut opts =
+        SuiteOptions { quick: false, jobs: 0, metrics_window: None, fast_forward: false };
     let mut out: Option<String> = None;
     let mut bench: Option<String> = None;
 
@@ -52,6 +62,13 @@ fn main() {
                 }
                 opts.metrics_window = Some(window);
             }
+            "--kernel" => {
+                opts.fast_forward = match args.next().unwrap_or_else(|| usage()).as_str() {
+                    "fast" => true,
+                    "cycle" => false,
+                    _ => usage(),
+                };
+            }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--bench" => bench = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
@@ -70,12 +87,13 @@ fn main() {
 }
 
 /// The benchmark flow: four suite runs (serial/parallel × metrics
-/// off/on), a byte-identity check across all of them, a profiled probe
-/// simulation, and the JSON report. Returns the suite result document.
+/// off/on) plus a fast-kernel run, byte-identity checks across all of
+/// them, a profiled probe simulation, kernel-speedup probes, and the
+/// JSON report. Returns the suite result document.
 fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
     let window = opts.metrics_window.unwrap_or(1_000);
-    let off = SuiteOptions { metrics_window: None, ..*opts };
-    let on = SuiteOptions { metrics_window: Some(window), ..*opts };
+    let off = SuiteOptions { metrics_window: None, fast_forward: false, ..*opts };
+    let on = SuiteOptions { metrics_window: Some(window), fast_forward: false, ..*opts };
 
     // Serial baseline first, then the parallel run; the two result
     // documents must be byte-identical (the determinism guarantee the
@@ -103,7 +121,17 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         "metrics-on output differs between --jobs 1 and --jobs {workers}"
     );
 
+    // The fast-forward kernel must reproduce the suite byte for byte
+    // — the same guarantee the CI kernel-diff gate enforces.
+    let fast = run_suite(&SuiteOptions { jobs: 1, fast_forward: true, ..off });
+    assert_eq!(
+        serial.json, fast.json,
+        "suite output differs between the cycle and fast-forward kernels"
+    );
+
     let serial_wall = serial.telemetry.total_wall().as_secs_f64();
+    let fast_wall = fast.telemetry.total_wall().as_secs_f64();
+    let kernel_suite_speedup = if fast_wall > 0.0 { serial_wall / fast_wall } else { 1.0 };
     let parallel_wall = parallel.telemetry.total_wall().as_secs_f64();
     let metrics_serial_wall = serial_metrics.telemetry.total_wall().as_secs_f64();
     let metrics_parallel_wall = parallel_metrics.telemetry.total_wall().as_secs_f64();
@@ -124,6 +152,17 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
     );
     eprintln!("{}", sim_phases_report(&profiler));
 
+    // Targeted kernel probes: the fast-forward kernel must win big on a
+    // mostly-idle workload and must not lose at saturation.
+    let probe = off.settings().with_jobs(1);
+    let lowutil = kernel_probe(&experiments::common::low_utilization_specs(4), &probe);
+    let saturated = kernel_probe(&traffic_gen::classes::saturating_specs(4), &probe);
+    eprintln!(
+        "fast kernel: suite {kernel_suite_speedup:.2}x, low-utilization {:.2}x, \
+         saturated {:.2}x",
+        lowutil.speedup, saturated.speedup
+    );
+
     let report = experiments::json::Json::obj()
         .field("quick", opts.quick)
         .field("host_parallelism", socsim::pool::available_jobs())
@@ -137,6 +176,11 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         .field("metrics_parallel_wall_secs", metrics_parallel_wall)
         .field("metrics_overhead_pct", overhead_pct)
         .field("metrics_byte_identical", true)
+        .field("kernel_suite_wall_secs", fast_wall)
+        .field("kernel_suite_speedup", kernel_suite_speedup)
+        .field("kernel_byte_identical", true)
+        .field("kernel_lowutil", lowutil.to_json())
+        .field("kernel_saturated", saturated.to_json())
         .field("sim_phases", sim_phases_json(&profiler))
         .field("serial", serial.telemetry.to_json())
         .field("parallel", parallel.telemetry.to_json());
@@ -146,6 +190,50 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
          at window={window}; bench report: {bench_path}"
     );
     parallel.json
+}
+
+/// One kernel-speedup probe: the same workload timed under the cycle
+/// kernel and the fast-forward kernel, with a stats-equality check.
+struct KernelProbe {
+    cycle_wall_secs: f64,
+    fast_wall_secs: f64,
+    speedup: f64,
+}
+
+impl KernelProbe {
+    fn to_json(&self) -> experiments::json::Json {
+        experiments::json::Json::obj()
+            .field("cycle_wall_secs", self.cycle_wall_secs)
+            .field("fast_wall_secs", self.fast_wall_secs)
+            .field("speedup", self.speedup)
+    }
+}
+
+fn kernel_probe(
+    specs: &[traffic_gen::GeneratorSpec],
+    settings: &experiments::RunSettings,
+) -> KernelProbe {
+    let arbiter = || experiments::common::protocol_arbiter(4, settings.seed);
+    // Warm the caches once, then take the best of several timed runs
+    // per kernel — single runs are short enough for scheduler noise to
+    // dominate the ratio.
+    experiments::common::run_system(specs, arbiter(), settings);
+    let time_best = |s: &experiments::RunSettings| {
+        let mut best = f64::INFINITY;
+        let mut stats = None;
+        for _ in 0..5 {
+            let start = std::time::Instant::now();
+            let run = experiments::common::run_system(specs, arbiter(), s);
+            best = best.min(start.elapsed().as_secs_f64());
+            stats = Some(run);
+        }
+        (best, stats.expect("ran at least once"))
+    };
+    let (cycle_wall_secs, cycle_stats) = time_best(settings);
+    let (fast_wall_secs, fast_stats) = time_best(&settings.with_fast_forward(true));
+    assert_eq!(cycle_stats, fast_stats, "kernel probe results diverged");
+    let speedup = if fast_wall_secs > 0.0 { cycle_wall_secs / fast_wall_secs } else { 1.0 };
+    KernelProbe { cycle_wall_secs, fast_wall_secs, speedup }
 }
 
 fn emit(out: Option<&str>, json: &str) {

@@ -25,6 +25,11 @@ pub struct RunSettings {
     /// byte-identical to a metrics-off run; the point is to measure the
     /// observability overhead with `suite --bench`.
     pub metrics_window: Option<u64>,
+    /// When set, every system built by [`run_system`] runs under the
+    /// fast-forward kernel (see `socsim::fastforward`). Results are
+    /// byte-identical to the cycle kernel — only wall-clock time
+    /// changes — so the suite JSON never records this flag.
+    pub fast_forward: bool,
 }
 
 impl RunSettings {
@@ -37,6 +42,7 @@ impl RunSettings {
             bus: BusConfig::default(),
             jobs: 0,
             metrics_window: None,
+            fast_forward: false,
         }
     }
 
@@ -53,6 +59,12 @@ impl RunSettings {
     /// These settings with windowed metrics enabled in every run.
     pub fn with_metrics(self, window: u64) -> Self {
         RunSettings { metrics_window: Some(window), ..self }
+    }
+
+    /// These settings with the fast-forward kernel enabled (or not) in
+    /// every run.
+    pub fn with_fast_forward(self, enabled: bool) -> Self {
+        RunSettings { fast_forward: enabled, ..self }
     }
 }
 
@@ -125,7 +137,7 @@ pub fn run_system_profiled(
 }
 
 fn system_builder(specs: &[GeneratorSpec], settings: &RunSettings) -> SystemBuilder {
-    let mut builder = SystemBuilder::new(settings.bus);
+    let mut builder = SystemBuilder::new(settings.bus).fast_forward(settings.fast_forward);
     for (i, spec) in specs.iter().enumerate() {
         builder = builder.master(
             format!("C{}", i + 1),
@@ -177,6 +189,23 @@ pub fn protocol_arbiter(index: usize, seed: u64) -> Box<dyn Arbiter> {
         ),
         _ => panic!("protocol index {index} outside the five-protocol lineup"),
     }
+}
+
+/// A mostly-idle four-master workload for kernel benchmarking: each
+/// master issues one short periodic message per long period (staggered
+/// phases), so the bus sits idle for the vast majority of cycles. This
+/// is the best case for the fast-forward kernel — `suite --bench` uses
+/// it to demonstrate the skip-path speedup — while
+/// [`traffic_gen::classes::saturating_specs`] is the worst case.
+///
+/// # Panics
+///
+/// Panics if `masters` is zero.
+pub fn low_utilization_specs(masters: usize) -> Vec<GeneratorSpec> {
+    assert!(masters > 0, "at least one master required");
+    (0..masters)
+        .map(|i| GeneratorSpec::periodic(500, 125 * i as u64, traffic_gen::SizeDist::fixed(8)))
+        .collect()
 }
 
 /// Per-master bandwidth fractions from a run.
@@ -287,6 +316,22 @@ mod tests {
         assert_eq!(stats.cycles, 4_000);
         assert_eq!(profiler.laps(), 4_000, "warm-up laps are discarded");
         assert!(profiler.total_wall() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn fast_forward_never_changes_results() {
+        let settings = RunSettings { warmup: 1_000, measure: 8_000, ..RunSettings::quick() };
+        let cycle = run_system(
+            &saturating_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings,
+        );
+        let fast = run_system(
+            &saturating_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings.with_fast_forward(true),
+        );
+        assert_eq!(cycle, fast, "fast-forward kernel perturbed the simulation");
     }
 
     #[test]

@@ -55,6 +55,35 @@ pub trait Arbiter {
     fn failovers(&self) -> u64 {
         0
     }
+
+    /// The earliest cycle `>= now` at which an [`Arbiter::arbitrate`]
+    /// call with an **empty** request map would do something that
+    /// [`Arbiter::skip_idle`] cannot replicate (e.g. a periodic ticket
+    /// re-evaluation keyed on the cycle index).
+    ///
+    /// The fast-forward kernel never skips past this horizon. Returning
+    /// `now` means "never skip over my idle decisions" — the safe
+    /// default for protocols the kernel knows nothing about — while
+    /// protocols whose idle behaviour is pure or a simple function of
+    /// the number of skipped cycles return [`Cycle::NEVER`] and
+    /// implement [`Arbiter::skip_idle`].
+    fn next_event(&self, now: Cycle) -> Cycle {
+        now
+    }
+
+    /// Replicates the state change of `delta` consecutive
+    /// [`Arbiter::arbitrate`] calls with an empty request map, without
+    /// performing them.
+    ///
+    /// Called by the fast-forward kernel when it jumps over `delta`
+    /// cycles in which the bus was idle and no master requested. The
+    /// default is a no-op, correct for every protocol that ignores
+    /// empty maps (and, combined with the conservative
+    /// [`Arbiter::next_event`] default, never reached for protocols
+    /// that don't opt in).
+    fn skip_idle(&mut self, delta: u64) {
+        let _ = delta;
+    }
 }
 
 impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
@@ -68,6 +97,14 @@ impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
 
     fn failovers(&self) -> u64 {
         (**self).failovers()
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        (**self).next_event(now)
+    }
+
+    fn skip_idle(&mut self, delta: u64) {
+        (**self).skip_idle(delta)
     }
 }
 
@@ -101,6 +138,12 @@ impl Arbiter for FixedOrderArbiter {
 
     fn name(&self) -> &str {
         "fixed-order"
+    }
+
+    // Stateless: idle decisions neither observe the cycle index nor
+    // mutate anything, so the fast-forward kernel may skip them freely.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
     }
 }
 
@@ -140,5 +183,25 @@ mod tests {
         map.set_pending(MasterId::new(0), 1);
         assert!(arb.arbitrate(&map, Cycle::ZERO).is_some());
         assert_eq!(arb.name(), "fixed-order");
+        assert_eq!(arb.next_event(Cycle::new(9)), Cycle::NEVER, "box forwards next_event");
+        arb.skip_idle(1_000);
+        assert!(arb.arbitrate(&map, Cycle::new(1_000)).is_some());
+    }
+
+    #[test]
+    fn default_horizon_is_conservative() {
+        // An arbiter that doesn't opt into fast-forward must pin the
+        // horizon to `now` so the kernel never skips its idle calls.
+        struct Opaque;
+        impl Arbiter for Opaque {
+            fn arbitrate(&mut self, _r: &RequestMap, _now: Cycle) -> Option<Grant> {
+                None
+            }
+            fn name(&self) -> &str {
+                "opaque"
+            }
+        }
+        let arb = Opaque;
+        assert_eq!(arb.next_event(Cycle::new(42)), Cycle::new(42));
     }
 }

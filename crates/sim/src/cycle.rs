@@ -24,6 +24,14 @@ impl Cycle {
     /// The first cycle after reset.
     pub const ZERO: Cycle = Cycle(0);
 
+    /// A time point later than any reachable simulation cycle.
+    ///
+    /// The fast-forward kernel uses `NEVER` as the event horizon of
+    /// components that have nothing scheduled (see
+    /// [`crate::fastforward::NextEvent`]): taking the minimum over all
+    /// horizons then naturally ignores them.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
     /// Creates a cycle time point from a raw cycle index.
     pub fn new(index: u64) -> Self {
         Cycle(index)
@@ -115,5 +123,11 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert_eq!(Cycle::new(7).to_string(), "cycle 7");
+    }
+
+    #[test]
+    fn never_is_after_everything() {
+        assert!(Cycle::new(u64::MAX - 1) < Cycle::NEVER);
+        assert_eq!(Cycle::NEVER.saturating_add(10), Cycle::NEVER);
     }
 }

@@ -1,0 +1,128 @@
+//! Event horizons for the fast-forward kernel.
+//!
+//! The cycle-accurate kernel pays full per-cycle cost even when every
+//! master is between bursts — exactly the idle gaps the paper's
+//! low-duty-cycle traffic classes create. The fast-forward kernel
+//! (enabled with [`crate::SystemBuilder::fast_forward`]) closes those
+//! gaps in one jump: each step it computes the **event horizon** — the
+//! earliest future cycle at which any component does something that
+//! batched accounting cannot replicate — and, when the bus is idle and
+//! no request is live, advances time straight to that horizon.
+//!
+//! # The horizon contract
+//!
+//! [`NextEvent::next_event`] returns the earliest cycle `>= now` at
+//! which the component acts in a way the skip path cannot reproduce
+//! arithmetically. Three values matter:
+//!
+//! * `now` — "do not skip over me". The conservative answer, and the
+//!   default for any component the kernel does not know; it degrades
+//!   the fast kernel to the cycle kernel but can never change results.
+//! * a future cycle — nothing interesting happens strictly before it,
+//!   so the kernel may jump to `min` over all horizons (clamped by the
+//!   run's end).
+//! * [`Cycle::NEVER`] — nothing is scheduled at all; the component is
+//!   ignored by the `min`.
+//!
+//! What *is* replicated arithmetically during a skip of `delta` idle
+//! cycles (see `System::skip_to`): the idle cycle counter, per-cycle
+//! idle trace events, windowed-metrics gauge sampling and window
+//! closes, profiler laps, and each arbiter's empty-map decision state
+//! (via [`crate::Arbiter::skip_idle`]). Everything else must be pinned
+//! by a horizon.
+//!
+//! The differential harness in `tests/kernel_equivalence.rs` and the
+//! proptest properties in `tests/proptest_invariants.rs` hold the two
+//! kernels to byte-identical statistics, metrics, and traces.
+
+use crate::cycle::Cycle;
+use crate::fault::FaultPlan;
+use crate::master::MasterPort;
+use crate::slave::Slave;
+
+/// The event-horizon interface of the fast-forward kernel.
+///
+/// Implemented by the passive simulation components (master ports,
+/// slaves, fault plans); arbiters and traffic sources carry equivalent
+/// `next_event` methods directly on their own traits, because those are
+/// object-safe extension points with per-protocol overrides.
+pub trait NextEvent {
+    /// The earliest cycle `>= now` at which this component does
+    /// something the skip path cannot replicate, or [`Cycle::NEVER`] if
+    /// nothing is scheduled. Returning `now` forbids skipping.
+    fn next_event(&self, now: Cycle) -> Cycle;
+}
+
+impl NextEvent for MasterPort {
+    /// Delegates to [`MasterPort::next_event`]: `NEVER` for an idle
+    /// port, `now` for a live request, the hold expiry for a port held
+    /// back by stall/backoff. Buses that draw per-cycle master stalls
+    /// must use [`MasterPort::next_event_under_stall_faults`] instead
+    /// (the kernel selects the right one from the fault config).
+    fn next_event(&self, now: Cycle) -> Cycle {
+        MasterPort::next_event(self, now)
+    }
+}
+
+impl NextEvent for Slave {
+    /// Slaves are stateless responders: wait states are applied at
+    /// grant time (when the bus is busy, hence never skipped), and
+    /// injected slave errors/outages are drawn from the cycle-keyed
+    /// fault stream at grant time too. Nothing is ever scheduled.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
+}
+
+impl NextEvent for FaultPlan {
+    /// A fault plan is a pure function of `(seed, cycle, stream,
+    /// actor)` — it keeps no per-cycle state, so skipping cycles can
+    /// never desynchronize its draws. The one per-cycle draw it feeds
+    /// (the master-stall lottery) is gated on port state and is pinned
+    /// by [`MasterPort::next_event_under_stall_faults`], not here.
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
+    }
+}
+
+/// Folds a component horizon into an accumulated minimum, saturating at
+/// `now` (horizons in the past mean "cannot skip", not "skip backwards").
+pub fn fold_horizon(acc: Cycle, component: Cycle, now: Cycle) -> Cycle {
+    acc.min(component.max(now))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::ids::{MasterId, SlaveId};
+    use crate::request::Transaction;
+
+    #[test]
+    fn passive_components_report_never() {
+        let slave = Slave::new(SlaveId::new(0), "mem");
+        assert_eq!(NextEvent::next_event(&slave, Cycle::new(3)), Cycle::NEVER);
+        let plan = FaultPlan::new(FaultConfig { slave_error_rate: 0.5, ..FaultConfig::default() });
+        assert_eq!(NextEvent::next_event(&plan, Cycle::new(3)), Cycle::NEVER);
+    }
+
+    #[test]
+    fn port_horizon_via_trait_matches_inherent_method() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        port.enqueue(Transaction::new(SlaveId::new(0), 4, Cycle::ZERO));
+        let now = Cycle::new(7);
+        assert_eq!(NextEvent::next_event(&port, now), MasterPort::next_event(&port, now));
+    }
+
+    #[test]
+    fn fold_clamps_stale_horizons_to_now() {
+        let now = Cycle::new(100);
+        // A component reporting a past cycle pins the horizon to `now`.
+        assert_eq!(fold_horizon(Cycle::NEVER, Cycle::new(3), now), now);
+        // Future horizons fold by minimum.
+        let acc = fold_horizon(Cycle::NEVER, Cycle::new(400), now);
+        assert_eq!(fold_horizon(acc, Cycle::new(250), now), Cycle::new(250));
+        // NEVER never tightens the fold.
+        assert_eq!(fold_horizon(acc, Cycle::NEVER, now), Cycle::new(400));
+    }
+}

@@ -56,6 +56,7 @@ pub mod bus;
 pub mod config;
 pub mod cycle;
 pub mod error;
+pub mod fastforward;
 pub mod fault;
 pub mod ids;
 pub mod master;
@@ -76,6 +77,7 @@ pub use bus::Bus;
 pub use config::BusConfig;
 pub use cycle::Cycle;
 pub use error::BuildSystemError;
+pub use fastforward::NextEvent;
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan, RetryPolicy};
 pub use ids::{MasterId, SlaveId};
 pub use master::{MasterPort, RetryOutcome};

@@ -245,6 +245,53 @@ impl MasterPort {
         self.issued_words
     }
 
+    /// The fast-forward horizon of this port at `now`: the earliest
+    /// cycle at which its request line can (re-)assert.
+    ///
+    /// * Empty queue → [`Cycle::NEVER`]: the port stays silent until a
+    ///   traffic source hands it a transaction (the source's own
+    ///   horizon bounds that separately).
+    /// * Non-empty and eligible → `now`: the request is live, nothing
+    ///   may be skipped.
+    /// * Non-empty but held back by an injected stall and/or retry
+    ///   backoff → the cycle at which the **last** of those holds
+    ///   expires, which is exactly when the request line re-asserts.
+    ///
+    /// Only valid for buses without master-stall injection; with a
+    /// nonzero stall rate the fault layer draws per cycle and
+    /// [`MasterPort::next_event_under_stall_faults`] applies instead.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if self.queue.is_empty() {
+            return Cycle::NEVER;
+        }
+        if self.eligible_at(now) {
+            return now;
+        }
+        let stall = self.stall_until.unwrap_or(Cycle::ZERO);
+        let backoff = self.backoff_until.unwrap_or(Cycle::ZERO);
+        stall.max(backoff)
+    }
+
+    /// The fast-forward horizon of this port when the fault plan draws
+    /// per-cycle master stalls (`master_stall_rate > 0`).
+    ///
+    /// The fault layer's stall lottery fires every cycle in which the
+    /// port is requesting and **not** already stalled — those draws
+    /// consume the (deterministic, cycle-keyed) fault stream, so the
+    /// kernel must not skip them. While a stall is in effect no draw
+    /// happens, so the stall's expiry is a safe horizon even if a retry
+    /// backoff stretches further: the draw at expiry must be replayed
+    /// at its exact cycle.
+    pub fn next_event_under_stall_faults(&self, now: Cycle) -> Cycle {
+        if self.queue.is_empty() {
+            return Cycle::NEVER;
+        }
+        match self.stall_until {
+            Some(until) if now < until => until,
+            _ => now,
+        }
+    }
+
     /// Records that the head transaction was granted the bus at `now`
     /// (only the first grant per transaction is remembered).
     pub fn note_grant(&mut self, now: Cycle) {
@@ -370,6 +417,31 @@ mod tests {
         assert!(!port.is_requesting_at(Cycle::new(9)));
         assert!(!port.is_stalled_at(Cycle::new(10)));
         assert!(port.is_requesting_at(Cycle::new(10)));
+    }
+
+    #[test]
+    fn next_event_tracks_request_line_state() {
+        let mut port = MasterPort::new(MasterId::new(0), "m0");
+        // Idle port: nothing scheduled.
+        assert_eq!(port.next_event(Cycle::new(5)), Cycle::NEVER);
+        assert_eq!(port.next_event_under_stall_faults(Cycle::new(5)), Cycle::NEVER);
+        // Live request: unskippable.
+        port.enqueue(txn(4, 0));
+        assert_eq!(port.next_event(Cycle::new(5)), Cycle::new(5));
+        assert_eq!(port.next_event_under_stall_faults(Cycle::new(5)), Cycle::new(5));
+        // Stalled: wakes when the stall expires.
+        port.set_stall(Cycle::new(20));
+        assert_eq!(port.next_event(Cycle::new(5)), Cycle::new(20));
+        assert_eq!(port.next_event_under_stall_faults(Cycle::new(5)), Cycle::new(20));
+        // A backoff that outlasts the stall moves the plain horizon but
+        // not the stall-fault one (the stall-expiry draw must replay).
+        let policy = RetryPolicy::exponential(4, 30);
+        port.fail_attempt(Cycle::new(5), &policy);
+        assert_eq!(port.next_event(Cycle::new(5)), Cycle::new(36));
+        assert_eq!(port.next_event_under_stall_faults(Cycle::new(5)), Cycle::new(20));
+        // Expired holds collapse back to "request live".
+        assert_eq!(port.next_event(Cycle::new(40)), Cycle::new(40));
+        assert_eq!(port.next_event_under_stall_faults(Cycle::new(40)), Cycle::new(40));
     }
 
     #[test]

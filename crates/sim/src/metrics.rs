@@ -413,6 +413,43 @@ impl BusMetrics {
         }
     }
 
+    /// Counts `delta` elapsed cycles starting at `start` in one step,
+    /// closing windows at the exact boundary cycles they would have
+    /// closed at under per-cycle sampling — the Δ-cycle aware form of
+    /// [`BusMetrics::end_cycle`] used when the fast-forward kernel
+    /// jumps over an idle span.
+    ///
+    /// Sound only for spans in which the observed state is frozen: no
+    /// grants, transfers, retries or faults happen, and no master's
+    /// request state changes (exactly the spans the kernel skips).
+    /// Every window closed inside the span then rolls zero deltas and
+    /// samples the same gauges per-cycle sampling would have, so the
+    /// resulting time-series is identical.
+    pub fn skip_cycles(
+        &mut self,
+        start: Cycle,
+        delta: u64,
+        stats: &BusStats,
+        masters: &[MasterPort],
+    ) {
+        let mut remaining = delta;
+        let mut cursor = start;
+        while remaining > 0 {
+            let to_boundary = self.window - self.cycles_in_window;
+            if remaining < to_boundary {
+                self.cycles_in_window += remaining;
+                return;
+            }
+            // The window's last counted cycle — `close_window` derives
+            // the next window start from it, as `end_cycle` would.
+            let last = cursor + (to_boundary - 1);
+            self.cycles_in_window = self.window;
+            self.close_window(last, stats, masters);
+            remaining -= to_boundary;
+            cursor = last + 1;
+        }
+    }
+
     /// Flushes a partial tail window, if any cycles have elapsed since
     /// the last boundary. Call after the final [`crate::System::run`];
     /// the flushed sample reports its true (shorter) `cycles` span.
@@ -566,6 +603,40 @@ mod tests {
         assert_eq!(full.per_master[0].queue_depth, 2, "gauge sampled at boundary");
         assert_eq!(full.pending_masters, 1);
         assert_eq!(metrics.samples()[1].start, Cycle::new(10));
+    }
+
+    #[test]
+    fn skip_cycles_matches_per_cycle_accounting() {
+        // During a fast-forward skip the stats and ports are frozen, so
+        // batched window accounting must emit the exact sample series a
+        // per-cycle `end_cycle` loop would.
+        let ports = vec![port_with_backlog(0, 3), port_with_backlog(1, 1)];
+        let mut stats = BusStats::new(2);
+        stats.record_words(MasterId::new(0), 7);
+
+        for (lead_in, delta) in [(0u64, 25u64), (3, 17), (9, 1), (4, 6), (0, 0)] {
+            let mut slow = BusMetrics::new(10, 2);
+            let mut fast = BusMetrics::new(10, 2);
+            // A lead-in of cycle-accurate steps leaves the window
+            // partially filled before the skip begins.
+            for c in 0..lead_in {
+                slow.end_cycle(Cycle::new(c), &stats, &ports);
+                fast.end_cycle(Cycle::new(c), &stats, &ports);
+            }
+            for c in lead_in..lead_in + delta {
+                slow.end_cycle(Cycle::new(c), &stats, &ports);
+            }
+            fast.skip_cycles(Cycle::new(lead_in), delta, &stats, &ports);
+            assert_eq!(
+                slow.samples(),
+                fast.samples(),
+                "lead-in {lead_in}, delta {delta}: sample series diverged"
+            );
+            let end = Cycle::new(lead_in + delta);
+            slow.flush(end, &stats, &ports);
+            fast.flush(end, &stats, &ports);
+            assert_eq!(slow.samples(), fast.samples(), "partial tail diverged");
+        }
     }
 
     #[test]

@@ -109,6 +109,22 @@ impl PhaseProfiler {
         }
     }
 
+    /// Attributes the time since the token to `phase` and credits the
+    /// profiler with `cycles` completed laps in one go — the Δ-cycle
+    /// aware form of [`PhaseProfiler::lap`] used when the fast-forward
+    /// kernel covers many simulated cycles in one jump. Keeps the
+    /// invariant that [`PhaseProfiler::laps`] equals the number of
+    /// simulated cycles regardless of kernel.
+    #[inline]
+    pub fn lap_span(&mut self, phase: SimPhase, cycles: u64, token: &mut Option<Instant>) {
+        if let Some(t) = token {
+            let now = Instant::now();
+            self.totals[phase.index()] += now - *t;
+            *token = Some(now);
+            self.laps += cycles;
+        }
+    }
+
     /// Accumulated wall time of `phase`.
     pub fn total(&self, phase: SimPhase) -> Duration {
         self.totals[phase.index()]
@@ -174,6 +190,26 @@ mod tests {
         assert_eq!(p.laps(), 0);
         assert_eq!(p.total_wall(), Duration::ZERO);
         assert!(p.is_enabled(), "reset keeps the profiler on");
+    }
+
+    #[test]
+    fn lap_span_counts_skipped_cycles() {
+        let mut p = PhaseProfiler::enabled();
+        // One cycle-accurate lap…
+        let mut token = p.start();
+        p.lap(SimPhase::Poll, &mut token);
+        p.lap(SimPhase::Bus, &mut token);
+        p.lap(SimPhase::Accounting, &mut token);
+        // …then a fast-forward jump over 499 cycles.
+        let mut token = p.start();
+        p.lap_span(SimPhase::Accounting, 499, &mut token);
+        assert_eq!(p.laps(), 500, "laps equal simulated cycles, not steps");
+
+        // Disabled: no clock reads, no lap counting.
+        let mut off = PhaseProfiler::disabled();
+        let mut token = off.start();
+        off.lap_span(SimPhase::Accounting, 1_000, &mut token);
+        assert_eq!(off.laps(), 0);
     }
 
     #[test]

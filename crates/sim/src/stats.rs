@@ -384,6 +384,14 @@ impl BusStats {
     pub fn record_cycle(&mut self) {
         self.cycles += 1;
     }
+
+    /// Counts `n` elapsed simulation cycles in one step — the Δ-cycle
+    /// aware form of [`BusStats::record_cycle`] used when the
+    /// fast-forward kernel jumps over an idle span. Equivalent to
+    /// calling [`BusStats::record_cycle`] `n` times.
+    pub fn record_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +433,17 @@ mod tests {
         assert!((total - stats.bus_utilization()).abs() < 1e-12);
         assert!((stats.bus_utilization() - 0.8).abs() < 1e-12);
         assert!((stats.unused_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_cycle_count_matches_the_loop() {
+        let mut looped = BusStats::new(1);
+        for _ in 0..137 {
+            looped.record_cycle();
+        }
+        let mut batched = BusStats::new(1);
+        batched.record_cycles(137);
+        assert_eq!(looped, batched);
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub trait TrafficSource {
         let _ = backlog;
         self.poll(now)
     }
+
+    /// The fast-forward horizon of this source (see
+    /// [`crate::fastforward`]): the earliest cycle `>= now` at which a
+    /// poll could return a transaction or mutate internal state, or
+    /// [`Cycle::NEVER`] if the source is permanently silent.
+    ///
+    /// The default returns `now`, which forbids the kernel from ever
+    /// skipping past a poll — always correct, never fast. Deterministic
+    /// sources whose poll is a pure no-op until a known cycle override
+    /// this to unlock fast-forwarding.
+    fn next_event(&self, now: Cycle) -> Cycle {
+        now
+    }
 }
 
 impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
@@ -47,6 +60,10 @@ impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
     fn poll_with_backlog(&mut self, now: Cycle, backlog: usize) -> Option<Transaction> {
         (**self).poll_with_backlog(now, backlog)
     }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        (**self).next_event(now)
+    }
 }
 
 /// A traffic source that never issues anything (an idle master).
@@ -56,6 +73,10 @@ pub struct SilentSource;
 impl TrafficSource for SilentSource {
     fn poll(&mut self, _now: Cycle) -> Option<Transaction> {
         None
+    }
+
+    fn next_event(&self, _now: Cycle) -> Cycle {
+        Cycle::NEVER
     }
 }
 
@@ -88,6 +109,7 @@ pub struct SystemBuilder {
     timeout: Option<u64>,
     metrics_window: Option<u64>,
     profiling: bool,
+    fast_forward: bool,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -117,6 +139,7 @@ impl SystemBuilder {
             timeout: None,
             metrics_window: None,
             profiling: false,
+            fast_forward: false,
         }
     }
 
@@ -171,6 +194,18 @@ impl SystemBuilder {
     /// simulated behaviour, only wall-clock reporting.
     pub fn profiling(mut self, enabled: bool) -> Self {
         self.profiling = enabled;
+        self
+    }
+
+    /// Selects the fast-forward kernel for [`System::run`] (see
+    /// [`crate::fastforward`]): whenever the bus is idle and every
+    /// component's event horizon lies in the future, the run jumps
+    /// straight to the horizon and replicates the skipped idle cycles'
+    /// accounting arithmetically. Results — statistics, metrics
+    /// time-series, traces, fault logs — are cycle-exact against the
+    /// default cycle kernel; only wall-clock time changes.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
         self
     }
 
@@ -252,6 +287,7 @@ impl SystemBuilder {
             },
             now: Cycle::ZERO,
             failover_baseline: 0,
+            fast_forward: self.fast_forward,
         })
     }
 }
@@ -272,6 +308,8 @@ pub struct System {
     /// Arbiter failover count at the last statistics reset, so
     /// steady-state windows report only their own failovers.
     failover_baseline: u64,
+    /// Whether [`System::run`] uses the fast-forward kernel.
+    fast_forward: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -411,10 +449,99 @@ impl System {
         self.now += 1;
     }
 
+    /// Whether [`System::run`] uses the fast-forward kernel (selected
+    /// via [`SystemBuilder::fast_forward`]).
+    pub fn is_fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Whether the attached fault plan draws per-cycle master stalls,
+    /// which changes which port horizon applies (see
+    /// [`MasterPort::next_event_under_stall_faults`]).
+    fn stall_faults_active(&self) -> bool {
+        self.bus
+            .faults
+            .as_ref()
+            .and_then(|layer| layer.plan.as_ref())
+            .is_some_and(|plan| plan.config().master_stall_rate > 0.0)
+    }
+
+    /// The event horizon of the whole system at the current cycle: the
+    /// earliest cycle `>= now` at which any component does something the
+    /// skip path cannot replicate (see [`crate::fastforward`]). Returns
+    /// `now` whenever the bus is busy or any request line is live —
+    /// i.e. whenever nothing may be skipped — and [`Cycle::NEVER`] when
+    /// nothing is scheduled at all.
+    pub fn idle_horizon(&self) -> Cycle {
+        use crate::fastforward::fold_horizon;
+        let now = self.now;
+        if self.bus.is_busy() {
+            return now;
+        }
+        let stall_faults = self.stall_faults_active();
+        let mut horizon = Cycle::NEVER;
+        for port in &self.masters {
+            let h = if stall_faults {
+                port.next_event_under_stall_faults(now)
+            } else {
+                port.next_event(now)
+            };
+            horizon = fold_horizon(horizon, h, now);
+            if horizon == now {
+                return now;
+            }
+        }
+        for source in &self.sources {
+            horizon = fold_horizon(horizon, source.next_event(now), now);
+            if horizon == now {
+                return now;
+            }
+        }
+        fold_horizon(horizon, self.arbiter.next_event(now), now)
+    }
+
+    /// Jumps simulation time from `now` to `target`, replicating the
+    /// skipped idle cycles' accounting arithmetically: the cycle
+    /// counter, per-cycle idle trace events, the arbiter's empty-map
+    /// decision state, metrics window closes/gauge samples, and
+    /// profiler laps. Callers must have established (via
+    /// [`System::idle_horizon`]) that nothing else happens in
+    /// `now..target`.
+    fn skip_to(&mut self, target: Cycle) {
+        let delta = target - self.now;
+        let mut lap = self.profiler.start();
+        self.trace.record_idle_span(self.now, delta);
+        self.arbiter.skip_idle(delta);
+        self.stats.record_cycles(delta);
+        self.stats.failovers = self.arbiter.failovers() - self.failover_baseline;
+        if let Some(metrics) = self.metrics.as_mut() {
+            metrics.skip_cycles(self.now, delta, &self.stats, &self.masters);
+        }
+        self.profiler.lap_span(SimPhase::Accounting, delta, &mut lap);
+        self.now = target;
+    }
+
     /// Simulates `cycles` bus cycles and returns the statistics so far.
+    ///
+    /// Under the default cycle kernel this is `cycles` calls to
+    /// [`System::step`]. Under the fast-forward kernel (see
+    /// [`SystemBuilder::fast_forward`]) idle spans are jumped in one
+    /// step each, with cycle-exact results.
     pub fn run(&mut self, cycles: u64) -> &BusStats {
-        for _ in 0..cycles {
-            self.step();
+        if self.fast_forward {
+            let end = self.now + cycles;
+            while self.now < end {
+                let target = self.idle_horizon().min(end);
+                if target > self.now {
+                    self.skip_to(target);
+                } else {
+                    self.step();
+                }
+            }
+        } else {
+            for _ in 0..cycles {
+                self.step();
+            }
         }
         &self.stats
     }
@@ -524,6 +651,114 @@ mod tests {
         for i in 0..MAX_MASTERS {
             assert_eq!(system.stats().master(MasterId::new(i)).transactions, 1, "master {i}");
         }
+    }
+
+    /// A deterministic source issuing `words` every `period` cycles,
+    /// with an exact fast-forward horizon.
+    struct EveryN {
+        period: u64,
+        words: u32,
+    }
+
+    impl TrafficSource for EveryN {
+        fn poll(&mut self, now: Cycle) -> Option<Transaction> {
+            now.index()
+                .is_multiple_of(self.period)
+                .then(|| Transaction::new(SlaveId::new(0), self.words, now))
+        }
+
+        fn next_event(&self, now: Cycle) -> Cycle {
+            let rem = now.index() % self.period;
+            if rem == 0 {
+                now
+            } else {
+                Cycle::new(now.index() + self.period - rem)
+            }
+        }
+    }
+
+    /// Forwards to a fixed-order arbiter while counting skipped idle
+    /// cycles through a shared handle, so tests can prove the fast
+    /// kernel actually jumped.
+    struct SpyArbiter {
+        inner: FixedOrderArbiter,
+        skipped: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl Arbiter for SpyArbiter {
+        fn arbitrate(
+            &mut self,
+            map: &crate::request::RequestMap,
+            now: Cycle,
+        ) -> Option<crate::arbiter::Grant> {
+            self.inner.arbitrate(map, now)
+        }
+
+        fn name(&self) -> &str {
+            "spy"
+        }
+
+        fn next_event(&self, now: Cycle) -> Cycle {
+            self.inner.next_event(now)
+        }
+
+        fn skip_idle(&mut self, delta: u64) {
+            self.skipped.fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+            self.inner.skip_idle(delta);
+        }
+    }
+
+    #[test]
+    fn fast_forward_is_cycle_exact_and_actually_skips() {
+        let run = |fast: bool| {
+            let skipped = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let spy = SpyArbiter {
+                inner: FixedOrderArbiter::new(2),
+                skipped: std::sync::Arc::clone(&skipped),
+            };
+            let mut system = SystemBuilder::new(BusConfig::default())
+                .master("a", Box::new(EveryN { period: 50, words: 4 }))
+                .master("b", Box::new(EveryN { period: 70, words: 2 }))
+                .arbiter(Box::new(spy))
+                .trace_capacity(4096)
+                .metrics_window(32)
+                .fast_forward(fast)
+                .build()
+                .expect("valid system");
+            system.run(1_000);
+            system.flush_metrics();
+            (
+                system.stats().clone(),
+                system.trace().clone(),
+                system.metrics().expect("metrics on").samples().to_vec(),
+                system.now(),
+                skipped.load(std::sync::atomic::Ordering::Relaxed),
+            )
+        };
+        let (slow_stats, slow_trace, slow_metrics, slow_now, slow_skipped) = run(false);
+        let (fast_stats, fast_trace, fast_metrics, fast_now, fast_skipped) = run(true);
+        assert_eq!(slow_stats, fast_stats);
+        assert_eq!(slow_trace, fast_trace);
+        assert_eq!(slow_metrics, fast_metrics);
+        assert_eq!(slow_now, fast_now);
+        assert_eq!(slow_skipped, 0, "cycle kernel never skips");
+        assert!(fast_skipped > 500, "fast kernel jumped the idle gaps, got {fast_skipped}");
+    }
+
+    #[test]
+    fn fast_forward_never_jumps_past_the_run_end() {
+        let mut system = SystemBuilder::new(BusConfig::default())
+            .master("quiet", Box::new(SilentSource))
+            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .fast_forward(true)
+            .build()
+            .expect("valid system");
+        assert!(system.is_fast_forward());
+        assert_eq!(system.idle_horizon(), Cycle::NEVER, "nothing scheduled");
+        system.run(10_000);
+        assert_eq!(system.now(), Cycle::new(10_000), "end clamps the jump");
+        assert_eq!(system.stats().cycles, 10_000);
+        assert_eq!(system.stats().bus_utilization(), 0.0);
     }
 
     #[test]

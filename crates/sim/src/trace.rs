@@ -354,6 +354,20 @@ impl BusTrace {
         }
     }
 
+    /// Records an [`TraceEvent::Idle`] event for every cycle in
+    /// `start..start + len` — the fast-forward kernel's batched form of
+    /// the per-cycle idle recording the cycle kernel performs, preserving
+    /// byte-identical buffers, drop counts, and sink streams across
+    /// kernels. A no-op when the trace is disabled.
+    pub fn record_idle_span(&mut self, start: Cycle, len: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        for offset in 0..len {
+            self.record(TraceEvent::Idle { cycle: start + offset });
+        }
+    }
+
     /// All buffered events in time order (at most the capacity; see
     /// [`BusTrace::dropped`] for what fell off the end).
     pub fn events(&self) -> &[TraceEvent] {
@@ -490,6 +504,24 @@ mod tests {
         assert!(trace.events().is_empty());
         assert!(!trace.is_truncated(), "no buffer, nothing to truncate");
         assert_eq!(ring.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn idle_span_matches_per_cycle_records() {
+        let ring = Arc::new(Mutex::new(RingSink::new(16)));
+        let mut spanned = BusTrace::enabled(3).with_sink(Box::new(Arc::clone(&ring)));
+        spanned.record_idle_span(Cycle::new(10), 5);
+        let mut stepped = BusTrace::enabled(3);
+        for c in 10..15 {
+            stepped.record(TraceEvent::Idle { cycle: Cycle::new(c) });
+        }
+        assert_eq!(spanned, stepped, "buffer and drop accounting match");
+        assert_eq!(spanned.dropped(), 2);
+        assert_eq!(ring.lock().unwrap().len(), 5, "sink saw every cycle");
+
+        let mut off = BusTrace::disabled();
+        off.record_idle_span(Cycle::ZERO, 1_000);
+        assert!(off.events().is_empty());
     }
 
     #[test]

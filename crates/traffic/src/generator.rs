@@ -109,6 +109,33 @@ impl TrafficSource for StochasticSource {
             .map(|(i, _)| i)?;
         self.pending.remove(due)
     }
+
+    /// The earliest cycle at which a poll could emit a message or draw
+    /// from the RNG (see [`socsim::fastforward`]).
+    ///
+    /// * Bernoulli with a positive rate draws every single poll, so its
+    ///   horizon is always `now`; a zero rate never draws nor emits.
+    /// * Periodic and on–off processes mutate state only once
+    ///   `next_event` comes due, so the horizon is the earlier of that
+    ///   arrival event and the earliest already-generated message
+    ///   waiting in the queue (jitter and intra-burst stamps can sit in
+    ///   the future).
+    fn next_event(&self, now: Cycle) -> Cycle {
+        let pending = self.pending.iter().map(Transaction::issued_at).min();
+        let horizon = match self.spec.arrival {
+            ArrivalSpec::Bernoulli { rate } => {
+                if rate > 0.0 {
+                    return now;
+                }
+                pending.unwrap_or(Cycle::NEVER)
+            }
+            ArrivalSpec::Periodic { .. } | ArrivalSpec::OnOff { .. } => {
+                let arrival = Cycle::new(self.next_event);
+                pending.map_or(arrival, |p| p.min(arrival))
+            }
+        };
+        horizon.max(now)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +207,37 @@ mod tests {
             let t = source2.poll(Cycle::new(c)).expect("queued message");
             assert_eq!(t.issued_at().index(), 0);
         }
+    }
+
+    #[test]
+    fn horizon_is_exact_for_deterministic_processes() {
+        // Whenever a poll emits, the horizon computed just before must
+        // have been exactly that cycle — the fast-forward kernel's "time
+        // never jumps past an event" invariant, checked per cycle.
+        let specs = [
+            GeneratorSpec::periodic(25, 5, SizeDist::fixed(3)),
+            GeneratorSpec::periodic_jittered(20, 0, 5, SizeDist::fixed(1)),
+            GeneratorSpec::bursty(2, 4, 3, 40, 80, 7, SizeDist::uniform(1, 8)),
+        ];
+        for (i, spec) in specs.into_iter().enumerate() {
+            let mut source = StochasticSource::new(spec, 31 + i as u64);
+            for c in 0..2_000u64 {
+                let h = source.next_event(Cycle::new(c));
+                let emitted = source.poll(Cycle::new(c)).is_some();
+                assert!(h >= Cycle::new(c), "spec {i}: horizon in the past at {c}");
+                if emitted {
+                    assert_eq!(h, Cycle::new(c), "spec {i}: emission at {c} was skippable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_horizon_pins_every_cycle() {
+        let live = StochasticSource::new(GeneratorSpec::poisson(0.01, SizeDist::fixed(1)), 3);
+        assert_eq!(live.next_event(Cycle::new(42)), Cycle::new(42));
+        let dead = StochasticSource::new(GeneratorSpec::poisson(0.0, SizeDist::fixed(1)), 3);
+        assert_eq!(dead.next_event(Cycle::new(42)), Cycle::NEVER);
     }
 
     #[test]

@@ -65,6 +65,14 @@ impl TrafficSource for ReplaySource {
             None
         }
     }
+
+    /// The next queued arrival stamp, or [`Cycle::NEVER`] once the
+    /// trace is exhausted — a replay is pure data, so its horizon is
+    /// exact and the fast-forward kernel can jump the gaps between
+    /// entries.
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.queue.front().map_or(Cycle::NEVER, |t| t.issued_at().max(now))
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +97,19 @@ mod tests {
             let (ta, tb) = (a.poll(Cycle::new(c)), b.poll(Cycle::new(c)));
             assert_eq!(ta, tb, "divergence at cycle {c}");
         }
+    }
+
+    #[test]
+    fn horizon_tracks_the_queue_head() {
+        let mut source = ReplaySource::new(0, &[(4, 1), (9, 2)]);
+        assert_eq!(source.next_event(Cycle::new(0)), Cycle::new(4));
+        assert!(source.poll(Cycle::new(4)).is_some());
+        assert_eq!(source.next_event(Cycle::new(5)), Cycle::new(9));
+        assert!(source.poll(Cycle::new(9)).is_some());
+        assert_eq!(source.next_event(Cycle::new(10)), Cycle::NEVER, "trace exhausted");
+        // A stale stamp (emission delayed by backlog) clamps to now.
+        let late = ReplaySource::new(0, &[(3, 1)]);
+        assert_eq!(late.next_event(Cycle::new(8)), Cycle::new(8));
     }
 
     #[test]

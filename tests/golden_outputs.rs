@@ -1,0 +1,68 @@
+//! Golden-output regression tests: a miniature suite document with a
+//! pinned seed and short windows, snapshotted under `tests/golden/`.
+//!
+//! The snapshot pins the *numbers*, not just the invariants: any change
+//! to arbiter decision order, RNG cadence, fault drawing, or kernel
+//! accounting shows up here as a byte diff. The same document is
+//! rendered under both kernels, so the golden file doubles as a
+//! kernel-equivalence witness in CI.
+//!
+//! To regenerate after an intentional behaviour change:
+//!
+//! ```console
+//! $ REGEN_GOLDEN=1 cargo test --test golden_outputs
+//! $ git diff tests/golden/   # review before committing
+//! ```
+
+use lotterybus_repro::experiments::json::{Json, ToJson};
+use lotterybus_repro::experiments::{self, RunSettings};
+
+const GOLDEN_PATH: &str = "tests/golden/suite_mini.json";
+
+/// Pinned settings for the miniature suite: short windows, fixed seed,
+/// one worker (worker count never changes results, but pinning it keeps
+/// the document's provenance obvious).
+fn golden_settings(fast_forward: bool) -> RunSettings {
+    RunSettings { warmup: 500, measure: 4_000, seed: 0x60_1DEB, jobs: 1, ..RunSettings::new() }
+        .with_fast_forward(fast_forward)
+}
+
+/// Renders the miniature suite document under the chosen kernel.
+fn golden_document(fast_forward: bool) -> String {
+    let settings = golden_settings(fast_forward);
+    let doc = Json::obj()
+        .field(
+            "meta",
+            Json::obj()
+                .field("seed", settings.seed)
+                .field("warmup", settings.warmup)
+                .field("measure", settings.measure),
+        )
+        .field("fig4", experiments::fig4::run(&settings).to_json())
+        .field("fig5", experiments::fig5::run_kernel(1, fast_forward).to_json())
+        .field("starvation", experiments::starvation::run(&settings).to_json())
+        .field("energy", experiments::energy::run(&settings).to_json());
+    doc.render() + "\n"
+}
+
+#[test]
+fn golden_suite_document_is_stable_under_both_kernels() {
+    let cycle = golden_document(false);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &cycle).expect("write golden snapshot");
+        eprintln!("regenerated {GOLDEN_PATH}");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("cannot read {GOLDEN_PATH}: {e}; run with REGEN_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        cycle, golden,
+        "cycle-kernel output drifted from the golden snapshot; if the change is \
+         intentional, regenerate with REGEN_GOLDEN=1 and review the diff"
+    );
+    let fast = golden_document(true);
+    assert_eq!(
+        fast, golden,
+        "fast-kernel output differs from the golden snapshot (kernel equivalence broken)"
+    );
+}

@@ -1,0 +1,234 @@
+//! Differential testing harness for the fast-forward kernel.
+//!
+//! Every suite experiment — and a set of system-level scenarios
+//! covering fault injection, recovery, windowed metrics, traces,
+//! waveforms, and replica fan-out — runs under both the cycle kernel
+//! and the fast-forward kernel. The outputs must match exactly:
+//! statistics struct-for-struct, serialized JSON byte-for-byte, trace
+//! streams event-for-event. Fast-forward is a pure wall-clock
+//! optimization; any divergence here is a kernel bug.
+
+use lotterybus_cli::{render_metrics, render_report, SimSpec};
+use lotterybus_repro::arbiters::FailoverArbiter;
+use lotterybus_repro::experiments::json::ToJson;
+use lotterybus_repro::experiments::{self, RunSettings};
+use lotterybus_repro::lottery::{StaticLotteryArbiter, TicketAssignment};
+use lotterybus_repro::socsim::{
+    vcd, Arbiter, BusConfig, FaultConfig, RetryPolicy, RingSink, SystemBuilder,
+};
+use lotterybus_repro::traffic::{GeneratorSpec, SizeDist, TrafficClass};
+
+/// Short settings so the whole experiment sweep stays debug-build fast.
+fn short() -> RunSettings {
+    RunSettings { warmup: 1_000, measure: 6_000, jobs: 1, ..RunSettings::new() }
+}
+
+/// Runs `experiment` under both kernels and asserts the results (and
+/// their serialized JSON) are identical.
+fn diff_experiment<T, F>(name: &str, experiment: F)
+where
+    T: PartialEq + std::fmt::Debug + ToJson,
+    F: Fn(&RunSettings) -> T,
+{
+    let cycle = experiment(&short());
+    let fast = experiment(&short().with_fast_forward(true));
+    assert_eq!(cycle, fast, "{name}: kernels disagree");
+    assert_eq!(
+        cycle.to_json().render(),
+        fast.to_json().render(),
+        "{name}: serialized JSON differs between kernels"
+    );
+}
+
+#[test]
+fn fig4_bandwidth_and_timeseries_match() {
+    diff_experiment("fig4", experiments::fig4::run);
+    diff_experiment("fig4_timeseries", experiments::fig4::run_timeseries);
+}
+
+#[test]
+fn fig5_tdma_replay_matches() {
+    let cycle = experiments::fig5::run_kernel(1, false);
+    let fast = experiments::fig5::run_kernel(1, true);
+    assert_eq!(cycle, fast, "fig5: kernels disagree");
+    assert_eq!(cycle.to_json().render(), fast.to_json().render());
+}
+
+#[test]
+fn fig6_bandwidth_and_latency_match() {
+    diff_experiment("fig6a", experiments::fig6::run_bandwidth);
+    diff_experiment("fig6b", |s| experiments::fig6::run_latency(TrafficClass::T6, s));
+}
+
+#[test]
+fn fig12_dynamic_lottery_surfaces_match() {
+    diff_experiment("fig12a", experiments::fig12::run_bandwidth);
+    diff_experiment("fig12b", experiments::fig12::run_tdma_latency);
+    diff_experiment("fig12c", experiments::fig12::run_lottery_latency);
+}
+
+#[test]
+fn starvation_sweeps_energy_and_ablations_match() {
+    diff_experiment("starvation", experiments::starvation::run);
+    diff_experiment("sweeps", experiments::sweeps::run);
+    diff_experiment("energy", experiments::energy::run);
+    diff_experiment("ablations", experiments::ablations::run);
+}
+
+/// A mixed workload with every observability and fault feature on:
+/// periodic + bursty + poisson traffic, all five fault classes, retry
+/// with backoff, a watchdog timeout, a failover-wrapped lottery, a
+/// windowed metrics collector, and a buffered + streamed trace.
+fn build_full_system(seed: u64, fast_forward: bool) -> lotterybus_repro::socsim::System {
+    let fault = FaultConfig {
+        seed,
+        slave_error_rate: 0.01,
+        slave_outage_rate: 0.002,
+        slave_outage_duration: 24,
+        grant_drop_rate: 0.005,
+        grant_corrupt_rate: 0.003,
+        master_stall_rate: 0.004,
+        master_stall_max: 6,
+    };
+    let tickets = TicketAssignment::new(vec![1, 2, 3]).expect("valid");
+    let lottery: Box<dyn Arbiter> =
+        Box::new(StaticLotteryArbiter::with_seed(tickets, seed as u32 | 1).expect("valid"));
+    let arbiter = FailoverArbiter::with_patience(lottery, 3, 64).expect("valid");
+    SystemBuilder::new(BusConfig::default())
+        .fast_forward(fast_forward)
+        .master("periodic", GeneratorSpec::periodic(90, 7, SizeDist::fixed(8)).build_source(seed))
+        .master(
+            "bursty",
+            GeneratorSpec::bursty(2, 5, 1, 40, 120, 3, SizeDist::fixed(4)).build_source(seed + 1),
+        )
+        .master("poisson", GeneratorSpec::poisson(0.01, SizeDist::fixed(16)).build_source(seed + 2))
+        .faults(fault)
+        .retry_policy(RetryPolicy { max_retries: 3, backoff_base: 2, backoff_factor: 2 })
+        .timeout(200)
+        .metrics_window(128)
+        .trace_capacity(1 << 16)
+        .trace_sink(Box::new(RingSink::new(1 << 16)))
+        .arbiter(Box::new(arbiter))
+        .build()
+        .expect("valid system")
+}
+
+#[test]
+fn faulty_observed_system_matches_in_every_output_stream() {
+    for seed in [3u64, 17, 101] {
+        let mut cycle = build_full_system(seed, false);
+        let mut fast = build_full_system(seed, true);
+        for system in [&mut cycle, &mut fast] {
+            system.warm_up(500);
+            system.run(20_000);
+            system.flush_metrics();
+        }
+        assert_eq!(cycle.stats(), fast.stats(), "seed {seed}: statistics diverged");
+        assert_eq!(cycle.trace(), fast.trace(), "seed {seed}: trace streams diverged");
+        assert_eq!(cycle.fault_events(), fast.fault_events(), "seed {seed}: fault logs diverged");
+        assert_eq!(
+            cycle.metrics().expect("metrics on").samples(),
+            fast.metrics().expect("metrics on").samples(),
+            "seed {seed}: metrics time series diverged"
+        );
+        let names: Vec<String> =
+            ["periodic", "bursty", "poisson"].iter().map(|s| (*s).to_string()).collect();
+        assert_eq!(
+            vcd::trace_to_vcd(cycle.trace(), &names, 20_500),
+            vcd::trace_to_vcd(fast.trace(), &names, 20_500),
+            "seed {seed}: VCD waveforms diverged"
+        );
+        assert_eq!(cycle.now(), fast.now(), "seed {seed}: clocks diverged");
+    }
+}
+
+#[test]
+fn replica_fanout_matches_across_kernels() {
+    // Replicas derive their seeds the way the CLI does; every replica
+    // must agree between kernels independently.
+    let base_seed = 0xC0FFEEu64;
+    for r in 0..3u64 {
+        let seed = base_seed.wrapping_add(r.wrapping_mul(0x9E37_79B9_97F4_A7C5));
+        let run = |fast: bool| {
+            let mut system = SystemBuilder::new(BusConfig::default())
+                .fast_forward(fast)
+                .master("a", GeneratorSpec::periodic(64, 0, SizeDist::fixed(8)).build_source(seed))
+                .master(
+                    "b",
+                    GeneratorSpec::poisson(0.005, SizeDist::fixed(16)).build_source(seed + 1),
+                )
+                .arbiter(experiments::common::protocol_arbiter(4, seed))
+                .build()
+                .expect("valid");
+            system.run(15_000);
+            system.stats().clone()
+        };
+        assert_eq!(run(false), run(true), "replica {r} diverged between kernels");
+    }
+}
+
+#[test]
+fn cli_spec_pipeline_matches_across_kernels() {
+    // The full CLI path: parse a spec, build the system the way the
+    // binary does, and render the user-facing report plus the windowed
+    // metrics section. `kernel = fast` must not change a byte.
+    let spec_for = |kernel: &str| {
+        let text = format!(
+            "arbiter = lottery\n\
+             burst   = 8\n\
+             cycles  = 12000\n\
+             warmup  = 1000\n\
+             seed    = 99\n\
+             kernel  = {kernel}\n\
+             fault slave-error rate=0.01\n\
+             fault master-stall rate=0.004 max=6\n\
+             retry max=3 backoff=2x\n\
+             timeout = 256\n\
+             failover = 64\n\
+             metrics window=512\n\
+             master cpu weight=4 load=0.30 size=16\n\
+             master dsp weight=2 load=0.05 size=16 burst\n\
+             master dma weight=1 load=0.02 size=8 periodic\n"
+        );
+        SimSpec::parse(&text).expect("valid spec")
+    };
+    let render = |spec: &SimSpec| {
+        let mut builder = SystemBuilder::new(spec.bus_config());
+        for (i, master) in spec.masters.iter().enumerate() {
+            builder = builder.master(
+                master.name.clone(),
+                master.generator(i).build_source(spec.seed.wrapping_add(i as u64)),
+            );
+        }
+        if let Some(fault) = spec.fault {
+            builder = builder.faults(fault);
+        }
+        if let Some(retry) = spec.retry {
+            builder = builder.retry_policy(retry);
+        }
+        if let Some(timeout) = spec.timeout {
+            builder = builder.timeout(timeout);
+        }
+        if let Some(window) = spec.metrics {
+            builder = builder.metrics_window(window);
+        }
+        let mut system = builder
+            .fast_forward(spec.kernel.is_fast())
+            .arbiter(spec.build_arbiter().expect("arbiter"))
+            .build()
+            .expect("valid system");
+        system.warm_up(spec.warmup);
+        system.run(spec.cycles);
+        system.flush_metrics();
+        let mut text = render_report(spec, system.stats());
+        if let Some(window) = spec.metrics {
+            let samples = system.metrics().expect("metrics enabled").samples().to_vec();
+            text += &render_metrics(spec, window, &samples);
+        }
+        text
+    };
+    let cycle = render(&spec_for("cycle"));
+    let fast = render(&spec_for("fast"));
+    assert!(cycle.contains("fault"), "spec fault section missing from the report");
+    assert_eq!(cycle, fast, "CLI report differs between kernels");
+}

@@ -1,13 +1,18 @@
 //! Property-based tests over the core data structures and protocol
-//! invariants, spanning crates.
+//! invariants, spanning crates — including the fast-forward kernel's
+//! two contracts: cycle-exact equivalence with the reference kernel on
+//! random systems, and the idle-horizon never crossing an event.
 
 use lotterybus_repro::arbiters::{
     RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, WheelLayout,
 };
+use lotterybus_repro::experiments::common::protocol_arbiter;
 use lotterybus_repro::lottery::{
     draw_winner, partial_sums, DynamicLotteryArbiter, Lfsr, StaticLotteryArbiter, TicketAssignment,
 };
 use lotterybus_repro::socsim::{Arbiter, Cycle, MasterId, RequestMap};
+use lotterybus_repro::socsim::{BusConfig, FaultConfig, RetryPolicy, System, SystemBuilder};
+use lotterybus_repro::traffic::{GeneratorSpec, SizeDist};
 use proptest::prelude::*;
 
 /// Builds a request map for `n` masters from a pending bitmask.
@@ -198,6 +203,108 @@ proptest! {
         use lotterybus_repro::lottery::RandomSource;
         for bound in bounds {
             prop_assert!(source.draw(bound) < bound);
+        }
+    }
+}
+
+/// One random master: an arrival-process kind plus raw parameters,
+/// mapped onto a [`GeneratorSpec`].
+fn random_generator(kind: u8, a: u64, b: u64, size: u32) -> GeneratorSpec {
+    let size = SizeDist::fixed(size);
+    match kind % 3 {
+        0 => GeneratorSpec::periodic(20 + a % 180, b % 100, size),
+        1 => GeneratorSpec::poisson(0.001 + (a % 30) as f64 / 1_000.0, size),
+        _ => GeneratorSpec::bursty(2, 4, 1, 20 + a % 80, 120 + b % 200, b % 7, size),
+    }
+}
+
+/// Builds a random four-master system from proptest-drawn parameters:
+/// one of the five lineup arbiters, mixed arrival processes, and
+/// (optionally) fault injection with retry and a watchdog.
+fn random_system(
+    arb: usize,
+    masters: &[(u8, u64, u64, u32)],
+    with_faults: bool,
+    seed: u64,
+    fast_forward: bool,
+) -> System {
+    let mut builder =
+        SystemBuilder::new(BusConfig::default()).fast_forward(fast_forward).trace_capacity(1 << 15);
+    for (i, &(kind, a, b, size)) in masters.iter().enumerate() {
+        builder = builder.master(
+            format!("m{i}"),
+            random_generator(kind, a, b, size).build_source(seed.wrapping_add(i as u64)),
+        );
+    }
+    if with_faults {
+        builder = builder
+            .faults(FaultConfig {
+                seed,
+                slave_error_rate: 0.01,
+                grant_drop_rate: 0.002,
+                master_stall_rate: 0.003,
+                master_stall_max: 5,
+                ..FaultConfig::default()
+            })
+            .retry_policy(RetryPolicy { max_retries: 2, backoff_base: 1, backoff_factor: 2 })
+            .timeout(300);
+    }
+    builder.arbiter(protocol_arbiter(arb, seed)).build().expect("valid system")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    #[test]
+    fn fast_kernel_matches_cycle_kernel_on_random_systems(
+        arb in 0usize..5,
+        masters in prop::collection::vec((0u8..3, 0u64..1_000, 0u64..1_000, 1u32..17), 4),
+        faults in prop::sample::select(vec![false, true]),
+        seed in 1u64..1_000_000,
+    ) {
+        let mut cycle = random_system(arb, &masters, faults, seed, false);
+        let mut fast = random_system(arb, &masters, faults, seed, true);
+        cycle.run(2_500);
+        fast.run(2_500);
+        prop_assert_eq!(cycle.stats(), fast.stats(), "statistics diverged");
+        prop_assert_eq!(cycle.trace(), fast.trace(), "trace streams diverged");
+        prop_assert_eq!(cycle.fault_events(), fast.fault_events(), "fault logs diverged");
+        prop_assert_eq!(cycle.now(), fast.now(), "clocks diverged");
+    }
+
+    #[test]
+    fn idle_horizon_never_crosses_an_event(
+        arb in 0usize..5,
+        masters in prop::collection::vec((0u8..3, 0u64..1_000, 0u64..1_000, 1u32..17), 4),
+        faults in prop::sample::select(vec![false, true]),
+        seed in 1u64..1_000_000,
+    ) {
+        // The fast kernel may only jump to `idle_horizon()`; this drives
+        // the *cycle* kernel one step at a time and asserts that every
+        // cycle strictly below the advertised horizon really is
+        // replicable idle time: no grants, no words, no fault events.
+        let mut system = random_system(arb, &masters, faults, seed, false);
+        for _ in 0..800u32 {
+            let horizon = system.idle_horizon();
+            let now = system.now();
+            prop_assert!(horizon >= now, "horizon {:?} behind the clock {:?}", horizon, now);
+            let grants = system.stats().grants;
+            let words: u64 = system.stats().masters().iter().map(|m| m.words).sum();
+            let fault_count = system.fault_events().len();
+            system.step();
+            if horizon > now {
+                prop_assert_eq!(
+                    system.stats().grants, grants,
+                    "a grant fired at {:?}, inside the idle span ending at {:?}", now, horizon
+                );
+                let words_after: u64 =
+                    system.stats().masters().iter().map(|m| m.words).sum();
+                prop_assert_eq!(words_after, words, "words moved inside an idle span");
+                prop_assert_eq!(
+                    system.fault_events().len(), fault_count,
+                    "a fault event was logged inside an idle span"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Soft benchmark-regression check for suite --bench reports.
+
+Compares the fresh report (e.g. BENCH_PR4.json) against a committed
+baseline (e.g. BENCH_PR3.json) and prints a verdict per metric. The
+check is *soft*: CI wall-clock numbers are noisy, so regressions are
+reported as warnings and the script always exits 0. The hard gates
+(byte-identity of result documents) live in the suite binary itself.
+
+Usage: bench_regression.py CURRENT.json BASELINE.json
+"""
+
+import json
+import sys
+
+# Wall-clock comparisons tolerate this much slowdown before warning.
+NOISE_TOLERANCE = 0.25
+
+# The fast kernel must beat the cycle kernel by at least this factor on
+# the mostly-idle workload...
+LOWUTIL_MIN_SPEEDUP = 2.0
+# ...and must not cost more than 5% at saturation.
+SATURATED_MIN_RATIO = 0.95
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0
+    current = load(argv[1])
+    try:
+        baseline = load(argv[2])
+    except OSError as error:
+        print(f"note: no baseline ({error}); skipping wall-clock comparison")
+        baseline = None
+
+    warnings = 0
+
+    def warn(message):
+        nonlocal warnings
+        warnings += 1
+        print(f"WARNING: {message}")
+
+    if baseline is not None:
+        for key in ("serial_wall_secs", "parallel_wall_secs", "metrics_serial_wall_secs"):
+            if key not in current or key not in baseline:
+                continue
+            was, now = baseline[key], current[key]
+            if was > 0 and now > was * (1 + NOISE_TOLERANCE):
+                warn(f"{key} regressed: {was:.3f}s -> {now:.3f}s")
+            else:
+                print(f"ok: {key} {was:.3f}s -> {now:.3f}s")
+
+    lowutil = current.get("kernel_lowutil", {}).get("speedup")
+    if lowutil is None:
+        warn("report lacks kernel_lowutil.speedup (old report format?)")
+    elif lowutil < LOWUTIL_MIN_SPEEDUP:
+        warn(
+            f"fast kernel speedup on the low-utilization workload is {lowutil:.2f}x "
+            f"(want >= {LOWUTIL_MIN_SPEEDUP:.1f}x)"
+        )
+    else:
+        print(f"ok: fast kernel low-utilization speedup {lowutil:.2f}x")
+
+    saturated = current.get("kernel_saturated", {}).get("speedup")
+    if saturated is None:
+        warn("report lacks kernel_saturated.speedup (old report format?)")
+    elif saturated < SATURATED_MIN_RATIO:
+        warn(
+            f"fast kernel is {saturated:.2f}x at saturation "
+            f"(slower than the {SATURATED_MIN_RATIO:.2f}x floor)"
+        )
+    else:
+        print(f"ok: fast kernel saturated ratio {saturated:.2f}x")
+
+    suite = current.get("kernel_suite_speedup")
+    if suite is not None:
+        print(f"info: whole-suite fast-kernel speedup {suite:.2f}x")
+
+    if warnings:
+        print(f"{warnings} warning(s); soft check, exiting 0")
+    else:
+        print("benchmark comparison clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
