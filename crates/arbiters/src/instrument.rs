@@ -222,9 +222,9 @@ mod tests {
         let (arb, counters) =
             InstrumentedArbiter::new(RoundRobinArbiter::new(2).expect("valid"), 2);
         let mut system = SystemBuilder::new(BusConfig::default())
-            .master("a", Box::new(Always))
-            .master("b", Box::new(Always))
-            .arbiter(Box::new(arb))
+            .master("a", Always)
+            .master("b", Always)
+            .arbiter(arb)
             .build()
             .expect("valid");
         let stats = system.run(1_000).clone();

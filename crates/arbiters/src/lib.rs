@@ -22,6 +22,9 @@
 //!   the above: counts decisions, idle cycles, contention and grants
 //!   per master through a shared [`ArbiterCounters`] handle without
 //!   changing the wrapped protocol's behaviour.
+//! * [`ArbiterKind`] — enum dispatch over every built-in protocol
+//!   (including both lottery managers), so the simulator's hot loop
+//!   makes direct calls instead of `Box<dyn Arbiter>` virtual calls.
 //!
 //! All arbiters implement [`socsim::Arbiter`] and plug into a
 //! [`socsim::SystemBuilder`].
@@ -46,6 +49,7 @@ pub mod deficit_rr;
 pub mod error;
 pub mod failover;
 pub mod instrument;
+pub mod kind;
 pub mod round_robin;
 pub mod static_priority;
 pub mod tdma;
@@ -55,6 +59,7 @@ pub use deficit_rr::DeficitRoundRobinArbiter;
 pub use error::ArbiterConfigError;
 pub use failover::FailoverArbiter;
 pub use instrument::{ArbiterCounters, InstrumentedArbiter};
+pub use kind::ArbiterKind;
 pub use round_robin::RoundRobinArbiter;
 pub use static_priority::StaticPriorityArbiter;
 pub use tdma::{TdmaArbiter, WheelLayout};

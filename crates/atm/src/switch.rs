@@ -145,7 +145,7 @@ impl SwitchConfig {
             seed,
         )));
         let shared_memory = SlaveId::new(0);
-        let mut builder = SystemBuilder::new(self.bus);
+        let mut builder: SystemBuilder = SystemBuilder::new(self.bus);
         // With bounded address queues the port processes one cell at a
         // time (the paper's poll/dequeue/fetch loop), so overload backs
         // up into the queue and registers as cell loss; with unbounded

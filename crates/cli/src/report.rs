@@ -165,7 +165,7 @@ mod tests {
     use arbiters::{FailoverArbiter, StaticPriorityArbiter};
     use socsim::{Arbiter, Cycle, Grant, RequestMap, System, SystemBuilder};
 
-    fn build_system(spec: &SimSpec, arbiter: Box<dyn Arbiter>) -> System {
+    fn build_system<A: Arbiter>(spec: &SimSpec, arbiter: A) -> System<A> {
         let mut builder = SystemBuilder::new(spec.bus_config());
         for (i, master) in spec.masters.iter().enumerate() {
             builder = builder.master(
@@ -311,7 +311,7 @@ mod tests {
             spec.failover.expect("failover configured"),
         )
         .expect("valid");
-        let mut system = build_system(&spec, Box::new(arbiter));
+        let mut system = build_system(&spec, arbiter);
         system.run(spec.cycles);
         let stats = system.stats();
         assert_eq!(stats.failovers, 1, "wedged primary tripped the failover");

@@ -1,11 +1,12 @@
 //! The plain-text simulation spec and its parser.
 
+use arbiters::ArbiterKind as ArbiterDispatch;
 use arbiters::{
     FailoverArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter, TokenRingArbiter,
     WheelLayout,
 };
 use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
-use socsim::{Arbiter, BusConfig, FaultConfig, RetryPolicy};
+use socsim::{BusConfig, FaultConfig, RetryPolicy};
 use std::error::Error;
 use std::fmt;
 use traffic_gen::{GeneratorSpec, SizeDist};
@@ -353,49 +354,50 @@ impl SimSpec {
             || self.failover.is_some()
     }
 
-    /// Builds the arbiter the spec selects.
+    /// Builds the arbiter the spec selects, as the enum-dispatched
+    /// [`arbiters::ArbiterKind`] so the simulator's hot loop arbitrates
+    /// through a direct call instead of a `Box<dyn Arbiter>` vtable hop.
     ///
     /// # Errors
     ///
     /// Returns an error if the weights are invalid for the protocol
     /// (e.g. duplicate priorities).
-    pub fn build_arbiter(&self) -> Result<Box<dyn Arbiter>, ParseSpecError> {
+    pub fn build_arbiter(&self) -> Result<ArbiterDispatch, ParseSpecError> {
         let weights: Vec<u32> = self.masters.iter().map(|m| m.weight).collect();
         let fail = |e: &dyn fmt::Display| err(0, format!("cannot build arbiter: {e}"));
-        let primary: Box<dyn Arbiter> = match self.arbiter {
+        let primary: ArbiterDispatch = match self.arbiter {
             ArbiterKind::Lottery => {
                 let tickets = TicketAssignment::new(weights).map_err(|e| fail(&e))?;
-                Box::new(
-                    StaticLotteryArbiter::with_seed(tickets, self.seed as u32 | 1)
-                        .map_err(|e| fail(&e))?,
-                )
+                StaticLotteryArbiter::with_seed(tickets, self.seed as u32 | 1)
+                    .map_err(|e| fail(&e))?
+                    .into()
             }
             ArbiterKind::LotteryDynamic => {
                 let tickets = TicketAssignment::new(weights).map_err(|e| fail(&e))?;
-                Box::new(
-                    DynamicLotteryArbiter::with_seed(tickets, self.seed as u32 | 1)
-                        .map_err(|e| fail(&e))?,
-                )
+                DynamicLotteryArbiter::with_seed(tickets, self.seed as u32 | 1)
+                    .map_err(|e| fail(&e))?
+                    .into()
             }
             ArbiterKind::Priority => {
-                Box::new(StaticPriorityArbiter::new(weights).map_err(|e| fail(&e))?)
+                StaticPriorityArbiter::new(weights).map_err(|e| fail(&e))?.into()
             }
             ArbiterKind::Tdma => {
                 let slots: Vec<u32> = weights.iter().map(|w| w * self.tdma_block).collect();
-                Box::new(TdmaArbiter::new(&slots, WheelLayout::Contiguous).map_err(|e| fail(&e))?)
+                TdmaArbiter::new(&slots, WheelLayout::Contiguous).map_err(|e| fail(&e))?.into()
             }
             ArbiterKind::RoundRobin => {
-                Box::new(RoundRobinArbiter::new(self.masters.len()).map_err(|e| fail(&e))?)
+                RoundRobinArbiter::new(self.masters.len()).map_err(|e| fail(&e))?.into()
             }
             ArbiterKind::TokenRing => {
-                Box::new(TokenRingArbiter::new(self.masters.len()).map_err(|e| fail(&e))?)
+                TokenRingArbiter::new(self.masters.len()).map_err(|e| fail(&e))?.into()
             }
         };
         Ok(match self.failover {
-            Some(patience) => Box::new(
-                FailoverArbiter::with_patience(primary, self.masters.len(), patience)
-                    .map_err(|e| fail(&e))?,
-            ),
+            Some(patience) => {
+                FailoverArbiter::with_patience(Box::new(primary), self.masters.len(), patience)
+                    .map_err(|e| fail(&e))?
+                    .into()
+            }
             None => primary,
         })
     }
@@ -583,6 +585,7 @@ fn parse_master(line: usize, rest: &str) -> Result<MasterSpec, ParseSpecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use socsim::Arbiter;
 
     const SAMPLE: &str = "\n\
         # a comment\n\

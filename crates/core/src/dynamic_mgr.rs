@@ -1,12 +1,40 @@
 //! The dynamic lottery manager (paper §4.4, Figure 10).
 
 use crate::error::LotteryError;
-use crate::lottery::{draw_winner, partial_sums};
 use crate::policy::TicketPolicy;
-use crate::rng::{LfsrSource, RandomSource};
+use crate::rng::{LfsrSource, RandomSource, RandomSourceKind};
 use crate::tickets::{TicketAssignment, MAX_TICKETS_PER_MASTER};
-use socsim::{Arbiter, Cycle, Grant, RequestMap};
+use socsim::{Arbiter, Cycle, Grant, MasterId, RequestMap, MAX_MASTERS};
 use std::fmt;
+
+/// Memoized AND-stage + adder-tree output for one request bitmap.
+///
+/// Under contention the same contender set recurs for long stretches, so
+/// the cumulative ticket ranges only change when the request bitmap or
+/// the ticket holdings do. The cache key is `(bits, epoch)`: `epoch` is a
+/// monotonic counter the arbiter bumps on *every* mutation of effective
+/// holdings (external `set_tickets`, a policy update firing, a
+/// compensation-boost write, enabling compensation), so a stale entry can
+/// never be observed.
+#[derive(Debug, Clone)]
+struct DecisionCache {
+    /// Request bitmap the entry was built for.
+    bits: u32,
+    /// Ticket epoch the entry was built at.
+    epoch: u64,
+    valid: bool,
+    /// `cumsum[i]` = Σ_{k≤i, k pending} effective_tickets[k] — the same
+    /// running partial sums [`crate::partial_sums`] computes.
+    cumsum: [u64; MAX_MASTERS],
+    /// Grand total of contending effective tickets.
+    total: u64,
+}
+
+impl DecisionCache {
+    fn new() -> Self {
+        DecisionCache { bits: 0, epoch: 0, valid: false, cumsum: [0; MAX_MASTERS], total: 0 }
+    }
+}
 
 /// Lottery-manager hardware with **dynamically assigned tickets**.
 ///
@@ -46,12 +74,15 @@ pub struct DynamicLotteryArbiter {
     tickets: Vec<u32>,
     policy: Option<Box<dyn TicketPolicy>>,
     update_period: u64,
-    source: Box<dyn RandomSource>,
+    source: RandomSourceKind,
     /// Compensation-ticket quantum in words (`None` = disabled).
     compensation_quantum: Option<u32>,
     /// Per-master compensation multiplier (×256 fixed point), active
     /// until the master's next win.
     boost: Vec<u32>,
+    /// Bumped whenever effective holdings change; see [`DecisionCache`].
+    epoch: u64,
+    cache: DecisionCache,
 }
 
 impl fmt::Debug for DynamicLotteryArbiter {
@@ -89,9 +120,11 @@ impl DynamicLotteryArbiter {
             tickets: tickets.tickets().to_vec(),
             policy: None,
             update_period: 1,
-            source: Box::new(LfsrSource::new(32, seed)),
+            source: RandomSourceKind::Lfsr(LfsrSource::new(32, seed)),
             compensation_quantum: None,
             boost: vec![256; n],
+            epoch: 0,
+            cache: DecisionCache::new(),
         }
     }
 
@@ -110,10 +143,18 @@ impl DynamicLotteryArbiter {
     pub fn enable_compensation(&mut self, quantum: u32) {
         assert!(quantum > 0, "compensation quantum must be nonzero");
         self.compensation_quantum = Some(quantum);
+        self.epoch += 1;
     }
 
-    /// Replaces the draw source (for ablations).
+    /// Replaces the draw source (for ablations). The boxed source is
+    /// dispatched virtually; use [`DynamicLotteryArbiter::set_source_kind`]
+    /// for a built-in source on the devirtualized path.
     pub fn set_source(&mut self, source: Box<dyn RandomSource>) {
+        self.source = RandomSourceKind::Custom(source);
+    }
+
+    /// Replaces the draw source with an enum-dispatched built-in.
+    pub fn set_source_kind(&mut self, source: RandomSourceKind) {
         self.source = source;
     }
 
@@ -127,6 +168,7 @@ impl DynamicLotteryArbiter {
         assert!(period > 0, "update period must be nonzero");
         self.policy = Some(policy);
         self.update_period = period;
+        self.epoch += 1;
     }
 
     /// The current ticket holdings.
@@ -149,7 +191,38 @@ impl DynamicLotteryArbiter {
         }
         let validated = TicketAssignment::new(tickets)?;
         self.tickets = validated.tickets().to_vec();
+        self.epoch += 1;
         Ok(())
+    }
+
+    /// Rebuilds the memoized partial sums for the current `(bits, epoch)`
+    /// key. Effective holdings are materialized into a stack scratch
+    /// array — the steady-state arbitration path performs no heap
+    /// allocation.
+    #[cold]
+    fn rebuild_cache(&mut self, requests: &RequestMap) {
+        let mut effective = [0u32; MAX_MASTERS];
+        let n = self.tickets.len().min(MAX_MASTERS);
+        if self.compensation_quantum.is_some() {
+            for (i, slot) in effective.iter_mut().enumerate().take(n) {
+                // Boost is always >= 1.0 (×256), so nonzero holdings stay
+                // nonzero and the product stays well inside u32.
+                *slot = ((u64::from(self.tickets[i]) * u64::from(self.boost[i])) / 256) as u32;
+            }
+        } else {
+            effective[..n].copy_from_slice(&self.tickets[..n]);
+        }
+        let mut acc = 0u64;
+        for (i, &t) in effective.iter().enumerate().take(n) {
+            if requests.is_pending(MasterId::new(i)) {
+                acc += u64::from(t);
+            }
+            self.cache.cumsum[i] = acc;
+        }
+        self.cache.total = acc;
+        self.cache.bits = requests.bits();
+        self.cache.epoch = self.epoch;
+        self.cache.valid = true;
     }
 }
 
@@ -161,39 +234,46 @@ impl Arbiter for DynamicLotteryArbiter {
                 for t in &mut self.tickets {
                     *t = (*t).min(MAX_TICKETS_PER_MASTER);
                 }
+                // The policy may have rewritten any holding.
+                self.epoch += 1;
             }
         }
         if requests.is_empty() {
             return None;
         }
-        // Apply compensation multipliers (×256 fixed point) if enabled.
-        let effective: Vec<u32> = if self.compensation_quantum.is_some() {
-            self.tickets
-                .iter()
-                .zip(&self.boost)
-                // Boost is always ≥ 1.0 (×256), so nonzero holdings stay
-                // nonzero and the product stays well inside u32.
-                .map(|(&t, &b)| ((u64::from(t) * u64::from(b)) / 256) as u32)
-                .collect()
-        } else {
-            self.tickets.clone()
-        };
-        let (_, total) = partial_sums(requests, &effective);
+        // The AND stage + adder tree only runs when the contender set or
+        // the (effective) holdings changed since the memoized pass.
+        if !(self.cache.valid
+            && self.cache.bits == requests.bits()
+            && self.cache.epoch == self.epoch)
+        {
+            self.rebuild_cache(requests);
+        }
+        let total = self.cache.total;
         if total == 0 {
             // Zero-ticket contenders only: default grant, as in the
             // static manager, to avoid livelock.
             return requests.iter_pending().next().map(Grant::whole_burst);
         }
         let draw = u64::from(self.source.draw(total as u32));
-        let winner =
-            draw_winner(requests, &effective, draw).expect("draw below total has a winner");
+        // Parallel comparators + priority selector: the first pending
+        // master whose partial sum exceeds the draw wins — identical to
+        // [`crate::draw_winner`] over the effective holdings.
+        let n = self.tickets.len().min(MAX_MASTERS);
+        let winner = (0..n)
+            .map(MasterId::new)
+            .find(|&id| requests.is_pending(id) && draw < self.cache.cumsum[id.index()])
+            .expect("draw below total has a winner");
         if let Some(quantum) = self.compensation_quantum {
             // The winner will transfer min(quantum, pending) words; if
             // that underuses the quantum, inflate its tickets by the
             // inverse fraction until it wins again.
             let served = requests.pending_words(winner).min(quantum).max(1);
-            self.boost[winner.index()] =
-                ((u64::from(quantum) * 256) / u64::from(served)).min(256 * 64) as u32;
+            let boost = ((u64::from(quantum) * 256) / u64::from(served)).min(256 * 64) as u32;
+            if self.boost[winner.index()] != boost {
+                self.boost[winner.index()] = boost;
+                self.epoch += 1;
+            }
         }
         Some(Grant::whole_burst(winner))
     }

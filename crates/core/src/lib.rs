@@ -59,6 +59,6 @@ pub use error::LotteryError;
 pub use lfsr::Lfsr;
 pub use lottery::{draw_winner, partial_sums};
 pub use policy::{ConstantPolicy, QueueProportionalPolicy, TicketPolicy};
-pub use rng::{LfsrSource, RandomSource, StdRngSource};
+pub use rng::{LfsrSource, RandomSource, RandomSourceKind, StdRngSource};
 pub use static_mgr::StaticLotteryArbiter;
 pub use tickets::TicketAssignment;

@@ -29,6 +29,92 @@ impl<T: RandomSource + ?Sized> RandomSource for Box<T> {
     }
 }
 
+/// Enum dispatch over the built-in draw sources.
+///
+/// The lottery managers draw once per contended arbitration — a hot-path
+/// call. Holding the source as this enum lets the compiler resolve the
+/// built-in cases statically (and inline the LFSR step) instead of going
+/// through a `Box<dyn RandomSource>` vtable; [`RandomSourceKind::Custom`]
+/// keeps arbitrary user sources pluggable at the old cost.
+pub enum RandomSourceKind {
+    /// Hardware-faithful maximal-length LFSR draws.
+    Lfsr(LfsrSource),
+    /// Ideal uniform software draws (ablations).
+    StdRng(StdRngSource),
+    /// Any other [`RandomSource`], dispatched virtually.
+    Custom(Box<dyn RandomSource>),
+}
+
+impl fmt::Debug for RandomSourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RandomSourceKind::Lfsr(s) => f.debug_tuple("Lfsr").field(s).finish(),
+            RandomSourceKind::StdRng(s) => f.debug_tuple("StdRng").field(s).finish(),
+            RandomSourceKind::Custom(s) => f.debug_tuple("Custom").field(&s.name()).finish(),
+        }
+    }
+}
+
+impl RandomSource for RandomSourceKind {
+    #[inline]
+    fn draw(&mut self, bound: u32) -> u32 {
+        match self {
+            RandomSourceKind::Lfsr(s) => s.draw(bound),
+            RandomSourceKind::StdRng(s) => s.draw(bound),
+            RandomSourceKind::Custom(s) => s.draw(bound),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            RandomSourceKind::Lfsr(s) => s.name(),
+            RandomSourceKind::StdRng(s) => s.name(),
+            RandomSourceKind::Custom(s) => s.name(),
+        }
+    }
+}
+
+impl From<LfsrSource> for RandomSourceKind {
+    fn from(source: LfsrSource) -> Self {
+        RandomSourceKind::Lfsr(source)
+    }
+}
+
+impl From<StdRngSource> for RandomSourceKind {
+    fn from(source: StdRngSource) -> Self {
+        RandomSourceKind::StdRng(source)
+    }
+}
+
+impl From<Box<dyn RandomSource>> for RandomSourceKind {
+    fn from(source: Box<dyn RandomSource>) -> Self {
+        RandomSourceKind::Custom(source)
+    }
+}
+
+/// Reduces `x` into `[0, d)` with a multiply-shift reciprocal, producing
+/// exactly `x % d` for every 32-bit `x` (Lemire's exact-division trick).
+///
+/// `m` must be the cached reciprocal `u64::MAX / d + 1` for `d >= 2`.
+/// Correctness: `m = ceil(2^64 / d)`, so `m·x = x·2^64/d + e·x` with
+/// `0 <= e < 1`; the low 64 bits of `m·x` are `(x mod d)·2^64/d` plus an
+/// error term below `2^64/d`, and multiplying by `d` and taking the high
+/// word recovers `x mod d` exactly because both operands fit in 32 bits.
+/// The exhaustive test below checks every bound up to `2^16` against the
+/// hardware modulo.
+#[inline]
+pub(crate) fn mul_shift_mod(x: u32, d: u32, m: u64) -> u32 {
+    let low = m.wrapping_mul(u64::from(x));
+    ((u128::from(low) * u128::from(d)) >> 64) as u32
+}
+
+/// The reciprocal `mul_shift_mod` expects for divisor `d >= 2`.
+#[inline]
+pub(crate) fn mod_reciprocal(d: u32) -> u64 {
+    debug_assert!(d >= 2);
+    u64::MAX / u64::from(d) + 1
+}
+
 /// Hardware-faithful draw source: a maximal-length [`Lfsr`].
 ///
 /// For power-of-two bounds it collects `log2(bound)` output bits — the
@@ -43,10 +129,26 @@ impl<T: RandomSource + ?Sized> RandomSource for Box<T> {
 /// `1/bound` by less than `bound / 2^b ≤ bound / 2^width`. Use a
 /// power-of-two bound (via ticket scaling) when exact proportionality
 /// matters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct LfsrSource {
     lfsr: Lfsr,
+    /// Cached `(bound, reciprocal)` for the modulo path: arbitration
+    /// draws reuse the same bound for long stretches (the ticket total
+    /// only changes when the contender set does), so the division in
+    /// [`mod_reciprocal`] is paid once per distinct bound, and each draw
+    /// reduces with two multiplies instead of a hardware divide.
+    reciprocal: (u32, u64),
 }
+
+/// Equality is the register state alone; the reciprocal cache is a pure
+/// function of the last bound and carries no entropy.
+impl PartialEq for LfsrSource {
+    fn eq(&self, other: &Self) -> bool {
+        self.lfsr == other.lfsr
+    }
+}
+
+impl Eq for LfsrSource {}
 
 impl LfsrSource {
     /// Creates a source backed by a `width`-bit LFSR.
@@ -55,7 +157,7 @@ impl LfsrSource {
     ///
     /// Panics if `width` is outside `2..=32`.
     pub fn new(width: u32, seed: u32) -> Self {
-        LfsrSource { lfsr: Lfsr::new(width, seed) }
+        LfsrSource { lfsr: Lfsr::new(width, seed), reciprocal: (0, 0) }
     }
 
     /// Access to the underlying register (e.g. to inspect its state).
@@ -84,7 +186,11 @@ impl RandomSource for LfsrSource {
             // the sample just enough to cover it (bias < bound / 2^bits).
             let need = 32 - (bound - 1).leading_zeros();
             let bits = self.lfsr.width().max(need);
-            self.lfsr.next_bits(bits) % bound
+            let sample = self.lfsr.next_bits(bits);
+            if self.reciprocal.0 != bound {
+                self.reciprocal = (bound, mod_reciprocal(bound));
+            }
+            mul_shift_mod(sample, bound, self.reciprocal.1)
         }
     }
 
@@ -219,5 +325,93 @@ mod tests {
     fn names_identify_sources() {
         assert_eq!(LfsrSource::new(8, 1).name(), "lfsr");
         assert_eq!(StdRngSource::new(1).name(), "stdrng");
+    }
+
+    #[test]
+    fn kind_delegates_to_wrapped_sources() {
+        let mut kinds = [
+            RandomSourceKind::from(LfsrSource::new(16, 0xACE1)),
+            RandomSourceKind::from(StdRngSource::new(5)),
+            RandomSourceKind::from(Box::new(LfsrSource::new(16, 0xACE1)) as Box<dyn RandomSource>),
+        ];
+        assert_eq!(kinds[0].name(), "lfsr");
+        assert_eq!(kinds[1].name(), "stdrng");
+        assert_eq!(kinds[2].name(), "lfsr");
+        for kind in &mut kinds {
+            check_bounds(kind);
+        }
+        // Enum-wrapped and boxed LFSRs draw the identical stream.
+        let mut direct = LfsrSource::new(20, 0xBEEF);
+        let mut wrapped = RandomSourceKind::from(LfsrSource::new(20, 0xBEEF));
+        let mut boxed =
+            RandomSourceKind::from(Box::new(LfsrSource::new(20, 0xBEEF)) as Box<dyn RandomSource>);
+        for bound in [2u32, 3, 7, 10, 100, 1000, 1 << 12] {
+            for _ in 0..50 {
+                let want = direct.draw(bound);
+                assert_eq!(wrapped.draw(bound), want);
+                assert_eq!(boxed.draw(bound), want);
+            }
+        }
+    }
+
+    /// The multiply-shift reduction must equal the hardware modulo
+    /// bit-for-bit. Every bound up to 2^16 is checked against a
+    /// structured sample set: an exhaustive low region, values straddling
+    /// every small multiple of the bound (where floor/ceiling errors
+    /// would surface), and the extremes of every LFSR register width
+    /// (2..=32) — the exact values `next_bits` can hand the reducer.
+    /// Small bounds additionally get a fully exhaustive 16-bit sweep.
+    #[test]
+    fn multiply_shift_reduction_matches_modulo_exactly() {
+        fn check(x: u32, bound: u32, m: u64) {
+            assert_eq!(mul_shift_mod(x, bound, m), x % bound, "x={x} bound={bound}");
+        }
+        for bound in 2u32..=(1 << 16) {
+            let m = mod_reciprocal(bound);
+            for x in 0..48u32 {
+                check(x, bound, m);
+            }
+            // Straddle k·bound for small k and for the largest k that
+            // fits in 32 bits: the carry boundaries of the reduction.
+            let top_k = u32::MAX / bound;
+            for k in [1u32, 2, 3, top_k.saturating_sub(1), top_k] {
+                let base = bound.wrapping_mul(k);
+                for delta in 0..3u32 {
+                    check(base.wrapping_sub(delta), bound, m);
+                    check(base.wrapping_add(delta), bound, m);
+                }
+            }
+            // Register-width extremes: an LFSR never emits 0 from a full
+            // register, but `next_bits` widens past the register for
+            // large bounds, so cover all-ones and the half point of
+            // every width the source can be built with.
+            for width in 2u32..=32 {
+                let ones = (((1u64 << width) - 1) & 0xFFFF_FFFF) as u32;
+                check(ones, bound, m);
+                check(ones >> 1, bound, m);
+                check(1u32 << (width - 1), bound, m);
+            }
+        }
+        // Fully exhaustive slab: every 16-bit sample for every bound the
+        // narrow registers (width <= 7) would pair with small totals.
+        for bound in 2u32..=128 {
+            let m = mod_reciprocal(bound);
+            for x in 0..=u16::MAX {
+                check(u32::from(x), bound, m);
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocal_cache_does_not_perturb_the_draw_stream() {
+        // Alternate between two non-power-of-two bounds so the cache
+        // misses every draw; results must match a cache-cold source.
+        let mut source = LfsrSource::new(16, 0x1234);
+        let mut shadow = Lfsr::new(16, 0x1234);
+        for i in 0..500u32 {
+            let bound = if i % 2 == 0 { 10 } else { 23 };
+            let expected = shadow.next_bits(16) % bound;
+            assert_eq!(source.draw(bound), expected);
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The static lottery manager (paper §4.3, Figure 9).
 
 use crate::error::LotteryError;
-use crate::rng::{LfsrSource, RandomSource};
+use crate::rng::{LfsrSource, RandomSource, RandomSourceKind};
 use crate::tickets::TicketAssignment;
 use socsim::{Arbiter, Cycle, Grant, MasterId, RequestMap};
 use std::fmt;
@@ -51,7 +51,9 @@ struct LutEntry {
 pub struct StaticLotteryArbiter {
     tickets: TicketAssignment,
     lut: Vec<LutEntry>,
-    source: Box<dyn RandomSource>,
+    /// Enum-dispatched so the hot LFSR draw is a direct (inlinable)
+    /// call; `Custom` sources from ablations still dispatch virtually.
+    source: RandomSourceKind,
 }
 
 impl fmt::Debug for StaticLotteryArbiter {
@@ -83,11 +85,13 @@ impl StaticLotteryArbiter {
     ///
     /// See [`StaticLotteryArbiter::new`].
     pub fn with_seed(tickets: TicketAssignment, seed: u32) -> Result<Self, LotteryError> {
-        Self::with_source(tickets, Box::new(LfsrSource::new(32, seed)))
+        Self::with_source_kind(tickets, RandomSourceKind::Lfsr(LfsrSource::new(32, seed)))
     }
 
     /// Creates a static lottery manager with an explicit draw source
     /// (used by ablations comparing LFSR draws with ideal uniform draws).
+    /// The boxed source is dispatched virtually; see
+    /// [`StaticLotteryArbiter::with_source_kind`] for the direct path.
     ///
     /// # Errors
     ///
@@ -95,6 +99,19 @@ impl StaticLotteryArbiter {
     pub fn with_source(
         tickets: TicketAssignment,
         source: Box<dyn RandomSource>,
+    ) -> Result<Self, LotteryError> {
+        Self::with_source_kind(tickets, RandomSourceKind::Custom(source))
+    }
+
+    /// Creates a static lottery manager with an enum-dispatched built-in
+    /// draw source.
+    ///
+    /// # Errors
+    ///
+    /// See [`StaticLotteryArbiter::new`].
+    pub fn with_source_kind(
+        tickets: TicketAssignment,
+        source: RandomSourceKind,
     ) -> Result<Self, LotteryError> {
         let n = tickets.masters();
         if n > MAX_LUT_MASTERS {

@@ -111,39 +111,55 @@ impl TicketAssignment {
         if total.is_power_of_two() {
             return self.clone();
         }
+        // The ticket-holder list is fixed for this assignment: build it
+        // once and reuse the buffer across doubling retries instead of
+        // reallocating (and re-filtering) inside every attempt. The
+        // remainder sort itself depends on `target`, so it runs lazily
+        // inside `try_scale_to` — only when a shortfall actually needs
+        // distributing.
+        let mut order: Vec<usize> =
+            (0..self.tickets.len()).filter(|&i| self.tickets[i] > 0).collect();
         let mut target = (total << extra_bits).next_power_of_two();
         loop {
-            if let Some(scaled) = self.try_scale_to(target) {
+            if let Some(scaled) = self.try_scale_to(target, &mut order) {
                 return scaled;
             }
             // Tiny ticket holders forced every entry to 1 and overflowed
             // the target; doubling makes room while staying a power of 2.
-            target *= 2;
+            target = target.checked_mul(2).expect("scaling target overflowed u64");
         }
     }
 
-    fn try_scale_to(&self, target: u64) -> Option<TicketAssignment> {
-        let total = u64::from(self.total());
-        // Floor of the exact share, with nonzero holders kept >= 1.
+    fn try_scale_to(&self, target: u64, order: &mut [usize]) -> Option<TicketAssignment> {
+        let total = u128::from(self.total());
+        let wide = u128::from(target);
+        // Floor of the exact share, with nonzero holders kept >= 1. The
+        // product is taken in u128: with wide resolutions (large
+        // `extra_bits`) `tickets[i] * target` can overflow u64.
         let mut scaled: Vec<u64> = self
             .tickets
             .iter()
-            .map(|&t| if t == 0 { 0 } else { (u64::from(t) * target / total).max(1) })
+            .map(|&t| if t == 0 { 0 } else { ((u128::from(t) * wide / total) as u64).max(1) })
             .collect();
         let assigned: u64 = scaled.iter().sum();
         if assigned > target {
             return None;
         }
-        // Distribute the shortfall by largest fractional remainder.
-        let mut order: Vec<usize> =
-            (0..self.tickets.len()).filter(|&i| self.tickets[i] > 0).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(u64::from(self.tickets[i]) * target % total));
         let mut short = target - assigned;
-        let mut next = 0usize;
-        while short > 0 {
-            scaled[order[next % order.len()]] += 1;
-            next += 1;
-            short -= 1;
+        if short > 0 {
+            // Distribute the shortfall by largest fractional remainder,
+            // ties broken by master index — the index tiebreak makes the
+            // result independent of the buffer's incoming permutation
+            // (it may carry a previous attempt's order on retries).
+            order.sort_by_key(|&i| {
+                (std::cmp::Reverse(u128::from(self.tickets[i]) * wide % total), i)
+            });
+            let mut next = 0usize;
+            while short > 0 {
+                scaled[order[next % order.len()]] += 1;
+                next += 1;
+                short -= 1;
+            }
         }
         let tickets: Vec<u32> = scaled.into_iter().map(|t| t as u32).collect();
         // Construct directly: scaled holdings live in the lottery

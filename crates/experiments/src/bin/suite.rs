@@ -22,9 +22,11 @@
 //!   and once under the fast-forward kernel; assert all result
 //!   documents are byte-identical, profile the cycle kernel's phases,
 //!   time the fast kernel against the cycle kernel on a low-utilization
-//!   and a saturated workload, and write the wall-clock report to FILE
-//!   (the `BENCH_PR4.json` artifact: parallel speedup, metrics
-//!   overhead, kernel speedups, and per-phase breakdown).
+//!   and a saturated workload, run the saturated hot-path lineup
+//!   (steady-state cycles/sec per protocol), and write the wall-clock
+//!   report to FILE (the `BENCH_PR5.json` artifact: parallel speedup,
+//!   metrics overhead, kernel speedups, per-phase breakdown, and
+//!   per-protocol hot-path throughput).
 //!
 //! Timing telemetry always goes to **stderr** so stdout stays a clean,
 //! diffable result stream.
@@ -163,6 +165,20 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         lowutil.speedup, saturated.speedup
     );
 
+    // The saturated hot-path lineup: steady-state cycles/sec per
+    // protocol with always-requesting sources (no RNG, no per-cycle
+    // allocation), the number the enum-dispatch kernel is tuned for.
+    let hot = experiments::hotpath::hot_lineup(&probe);
+    for p in &hot {
+        eprintln!(
+            "hot {}: {:.2}M cycles/s ({} cycles in {:.4}s)",
+            p.protocol,
+            p.cycles_per_sec / 1e6,
+            p.cycles,
+            p.wall_secs
+        );
+    }
+
     let report = experiments::json::Json::obj()
         .field("quick", opts.quick)
         .field("host_parallelism", socsim::pool::available_jobs())
@@ -181,6 +197,7 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         .field("kernel_byte_identical", true)
         .field("kernel_lowutil", lowutil.to_json())
         .field("kernel_saturated", saturated.to_json())
+        .field("hot", experiments::hotpath::hot_json(&hot))
         .field("sim_phases", sim_phases_json(&profiler))
         .field("serial", serial.telemetry.to_json())
         .field("parallel", parallel.telemetry.to_json());

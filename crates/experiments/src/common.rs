@@ -1,7 +1,8 @@
 //! Shared experiment plumbing: system assembly, runs, permutations.
 
+use arbiters::ArbiterKind;
 use socsim::{Arbiter, BusConfig, BusStats, MasterId, PhaseProfiler, SystemBuilder, WindowSample};
-use traffic_gen::GeneratorSpec;
+use traffic_gen::{GeneratorSpec, SourceKind};
 
 /// Simulation window settings shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,9 +82,9 @@ impl Default for RunSettings {
 ///
 /// Panics if the system cannot be built (the experiment definitions are
 /// all statically valid).
-pub fn run_system(
+pub fn run_system<A: Arbiter>(
     specs: &[GeneratorSpec],
-    arbiter: Box<dyn Arbiter>,
+    arbiter: A,
     settings: &RunSettings,
 ) -> BusStats {
     let mut system = build_system(specs, arbiter, settings);
@@ -102,9 +103,9 @@ pub fn run_system(
 /// # Panics
 ///
 /// Panics if the system cannot be built or `window` is zero.
-pub fn run_system_timeseries(
+pub fn run_system_timeseries<A: Arbiter>(
     specs: &[GeneratorSpec],
-    arbiter: Box<dyn Arbiter>,
+    arbiter: A,
     settings: &RunSettings,
     window: u64,
 ) -> (BusStats, Vec<WindowSample>) {
@@ -121,9 +122,9 @@ pub fn run_system_timeseries(
 /// returns the per-phase wall-clock breakdown of the measured interval
 /// alongside the statistics. Used by `suite --bench` to report where
 /// simulation time goes.
-pub fn run_system_profiled(
+pub fn run_system_profiled<A: Arbiter>(
     specs: &[GeneratorSpec],
-    arbiter: Box<dyn Arbiter>,
+    arbiter: A,
     settings: &RunSettings,
 ) -> (BusStats, PhaseProfiler) {
     let mut builder = system_builder(specs, settings).profiling(true);
@@ -136,22 +137,25 @@ pub fn run_system_profiled(
     (system.stats().clone(), system.profiler().clone())
 }
 
-fn system_builder(specs: &[GeneratorSpec], settings: &RunSettings) -> SystemBuilder {
+fn system_builder<A: Arbiter>(
+    specs: &[GeneratorSpec],
+    settings: &RunSettings,
+) -> SystemBuilder<A, SourceKind> {
     let mut builder = SystemBuilder::new(settings.bus).fast_forward(settings.fast_forward);
     for (i, spec) in specs.iter().enumerate() {
         builder = builder.master(
             format!("C{}", i + 1),
-            spec.build_source(settings.seed.wrapping_add(i as u64 * 0x9E37_79B9)),
+            spec.build_kind(settings.seed.wrapping_add(i as u64 * 0x9E37_79B9)),
         );
     }
     builder
 }
 
-fn build_system(
+fn build_system<A: Arbiter>(
     specs: &[GeneratorSpec],
-    arbiter: Box<dyn Arbiter>,
+    arbiter: A,
     settings: &RunSettings,
-) -> socsim::System {
+) -> socsim::System<A, SourceKind> {
     let mut builder = system_builder(specs, settings);
     if let Some(window) = settings.metrics_window {
         builder = builder.metrics_window(window);
@@ -165,10 +169,14 @@ fn build_system(
 /// the load sweeps and the fairness table, and callable from worker
 /// threads because the arbiter is constructed inside the job.
 ///
+/// Returns the enum-dispatched [`ArbiterKind`] so systems assembled
+/// from the lineup arbitrate through a direct call rather than a
+/// `Box<dyn Arbiter>` vtable hop.
+///
 /// # Panics
 ///
 /// Panics if `index` is not in `0..5` (the lineup is fixed).
-pub fn protocol_arbiter(index: usize, seed: u64) -> Box<dyn Arbiter> {
+pub fn protocol_arbiter(index: usize, seed: u64) -> ArbiterKind {
     use arbiters::{
         DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter,
         WheelLayout,
@@ -176,17 +184,16 @@ pub fn protocol_arbiter(index: usize, seed: u64) -> Box<dyn Arbiter> {
     use lotterybus::{StaticLotteryArbiter, TicketAssignment};
     let weights = [1u32, 2, 3, 4];
     match index {
-        0 => Box::new(StaticPriorityArbiter::new(weights.to_vec()).expect("valid")),
-        1 => Box::new(RoundRobinArbiter::new(4).expect("valid")),
-        2 => Box::new(DeficitRoundRobinArbiter::new(&weights, 8).expect("valid")),
-        3 => Box::new(TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).expect("valid")),
-        4 => Box::new(
-            StaticLotteryArbiter::with_seed(
-                TicketAssignment::new(weights.to_vec()).expect("valid"),
-                seed as u32 | 1,
-            )
-            .expect("valid"),
-        ),
+        0 => StaticPriorityArbiter::new(weights.to_vec()).expect("valid").into(),
+        1 => RoundRobinArbiter::new(4).expect("valid").into(),
+        2 => DeficitRoundRobinArbiter::new(&weights, 8).expect("valid").into(),
+        3 => TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).expect("valid").into(),
+        4 => StaticLotteryArbiter::with_seed(
+            TicketAssignment::new(weights.to_vec()).expect("valid"),
+            seed as u32 | 1,
+        )
+        .expect("valid")
+        .into(),
         _ => panic!("protocol index {index} outside the five-protocol lineup"),
     }
 }

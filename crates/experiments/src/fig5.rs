@@ -14,7 +14,7 @@ use crate::json::{Json, ToJson};
 use arbiters::{TdmaArbiter, WheelLayout};
 use serde::{Deserialize, Serialize};
 use socsim::{BusConfig, MasterId, SystemBuilder};
-use traffic_gen::{GeneratorSpec, ReplaySource, SizeDist};
+use traffic_gen::{GeneratorSpec, ReplaySource, SizeDist, SourceKind};
 
 /// Words per message and slots per reservation block (the paper's
 /// "6 contiguous slots defining the size of a burst").
@@ -51,13 +51,15 @@ fn replay_run(slots_early: u64, rotations: usize, fast_forward: bool) -> Fig5Tra
     // can carry, so their request lines are always asserted.
     for m in 0..2 {
         let spec = GeneratorSpec::periodic(wheel / 2, 0, SizeDist::fixed(BLOCK));
-        builder = builder.master(format!("M{}", m + 1), spec.build_source(100 + m as u64));
+        builder = builder.master(format!("M{}", m + 1), spec.build_kind(100 + m as u64));
     }
-    builder = builder
-        .master("M3", Box::new(ReplaySource::periodic(0, m3_phase, wheel, BLOCK, rotations)));
+    builder = builder.master(
+        "M3",
+        SourceKind::from(ReplaySource::periodic(0, m3_phase, wheel, BLOCK, rotations)),
+    );
     let arbiter = TdmaArbiter::new(&[BLOCK; 3], WheelLayout::Contiguous).expect("valid wheel");
     let mut system = builder
-        .arbiter(Box::new(arbiter))
+        .arbiter(arbiter)
         .trace_capacity(8 * wheel as usize * rotations)
         .build()
         .expect("valid system");

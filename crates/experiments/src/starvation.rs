@@ -65,11 +65,11 @@ fn cdf_curve(settings: &RunSettings) -> Vec<CdfPoint> {
     let assignment = TicketAssignment::new(vec![tickets, total - tickets]).expect("valid tickets");
     let mut system = SystemBuilder::new(BusConfig::default())
         .fast_forward(settings.fast_forward)
-        .master("observed", light.build_source(settings.seed))
-        .master("competitor", heavy.build_source(settings.seed + 1))
-        .arbiter(Box::new(
+        .master("observed", light.build_kind(settings.seed))
+        .master("competitor", heavy.build_kind(settings.seed + 1))
+        .arbiter(
             StaticLotteryArbiter::with_seed(assignment, settings.seed as u32 | 1).expect("valid"),
-        ))
+        )
         .build()
         .expect("valid system");
     system.warm_up(settings.warmup);

@@ -108,6 +108,31 @@ impl<A: Arbiter + ?Sized> Arbiter for Box<A> {
     }
 }
 
+/// Conversion into the arbiter slot of a [`crate::SystemBuilder`].
+///
+/// [`crate::SystemBuilder::arbiter`] accepts `impl IntoArbiter<A>`
+/// rather than `A` directly so that passing `Box<Concrete>` to a
+/// builder whose arbiter slot is the default `Box<dyn Arbiter>` keeps
+/// compiling: the unsizing step happens through the second impl below
+/// instead of a coercion the inference engine would otherwise pin to
+/// `Box<Concrete>` before seeing the builder's annotated type.
+pub trait IntoArbiter<A> {
+    /// Converts `self` into the builder's arbiter type.
+    fn into_arbiter(self) -> A;
+}
+
+impl<A: Arbiter> IntoArbiter<A> for A {
+    fn into_arbiter(self) -> A {
+        self
+    }
+}
+
+impl<T: Arbiter + 'static> IntoArbiter<Box<dyn Arbiter>> for Box<T> {
+    fn into_arbiter(self) -> Box<dyn Arbiter> {
+        self
+    }
+}
+
 /// The simplest possible arbiter: always grants the lowest-indexed pending
 /// master a whole burst.
 ///

@@ -39,17 +39,26 @@ pub struct Bus {
     config: BusConfig,
     state: State,
     pub(crate) faults: Option<FaultLayer>,
+    /// Reusable per-arbitration request map: rebuilt in place each idle
+    /// cycle instead of re-zeroing a fresh map (see
+    /// [`RequestMap::reset_for`]).
+    request_scratch: RequestMap,
 }
 
 impl Bus {
     /// Creates an idle bus with the given configuration.
     pub fn new(config: BusConfig) -> Self {
-        Bus { config, state: State::Idle, faults: None }
+        Bus { config, state: State::Idle, faults: None, request_scratch: RequestMap::new(1) }
     }
 
     /// Creates an idle bus carrying fault-injection machinery.
     pub(crate) fn with_faults(config: BusConfig, faults: FaultLayer) -> Self {
-        Bus { config, state: State::Idle, faults: Some(faults) }
+        Bus {
+            config,
+            state: State::Idle,
+            faults: Some(faults),
+            request_scratch: RequestMap::new(1),
+        }
     }
 
     /// The bus configuration.
@@ -58,6 +67,7 @@ impl Bus {
     }
 
     /// Whether a burst (or its setup stall) is currently in flight.
+    #[inline]
     pub fn is_busy(&self) -> bool {
         self.state != State::Idle
     }
@@ -69,6 +79,7 @@ impl Bus {
 
     /// Master currently owning a tenure (transferring or paying its
     /// setup stall), if any.
+    #[inline]
     fn tenure_owner(&self) -> Option<MasterId> {
         match self.state {
             State::Stalled { master, .. } | State::Bursting { master, .. } => Some(master),
@@ -128,9 +139,9 @@ impl Bus {
     /// completed this cycle, if any — at most one, since the bus moves
     /// one word per cycle.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn step(
+    pub(crate) fn step<A: Arbiter + ?Sized>(
         &mut self,
-        arbiter: &mut dyn Arbiter,
+        arbiter: &mut A,
         masters: &mut [MasterPort],
         slaves: &[Slave],
         now: Cycle,
@@ -163,7 +174,7 @@ impl Bus {
             }
             State::Idle => {
                 let fault_aware = self.faults.is_some();
-                let mut map = RequestMap::new(masters.len());
+                self.request_scratch.reset_for(masters.len());
                 for port in masters.iter() {
                     // Without a fault layer no stall or backoff is ever
                     // set, so the plain request line keeps the legacy
@@ -171,23 +182,30 @@ impl Bus {
                     let requesting =
                         if fault_aware { port.is_requesting_at(now) } else { port.is_requesting() };
                     if requesting && (blocked >> port.id().index()) & 1 == 0 {
-                        map.set_pending(port.id(), port.pending_words());
+                        self.request_scratch.set_pending(port.id(), port.pending_words());
                     }
                 }
-                if map.pending_count() >= 2 {
+                if self.request_scratch.pending_count() >= 2 {
                     stats.record_contended_arbitration();
                 }
-                match arbiter.arbitrate(&map, now) {
+                match arbiter.arbitrate(&self.request_scratch, now) {
                     Some(grant) => {
+                        let pending_bits = self.request_scratch.bits();
                         assert!(
-                            map.is_pending(grant.master),
+                            (pending_bits >> grant.master.index()) & 1 == 1,
                             "arbiter `{}` granted idle master {}",
                             arbiter.name(),
                             grant.master
                         );
                         assert!(grant.max_words > 0, "arbiter granted zero words");
-                        let winner =
-                            self.deliver_grant(grant.master, &map, masters, now, stats, trace)?;
+                        let winner = self.deliver_grant(
+                            grant.master,
+                            pending_bits,
+                            masters,
+                            now,
+                            stats,
+                            trace,
+                        )?;
                         let port = &mut masters[winner.index()];
                         let words =
                             grant.max_words.min(self.config.max_burst).min(port.pending_words());
@@ -237,7 +255,7 @@ impl Bus {
     fn deliver_grant(
         &mut self,
         chosen: MasterId,
-        map: &RequestMap,
+        pending_bits: u32,
         masters: &[MasterPort],
         now: Cycle,
         stats: &mut BusStats,
@@ -253,7 +271,7 @@ impl Bus {
         if !drop_grant {
             if let Some(raw) = plan.grant_corrupted_at(now, chosen) {
                 let to = MasterId::new((raw % masters.len() as u64) as usize);
-                if to != chosen && map.is_pending(to) {
+                if to != chosen && (pending_bits >> to.index()) & 1 == 1 {
                     layer.log.record(FaultEvent {
                         cycle: now,
                         kind: FaultKind::GrantCorrupted { from: chosen, to },
@@ -333,6 +351,7 @@ impl Bus {
         true
     }
 
+    #[inline]
     fn transfer_word(
         &self,
         master: MasterId,

@@ -33,22 +33,26 @@ impl Cycle {
     pub const NEVER: Cycle = Cycle(u64::MAX);
 
     /// Creates a cycle time point from a raw cycle index.
+    #[inline]
     pub fn new(index: u64) -> Self {
         Cycle(index)
     }
 
     /// Returns the raw cycle index.
+    #[inline]
     pub fn index(self) -> u64 {
         self.0
     }
 
     /// Returns the cycle `n` cycles after `self`, saturating at `u64::MAX`.
+    #[inline]
     pub fn saturating_add(self, n: u64) -> Self {
         Cycle(self.0.saturating_add(n))
     }
 
     /// Number of cycles from `earlier` to `self`, or zero if `earlier` is
     /// in the future.
+    #[inline]
     pub fn saturating_since(self, earlier: Cycle) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
@@ -57,12 +61,14 @@ impl Cycle {
 impl Add<u64> for Cycle {
     type Output = Cycle;
 
+    #[inline]
     fn add(self, rhs: u64) -> Cycle {
         Cycle(self.0 + rhs)
     }
 }
 
 impl AddAssign<u64> for Cycle {
+    #[inline]
     fn add_assign(&mut self, rhs: u64) {
         self.0 += rhs;
     }
@@ -76,6 +82,7 @@ impl Sub<Cycle> for Cycle {
     /// # Panics
     ///
     /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
     fn sub(self, rhs: Cycle) -> u64 {
         debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
         self.0 - rhs.0

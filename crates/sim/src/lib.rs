@@ -41,9 +41,9 @@
 //!
 //! # fn main() -> Result<(), socsim::BuildSystemError> {
 //! let mut system = SystemBuilder::new(BusConfig::default())
-//!     .master("cpu", Box::new(Every10))
-//!     .master("dsp", Box::new(Every10))
-//!     .arbiter(Box::new(socsim::arbiter::FixedOrderArbiter::new(2)))
+//!     .master("cpu", Every10)
+//!     .master("dsp", Every10)
+//!     .arbiter(socsim::arbiter::FixedOrderArbiter::new(2))
 //!     .build()?;
 //! let stats = system.run(1_000);
 //! assert!(stats.bus_utilization() > 0.5);
@@ -72,7 +72,7 @@ pub mod system;
 pub mod trace;
 pub mod vcd;
 
-pub use arbiter::{Arbiter, Grant};
+pub use arbiter::{Arbiter, Grant, IntoArbiter};
 pub use bus::Bus;
 pub use config::BusConfig;
 pub use cycle::Cycle;
@@ -86,6 +86,6 @@ pub use profile::{PhaseProfiler, SimPhase};
 pub use request::{RequestMap, Transaction, MAX_MASTERS};
 pub use slave::Slave;
 pub use stats::{BusStats, MasterStats};
-pub use system::{System, SystemBuilder, TrafficSource};
+pub use system::{IntoSource, System, SystemBuilder, TrafficSource};
 pub use trace::{BusTrace, JsonlSink, RingSink, TraceEvent, TraceSink};
 pub use vcd::VcdSink;

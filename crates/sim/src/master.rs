@@ -119,6 +119,7 @@ impl MasterPort {
     }
 
     /// This port's master id.
+    #[inline]
     pub fn id(&self) -> MasterId {
         self.id
     }
@@ -129,6 +130,7 @@ impl MasterPort {
     }
 
     /// Appends a newly issued transaction to the queue.
+    #[inline]
     pub fn enqueue(&mut self, txn: Transaction) {
         self.issued += 1;
         self.issued_words += u64::from(txn.words());
@@ -142,6 +144,7 @@ impl MasterPort {
     }
 
     /// Whether the request line is asserted (any transaction outstanding).
+    #[inline]
     pub fn is_requesting(&self) -> bool {
         !self.queue.is_empty()
     }
@@ -151,10 +154,12 @@ impl MasterPort {
     /// deasserted until both have elapsed. Used only on fault-enabled
     /// buses; without faults neither is ever set, so this matches
     /// [`MasterPort::is_requesting`] exactly.
+    #[inline]
     pub fn is_requesting_at(&self, now: Cycle) -> bool {
         !self.queue.is_empty() && self.eligible_at(now)
     }
 
+    #[inline]
     fn eligible_at(&self, now: Cycle) -> bool {
         self.stall_until.is_none_or(|until| now >= until)
             && self.backoff_until.is_none_or(|until| now >= until)
@@ -216,11 +221,13 @@ impl MasterPort {
     }
 
     /// Words remaining in the head transaction (zero when idle).
+    #[inline]
     pub fn pending_words(&self) -> u32 {
         self.queue.front().map_or(0, |f| f.remaining)
     }
 
     /// Slave addressed by the head transaction, if any.
+    #[inline]
     pub fn head_slave(&self) -> Option<crate::ids::SlaveId> {
         self.queue.front().map(|f| f.txn.slave())
     }
@@ -231,6 +238,7 @@ impl MasterPort {
     }
 
     /// Number of outstanding transactions.
+    #[inline]
     pub fn backlog_transactions(&self) -> usize {
         self.queue.len()
     }
@@ -260,6 +268,7 @@ impl MasterPort {
     /// Only valid for buses without master-stall injection; with a
     /// nonzero stall rate the fault layer draws per cycle and
     /// [`MasterPort::next_event_under_stall_faults`] applies instead.
+    #[inline]
     pub fn next_event(&self, now: Cycle) -> Cycle {
         if self.queue.is_empty() {
             return Cycle::NEVER;
@@ -294,6 +303,7 @@ impl MasterPort {
 
     /// Records that the head transaction was granted the bus at `now`
     /// (only the first grant per transaction is remembered).
+    #[inline]
     pub fn note_grant(&mut self, now: Cycle) {
         if let Some(head) = self.queue.front_mut() {
             head.first_grant.get_or_insert(now);
@@ -308,6 +318,7 @@ impl MasterPort {
     ///
     /// Panics if the port has no outstanding transaction or `words`
     /// exceeds the head transaction's remaining words.
+    #[inline]
     pub fn transfer(&mut self, words: u32, last_cycle: Cycle) -> Option<Completion> {
         let head = self.queue.front_mut().expect("transfer on idle master");
         assert!(words <= head.remaining, "transfer exceeds remaining words");

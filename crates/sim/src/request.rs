@@ -37,6 +37,7 @@ impl Transaction {
     ///
     /// Panics if `words` is zero — the bus cannot transfer empty
     /// transactions.
+    #[inline]
     pub fn new(slave: SlaveId, words: u32, issued_at: Cycle) -> Self {
         assert!(words > 0, "a transaction must transfer at least one word");
         Transaction { slave, words, issued_at }
@@ -78,6 +79,7 @@ impl RequestMap {
     /// # Panics
     ///
     /// Panics if `masters` exceeds [`MAX_MASTERS`] or is zero.
+    #[inline]
     pub fn new(masters: usize) -> Self {
         assert!(masters > 0, "a bus needs at least one master");
         assert!(masters <= MAX_MASTERS, "at most {MAX_MASTERS} masters supported");
@@ -94,6 +96,7 @@ impl RequestMap {
     /// # Panics
     ///
     /// Panics if the master index is out of range or `words` is zero.
+    #[inline]
     pub fn set_pending(&mut self, master: MasterId, words: u32) {
         assert!(master.index() < self.masters, "master index out of range");
         assert!(words > 0, "a pending request must need at least one word");
@@ -110,11 +113,13 @@ impl RequestMap {
     }
 
     /// Whether `master` has a pending request this cycle.
+    #[inline]
     pub fn is_pending(&self, master: MasterId) -> bool {
         master.index() < self.masters && (self.bits >> master.index()) & 1 == 1
     }
 
     /// Words still needed by `master`'s head transaction (zero if idle).
+    #[inline]
     pub fn pending_words(&self, master: MasterId) -> u32 {
         if self.is_pending(master) {
             self.pending_words[master.index()]
@@ -125,16 +130,19 @@ impl RequestMap {
 
     /// The raw request bitmap `r_n … r_1` (bit *i* set ⇔ master *i*
     /// pending). This is the LUT index used by the static lottery manager.
+    #[inline]
     pub fn bits(&self) -> u32 {
         self.bits
     }
 
     /// `true` if no master is requesting.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.bits == 0
     }
 
     /// Number of masters currently requesting.
+    #[inline]
     pub fn pending_count(&self) -> usize {
         self.bits.count_ones() as usize
     }
@@ -156,6 +164,18 @@ impl RequestMap {
     pub fn clear(&mut self) {
         self.bits = 0;
         self.pending_words = [0; MAX_MASTERS];
+    }
+
+    /// Resets the map for reuse on a bus with `masters` masters without
+    /// touching the word array — the per-arbitration fast path of the
+    /// bus's scratch map. Stale `pending_words` entries are unobservable
+    /// because every read is gated on the request bit, and every set bit
+    /// rewrites its entry.
+    #[inline]
+    pub(crate) fn reset_for(&mut self, masters: usize) {
+        debug_assert!(masters > 0 && masters <= MAX_MASTERS);
+        self.bits = 0;
+        self.masters = masters;
     }
 }
 

@@ -495,7 +495,7 @@ mod tests {
             .master("a", script(&entries))
             .master("b", script(&entries))
             .slave(Slave::with_wait_states(SlaveId::new(0), "mem", 12))
-            .arbiter(Box::new(FixedOrderArbiter::new(2)))
+            .arbiter(FixedOrderArbiter::new(2))
             .build()
             .expect("valid");
         blocking.run(window);

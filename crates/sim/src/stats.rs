@@ -180,6 +180,7 @@ impl MasterStats {
     /// end-to-end `latency` and initial `wait` (all in cycles). Used by
     /// both the single-bus statistics and multi-channel end-to-end
     /// accounting.
+    #[inline]
     pub fn record_transaction(&mut self, words: u32, latency: u64, wait: u64) {
         self.transactions += 1;
         self.completed_words += u64::from(words);
@@ -304,23 +305,27 @@ impl BusStats {
     }
 
     /// Records a grant to `id`.
+    #[inline]
     pub fn record_grant(&mut self, id: MasterId) {
         self.grants += 1;
         self.per_master[id.index()].grants += 1;
     }
 
     /// Records `words` transferred by `id` (each word = one busy cycle).
+    #[inline]
     pub fn record_words(&mut self, id: MasterId, words: u32) {
         self.busy_cycles += u64::from(words);
         self.per_master[id.index()].words += u64::from(words);
     }
 
     /// Records stall cycles (arbitration overhead / wait states).
+    #[inline]
     pub fn record_stall(&mut self, cycles: u32) {
         self.stall_cycles += u64::from(cycles);
     }
 
     /// Records a completed transaction.
+    #[inline]
     pub fn record_completion(&mut self, id: MasterId, completion: &Completion) {
         self.per_master[id.index()].record_transaction(
             completion.txn.words(),
@@ -374,6 +379,7 @@ impl BusStats {
 
     /// Records an arbitration decision taken while two or more masters
     /// were pending (a *contended* arbitration).
+    #[inline]
     pub fn record_contended_arbitration(&mut self) {
         self.contended_arbitrations += 1;
     }
@@ -381,6 +387,7 @@ impl BusStats {
     /// Counts one elapsed simulation cycle. Called once per [`crate::System::step`],
     /// so resetting statistics after a warm-up period measures only the
     /// steady-state window.
+    #[inline]
     pub fn record_cycle(&mut self) {
         self.cycles += 1;
     }

@@ -1,6 +1,6 @@
 //! System assembly and the top-level simulation loop.
 
-use crate::arbiter::Arbiter;
+use crate::arbiter::{Arbiter, IntoArbiter};
 use crate::bus::Bus;
 use crate::config::BusConfig;
 use crate::cycle::Cycle;
@@ -66,6 +66,28 @@ impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
     }
 }
 
+/// Conversion into the source slot of a [`SystemBuilder`]; the traffic
+/// twin of [`crate::arbiter::IntoArbiter`]. Lets `Box<Concrete>` flow
+/// into a builder whose source slot is the default
+/// `Box<dyn TrafficSource>` without an unsize coercion the inference
+/// engine can miss.
+pub trait IntoSource<S> {
+    /// Converts `self` into the builder's source type.
+    fn into_source(self) -> S;
+}
+
+impl<S: TrafficSource> IntoSource<S> for S {
+    fn into_source(self) -> S {
+        self
+    }
+}
+
+impl<T: TrafficSource + 'static> IntoSource<Box<dyn TrafficSource>> for Box<T> {
+    fn into_source(self) -> Box<dyn TrafficSource> {
+        self
+    }
+}
+
 /// A traffic source that never issues anything (an idle master).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SilentSource;
@@ -82,26 +104,42 @@ impl TrafficSource for SilentSource {
 
 /// Builder for a [`System`].
 ///
+/// The builder (and the [`System`] it produces) is generic over the
+/// arbiter type `A` and the traffic-source type `S`, both defaulting to
+/// the boxed trait objects every existing call site uses. Passing
+/// concrete types — or the dispatch enums `ArbiterKind` /
+/// `SourceKind` from the `arbiters` and `traffic-gen` crates — lets the
+/// compiler resolve the two hottest per-cycle calls (source poll,
+/// arbitration) statically instead of through a vtable.
+///
 /// ```
 /// use socsim::{SystemBuilder, BusConfig};
 /// use socsim::arbiter::FixedOrderArbiter;
 /// use socsim::system::SilentSource;
 ///
 /// # fn main() -> Result<(), socsim::BuildSystemError> {
-/// let system = SystemBuilder::new(BusConfig::default())
+/// // Boxed (the default type parameters)…
+/// let builder: SystemBuilder = SystemBuilder::new(BusConfig::default());
+/// let system = builder
 ///     .master("cpu", Box::new(SilentSource))
 ///     .arbiter(Box::new(FixedOrderArbiter::new(1)))
+///     .build()?;
+/// assert_eq!(system.masters(), 1);
+/// // …or fully devirtualized with concrete types.
+/// let system = SystemBuilder::new(BusConfig::default())
+///     .master("cpu", SilentSource)
+///     .arbiter(FixedOrderArbiter::new(1))
 ///     .build()?;
 /// assert_eq!(system.masters(), 1);
 /// # Ok(())
 /// # }
 /// ```
-pub struct SystemBuilder {
+pub struct SystemBuilder<A = Box<dyn Arbiter>, S = Box<dyn TrafficSource>> {
     config: BusConfig,
     names: Vec<String>,
-    sources: Vec<Box<dyn TrafficSource>>,
+    sources: Vec<S>,
     slaves: Vec<Slave>,
-    arbiter: Option<Box<dyn Arbiter>>,
+    arbiter: Option<A>,
     trace_capacity: usize,
     trace_sink: Option<Box<dyn TraceSink>>,
     faults: Option<FaultConfig>,
@@ -112,7 +150,7 @@ pub struct SystemBuilder {
     fast_forward: bool,
 }
 
-impl std::fmt::Debug for SystemBuilder {
+impl<A: Arbiter, S: TrafficSource> std::fmt::Debug for SystemBuilder<A, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SystemBuilder")
             .field("config", &self.config)
@@ -123,7 +161,7 @@ impl std::fmt::Debug for SystemBuilder {
     }
 }
 
-impl SystemBuilder {
+impl<A: Arbiter, S: TrafficSource> SystemBuilder<A, S> {
     /// Starts building a system around a bus with the given configuration.
     pub fn new(config: BusConfig) -> Self {
         SystemBuilder {
@@ -145,9 +183,9 @@ impl SystemBuilder {
 
     /// Adds a master named `name` driven by `source`. Masters receive
     /// dense [`MasterId`]s in the order they are added.
-    pub fn master(mut self, name: impl Into<String>, source: Box<dyn TrafficSource>) -> Self {
+    pub fn master(mut self, name: impl Into<String>, source: impl IntoSource<S>) -> Self {
         self.names.push(name.into());
-        self.sources.push(source);
+        self.sources.push(source.into_source());
         self
     }
 
@@ -158,8 +196,8 @@ impl SystemBuilder {
     }
 
     /// Sets the arbitration protocol.
-    pub fn arbiter(mut self, arbiter: Box<dyn Arbiter>) -> Self {
-        self.arbiter = Some(arbiter);
+    pub fn arbiter(mut self, arbiter: impl IntoArbiter<A>) -> Self {
+        self.arbiter = Some(arbiter.into_arbiter());
         self
     }
 
@@ -237,7 +275,7 @@ impl SystemBuilder {
     /// Returns an error if no master was added, too many masters were
     /// added, no arbiter was set, or the bus, fault, retry, timeout or
     /// metrics configuration is invalid.
-    pub fn build(self) -> Result<System, BuildSystemError> {
+    pub fn build(self) -> Result<System<A, S>, BuildSystemError> {
         if self.names.is_empty() {
             return Err(BuildSystemError::NoMasters);
         }
@@ -275,6 +313,7 @@ impl SystemBuilder {
             },
             masters,
             sources: self.sources,
+            poll_horizon: vec![Cycle::ZERO; n],
             slaves: self.slaves,
             arbiter,
             stats: BusStats::new(n),
@@ -294,12 +333,19 @@ impl SystemBuilder {
 
 /// A complete single-bus system: masters with traffic sources, slaves,
 /// an arbiter and the shared bus, plus statistics collection.
-pub struct System {
+///
+/// Generic over the arbiter and source types; see [`SystemBuilder`].
+pub struct System<A = Box<dyn Arbiter>, S = Box<dyn TrafficSource>> {
     bus: Bus,
     masters: Vec<MasterPort>,
-    sources: Vec<Box<dyn TrafficSource>>,
+    sources: Vec<S>,
+    /// Per-source poll horizon: the earliest cycle at which source `i`
+    /// must be polled again ([`TrafficSource::next_event`] computed
+    /// after its last actual poll). Busy cycles skip the poll (and its
+    /// dispatch) for every source whose horizon is still in the future.
+    poll_horizon: Vec<Cycle>,
     slaves: Vec<Slave>,
-    arbiter: Box<dyn Arbiter>,
+    arbiter: A,
     stats: BusStats,
     trace: BusTrace,
     metrics: Option<BusMetrics>,
@@ -312,7 +358,7 @@ pub struct System {
     fast_forward: bool,
 }
 
-impl std::fmt::Debug for System {
+impl<A: Arbiter, S: TrafficSource> std::fmt::Debug for System<A, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
             .field("now", &self.now)
@@ -322,7 +368,7 @@ impl std::fmt::Debug for System {
     }
 }
 
-impl System {
+impl<A: Arbiter, S: TrafficSource> System<A, S> {
     /// Number of masters on the bus.
     pub fn masters(&self) -> usize {
         self.masters.len()
@@ -349,8 +395,8 @@ impl System {
 
     /// The arbiter, for protocols with runtime knobs (e.g. dynamic
     /// lottery-ticket updates).
-    pub fn arbiter_mut(&mut self) -> &mut dyn Arbiter {
-        &mut *self.arbiter
+    pub fn arbiter_mut(&mut self) -> &mut A {
+        &mut self.arbiter
     }
 
     /// Accumulated statistics.
@@ -418,17 +464,32 @@ impl System {
     /// Simulates one bus cycle: polls every traffic source, then steps
     /// the bus/arbiter, then updates statistics and (when enabled) the
     /// metrics registry.
+    ///
+    /// The poll phase is *horizon-aware*: after each actual poll the
+    /// source's [`TrafficSource::next_event`] horizon (from the cycle
+    /// after the poll) is cached, and while that horizon lies in the
+    /// future the poll — a provable no-op by the horizon contract — is
+    /// skipped with one integer compare. This applies the fast-forward
+    /// kernel's per-source reasoning inside *busy* cycles, where the bus
+    /// itself pins simulated time. Sources that keep the conservative
+    /// default (`next_event == now`) are polled every cycle, unchanged.
     pub fn step(&mut self) {
         let now = self.now;
         let mut lap = self.profiler.start();
-        for (port, source) in self.masters.iter_mut().zip(self.sources.iter_mut()) {
+        let polls =
+            self.masters.iter_mut().zip(self.sources.iter_mut()).zip(self.poll_horizon.iter_mut());
+        for ((port, source), horizon) in polls {
+            if *horizon > now {
+                continue;
+            }
             if let Some(txn) = source.poll_with_backlog(now, port.backlog_transactions()) {
                 port.enqueue(txn);
             }
+            *horizon = source.next_event(now + 1);
         }
         self.profiler.lap(SimPhase::Poll, &mut lap);
         let completed = self.bus.step(
-            &mut *self.arbiter,
+            &mut self.arbiter,
             &mut self.masters,
             &self.slaves,
             now,
@@ -573,19 +634,18 @@ mod tests {
 
     #[test]
     fn build_validates_inputs() {
-        let err = SystemBuilder::new(BusConfig::default()).build().unwrap_err();
+        let builder: SystemBuilder = SystemBuilder::new(BusConfig::default());
+        let err = builder.build().unwrap_err();
         assert_eq!(err, BuildSystemError::NoMasters);
 
-        let err = SystemBuilder::new(BusConfig::default())
-            .master("m", Box::new(SilentSource))
-            .build()
-            .unwrap_err();
+        let builder: SystemBuilder = SystemBuilder::new(BusConfig::default());
+        let err = builder.master("m", Box::new(SilentSource)).build().unwrap_err();
         assert_eq!(err, BuildSystemError::NoArbiter);
 
         let bad = BusConfig { max_burst: 0, ..BusConfig::default() };
         let err = SystemBuilder::new(bad)
-            .master("m", Box::new(SilentSource))
-            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .master("m", SilentSource)
+            .arbiter(FixedOrderArbiter::new(1))
             .build()
             .unwrap_err();
         assert!(matches!(err, BuildSystemError::InvalidConfig(_)));
@@ -595,7 +655,7 @@ mod tests {
     fn end_to_end_single_master() {
         let mut system = SystemBuilder::new(BusConfig::default())
             .master("m0", one_shot(5))
-            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .arbiter(FixedOrderArbiter::new(1))
             .trace_capacity(64)
             .build()
             .expect("valid system");
@@ -610,7 +670,7 @@ mod tests {
     fn warm_up_discards_statistics() {
         let mut system = SystemBuilder::new(BusConfig::default())
             .master("m0", one_shot(5))
-            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .arbiter(FixedOrderArbiter::new(1))
             .build()
             .expect("valid system");
         system.warm_up(10);
@@ -625,9 +685,9 @@ mod tests {
         let build = |n: usize| {
             let mut builder = SystemBuilder::new(BusConfig::default());
             for i in 0..n {
-                builder = builder.master(format!("m{i}"), Box::new(SilentSource));
+                builder = builder.master(format!("m{i}"), SilentSource);
             }
-            builder.arbiter(Box::new(FixedOrderArbiter::new(n))).build()
+            builder.arbiter(FixedOrderArbiter::new(n)).build()
         };
         assert!(build(MAX_MASTERS).is_ok());
         assert!(matches!(
@@ -643,10 +703,8 @@ mod tests {
         for i in 0..MAX_MASTERS {
             builder = builder.master(format!("m{i}"), one_shot(2));
         }
-        let mut system = builder
-            .arbiter(Box::new(FixedOrderArbiter::new(MAX_MASTERS)))
-            .build()
-            .expect("valid system");
+        let mut system =
+            builder.arbiter(FixedOrderArbiter::new(MAX_MASTERS)).build().expect("valid system");
         system.run(2 * MAX_MASTERS as u64 + 4);
         for i in 0..MAX_MASTERS {
             assert_eq!(system.stats().master(MasterId::new(i)).transactions, 1, "master {i}");
@@ -717,9 +775,9 @@ mod tests {
                 skipped: std::sync::Arc::clone(&skipped),
             };
             let mut system = SystemBuilder::new(BusConfig::default())
-                .master("a", Box::new(EveryN { period: 50, words: 4 }))
-                .master("b", Box::new(EveryN { period: 70, words: 2 }))
-                .arbiter(Box::new(spy))
+                .master("a", EveryN { period: 50, words: 4 })
+                .master("b", EveryN { period: 70, words: 2 })
+                .arbiter(spy)
                 .trace_capacity(4096)
                 .metrics_window(32)
                 .fast_forward(fast)
@@ -748,8 +806,8 @@ mod tests {
     #[test]
     fn fast_forward_never_jumps_past_the_run_end() {
         let mut system = SystemBuilder::new(BusConfig::default())
-            .master("quiet", Box::new(SilentSource))
-            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .master("quiet", SilentSource)
+            .arbiter(FixedOrderArbiter::new(1))
             .fast_forward(true)
             .build()
             .expect("valid system");
@@ -766,7 +824,7 @@ mod tests {
         let mut system = SystemBuilder::new(BusConfig::default())
             .master("a", one_shot(3))
             .master("b", one_shot(3))
-            .arbiter(Box::new(FixedOrderArbiter::new(2)))
+            .arbiter(FixedOrderArbiter::new(2))
             .trace_capacity(64)
             .build()
             .expect("valid system");

@@ -335,12 +335,14 @@ impl BusTrace {
 
     /// Whether this trace observes events (buffer enabled or a sink
     /// attached).
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.capacity > 0 || self.sink.is_some()
     }
 
     /// Records `event`: buffers it if below capacity (counting overflow
     /// as dropped) and forwards it to the attached sink, if any.
+    #[inline]
     pub fn record(&mut self, event: TraceEvent) {
         if let Some(sink) = self.sink.as_mut() {
             sink.record(&event);

@@ -46,7 +46,7 @@ fn faulty_config(seed: u64) -> FaultConfig {
 }
 
 fn build(masters: usize, faults: Option<FaultConfig>) -> System {
-    let mut builder = SystemBuilder::new(BusConfig::default());
+    let mut builder: SystemBuilder = SystemBuilder::new(BusConfig::default());
     for i in 0..masters {
         builder = builder.master(format!("m{i}"), periodic(37 + 11 * i as u64, i as u64, 8, 50));
     }
@@ -90,7 +90,7 @@ fn zero_rate_fault_layer_is_inert() {
     }
     let mut zeroed = zeroed
         .faults(FaultConfig::with_seed(99))
-        .arbiter(Box::new(FixedOrderArbiter::new(3)))
+        .arbiter(FixedOrderArbiter::new(3))
         .build()
         .expect("valid system");
     zeroed.run(10_000);

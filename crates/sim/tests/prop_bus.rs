@@ -52,7 +52,7 @@ proptest! {
             builder = builder.master(format!("m{i}"), replay_from(arrivals));
         }
         let mut system = builder
-            .arbiter(Box::new(FixedOrderArbiter::new(n)))
+            .arbiter(FixedOrderArbiter::new(n))
             .build()
             .expect("valid system");
         // Long enough for everything to drain: arrivals end by 2 000 and
@@ -86,7 +86,7 @@ proptest! {
             builder = builder.master(format!("idle{i}"), replay_from(vec![]));
         }
         let mut system = builder
-            .arbiter(Box::new(FixedOrderArbiter::new(competitors + 1)))
+            .arbiter(FixedOrderArbiter::new(competitors + 1))
             .build()
             .expect("valid system");
         system.run(u64::from(words) + 5);
@@ -104,7 +104,7 @@ proptest! {
         let cycles = 500 + total + 5;
         let mut system = SystemBuilder::new(BusConfig::default())
             .master("m", replay_from(arrivals))
-            .arbiter(Box::new(FixedOrderArbiter::new(1)))
+            .arbiter(FixedOrderArbiter::new(1))
             // Grant events share the capacity with word/idle events.
             .trace_capacity(3 * cycles as usize)
             .build()

@@ -17,6 +17,11 @@
 //! * [`classes`] — the nine named traffic classes T1–T9 used in the
 //!   paper's Figure 12 experiments, plus the saturating class of
 //!   Figures 4/6(a).
+//! * [`SaturateSource`] — an always-requesting, RNG-free probe source
+//!   for saturated hot-path benchmarks.
+//! * [`SourceKind`] — enum dispatch over the built-in sources, so the
+//!   simulator's per-cycle poll avoids `Box<dyn TrafficSource>`
+//!   virtual calls.
 //!
 //! ```
 //! use traffic_gen::{GeneratorSpec, SizeDist};
@@ -31,14 +36,18 @@
 
 pub mod classes;
 pub mod generator;
+pub mod kind;
 pub mod record;
 pub mod replay;
+pub mod saturate;
 pub mod size;
 pub mod spec;
 
 pub use classes::TrafficClass;
 pub use generator::StochasticSource;
+pub use kind::SourceKind;
 pub use record::record_trace;
 pub use replay::ReplaySource;
+pub use saturate::SaturateSource;
 pub use size::SizeDist;
 pub use spec::{ArrivalSpec, GeneratorSpec};

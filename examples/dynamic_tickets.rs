@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut system = SystemBuilder::new(BusConfig::default())
         .master("cpu", heavy.build_source(1))
         .master("dsp", heavy.build_source(2))
-        .arbiter(Box::new(manager.clone()))
+        .arbiter(manager.clone())
         .build()?;
 
     println!("phase 1: tickets cpu:dsp = 1:3");

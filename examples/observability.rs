@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::new())));
     let spec = GeneratorSpec::poisson(0.03, SizeDist::fixed(16));
     let mut builder = SystemBuilder::new(BusConfig::default())
-        .arbiter(Box::new(arbiter))
+        .arbiter(arbiter)
         .trace_sink(Box::new(Arc::clone(&sink)))
         .metrics_window(2_000)
         .profiling(true);

@@ -15,12 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Every component offers far more traffic than its fair share, so
     // the bus is saturated and the arbiter alone decides the allocation.
     let spec = GeneratorSpec::poisson(0.03, SizeDist::fixed(16));
+    // `build_kind` + a concrete arbiter select the devirtualized hot
+    // loop: per-cycle polls and arbitration compile to direct calls.
     let mut system = SystemBuilder::new(BusConfig::default())
-        .master("cpu", spec.build_source(1))
-        .master("dsp", spec.build_source(2))
-        .master("dma", spec.build_source(3))
-        .master("accel", spec.build_source(4))
-        .arbiter(Box::new(arbiter))
+        .master("cpu", spec.build_kind(1))
+        .master("dsp", spec.build_kind(2))
+        .master("dma", spec.build_kind(3))
+        .master("accel", spec.build_kind(4))
+        .arbiter(arbiter)
         .build()?;
 
     system.warm_up(10_000);

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .master("reader", reader.build_source(1))
         .master("streamer", streamer.build_source(2))
         .slave(Slave::with_wait_states(SlaveId::new(0), "mem", ACCESS_LATENCY))
-        .arbiter(Box::new(StaticLotteryArbiter::with_seed(TicketAssignment::new(vec![1, 1])?, 5)?))
+        .arbiter(StaticLotteryArbiter::with_seed(TicketAssignment::new(vec![1, 1])?, 5)?)
         .build()?;
     blocking.run(WINDOW);
     let blocking_words: u64 = (0..2).map(|i| blocking.stats().master(MasterId::new(i)).words).sum();

@@ -28,11 +28,11 @@
 //! let arbiter = StaticLotteryArbiter::with_seed(tickets, 1)?;
 //! let spec = GeneratorSpec::poisson(0.05, SizeDist::fixed(8));
 //! let mut system = SystemBuilder::new(BusConfig::default())
-//!     .master("c1", spec.clone().build_source(11))
-//!     .master("c2", spec.clone().build_source(12))
-//!     .master("c3", spec.clone().build_source(13))
-//!     .master("c4", spec.build_source(14))
-//!     .arbiter(Box::new(arbiter))
+//!     .master("c1", spec.clone().build_kind(11))
+//!     .master("c2", spec.clone().build_kind(12))
+//!     .master("c3", spec.clone().build_kind(13))
+//!     .master("c4", spec.build_kind(14))
+//!     .arbiter(arbiter)
 //!     .build()?;
 //! system.run(100_000);
 //! # Ok(())

@@ -77,7 +77,7 @@ fn determinism_same_seed_same_stats() {
         let mut system = SystemBuilder::new(BusConfig::default())
             .master("a", spec.build_source(seed))
             .master("b", spec.build_source(seed + 1))
-            .arbiter(Box::new(StaticLotteryArbiter::with_seed(tickets, 77).expect("valid")))
+            .arbiter(StaticLotteryArbiter::with_seed(tickets, 77).expect("valid"))
             .build()
             .expect("valid");
         system.run(30_000);
@@ -94,7 +94,7 @@ fn stall_cycles_are_accounted_not_lost() {
     let mut system = SystemBuilder::new(bus)
         .master("a", spec.build_source(1))
         .master("b", spec.build_source(2))
-        .arbiter(Box::new(RoundRobinArbiter::new(2).expect("valid")))
+        .arbiter(RoundRobinArbiter::new(2).expect("valid"))
         .build()
         .expect("valid");
     system.run(50_000);

@@ -70,7 +70,7 @@ fn starvation_freedom_matches_closed_form_bound() {
     let mut system = SystemBuilder::new(BusConfig::default())
         .master("weak", weak.build_source(1))
         .master("strong", strong.build_source(2))
-        .arbiter(Box::new(StaticLotteryArbiter::with_seed(tickets, 23).expect("valid")))
+        .arbiter(StaticLotteryArbiter::with_seed(tickets, 23).expect("valid"))
         .build()
         .expect("valid system");
     system.run(400_000);
@@ -124,7 +124,7 @@ fn token_ring_wastes_cycles_on_hops() {
         .master("idle1", GeneratorSpec::poisson(0.0, SizeDist::fixed(1)).build_source(2))
         .master("active2", heavy.build_source(3))
         .master("idle3", GeneratorSpec::poisson(0.0, SizeDist::fixed(1)).build_source(4))
-        .arbiter(Box::new(TokenRingArbiter::new(4).expect("valid")))
+        .arbiter(TokenRingArbiter::new(4).expect("valid"))
         .build()
         .expect("valid system");
     system.warm_up(5_000);
@@ -197,7 +197,7 @@ fn compensation_tickets_equalize_heterogeneous_message_sizes() {
         let mut system = SystemBuilder::new(BusConfig::default())
             .master("short", short.build_source(1))
             .master("long", long.build_source(2))
-            .arbiter(Box::new(arbiter))
+            .arbiter(arbiter)
             .build()
             .expect("valid");
         system.warm_up(10_000);
@@ -230,7 +230,7 @@ fn queue_proportional_policy_runs_end_to_end() {
     let mut system = SystemBuilder::new(BusConfig::default())
         .master("heavy", heavy.build_source(1))
         .master("light", light.build_source(2))
-        .arbiter(Box::new(arbiter))
+        .arbiter(arbiter)
         .build()
         .expect("valid");
     system.warm_up(5_000);

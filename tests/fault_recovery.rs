@@ -70,12 +70,12 @@ proptest! {
                 .into_iter()
                 .map(|(c, w)| Transaction::new(SlaveId::new(0), w, Cycle::new(c)))
                 .collect();
-            builder = builder.master(format!("m{i}"), Box::new(Replay(schedule)));
+            builder = builder.master(format!("m{i}"), Replay(schedule));
         }
         let assignment = TicketAssignment::new(tickets[..n].to_vec()).expect("nonzero tickets");
         let arbiter = StaticLotteryArbiter::with_seed(assignment, (plan_seed as u32).wrapping_mul(2).wrapping_add(1))
             .expect("valid arbiter");
-        let mut system = builder.arbiter(Box::new(arbiter)).build().expect("valid system");
+        let mut system = builder.arbiter(arbiter).build().expect("valid system");
 
         // Bounded horizon: arrivals end by 2 000; each of the ≤ 24
         // messages then needs at most 4 attempts separated by backoffs

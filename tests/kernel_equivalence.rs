@@ -232,3 +232,128 @@ fn cli_spec_pipeline_matches_across_kernels() {
     assert!(cycle.contains("fault"), "spec fault section missing from the report");
     assert_eq!(cycle, fast, "CLI report differs between kernels");
 }
+
+// ---------------------------------------------------------------------------
+// Enum dispatch vs boxed dispatch (PR 5).
+//
+// The enum-dispatch kernel (`ArbiterKind` arbiters, `SourceKind`
+// sources) must be observationally identical to the same protocols run
+// through the open escape hatches (`ArbiterKind::Custom(Box<dyn
+// Arbiter>)`, `Box<dyn TrafficSource>`): same statistics, same trace
+// events, same VCD bytes, on randomized systems. Devirtualization is a
+// pure wall-clock optimization; any divergence here is a dispatch bug.
+// ---------------------------------------------------------------------------
+
+use lotterybus_repro::arbiters::ArbiterKind;
+use lotterybus_repro::experiments::hotpath::{hot_arbiter, HOT_PROTOCOLS};
+use lotterybus_repro::socsim::{BusStats, TraceEvent, TrafficSource};
+use lotterybus_repro::traffic::{SaturateSource, SourceKind};
+use proptest::prelude::*;
+
+/// One randomized master's traffic shape; buildable as both an enum
+/// source and a boxed source from the same seed.
+#[derive(Debug, Clone, Copy)]
+enum SourceChoice {
+    Periodic { period: u64, phase: u64, words: u32 },
+    Poisson { rate_millis: u32, words: u32 },
+    Saturate { words: u32 },
+}
+
+impl SourceChoice {
+    fn spec(self) -> Option<GeneratorSpec> {
+        match self {
+            SourceChoice::Periodic { period, phase, words } => {
+                Some(GeneratorSpec::periodic(period, phase, SizeDist::fixed(words)))
+            }
+            SourceChoice::Poisson { rate_millis, words } => Some(GeneratorSpec::poisson(
+                f64::from(rate_millis) / 1000.0,
+                SizeDist::fixed(words),
+            )),
+            SourceChoice::Saturate { .. } => None,
+        }
+    }
+
+    fn enum_source(self, seed: u64) -> SourceKind {
+        match (self, self.spec()) {
+            (_, Some(spec)) => spec.build_kind(seed),
+            (SourceChoice::Saturate { words }, None) => {
+                SourceKind::from(SaturateSource::new(0, words))
+            }
+            _ => unreachable!("spec() is None only for Saturate"),
+        }
+    }
+
+    fn boxed_source(self, seed: u64) -> Box<dyn TrafficSource> {
+        match (self, self.spec()) {
+            (_, Some(spec)) => spec.build_source(seed),
+            (SourceChoice::Saturate { words }, None) => Box::new(SaturateSource::new(0, words)),
+            _ => unreachable!("spec() is None only for Saturate"),
+        }
+    }
+}
+
+fn source_choice() -> impl Strategy<Value = SourceChoice> {
+    prop_oneof![
+        (10u64..200, 0u64..50, 1u32..24)
+            .prop_map(|(period, phase, words)| { SourceChoice::Periodic { period, phase, words } }),
+        (1u32..200, 1u32..24)
+            .prop_map(|(rate_millis, words)| SourceChoice::Poisson { rate_millis, words }),
+        (1u32..24).prop_map(|words| SourceChoice::Saturate { words }),
+    ]
+}
+
+/// Everything observable from one dispatch run.
+fn dispatch_outputs<S: TrafficSource>(
+    sources: Vec<S>,
+    arbiter: ArbiterKind,
+    cycles: u64,
+) -> (BusStats, Vec<TraceEvent>, String) {
+    let mut builder: SystemBuilder<ArbiterKind, S> =
+        SystemBuilder::new(BusConfig::default()).trace_capacity(1 << 14);
+    let mut names = Vec::new();
+    for (i, source) in sources.into_iter().enumerate() {
+        let name = format!("M{}", i + 1);
+        builder = builder.master(name.clone(), source);
+        names.push(name);
+    }
+    let mut system = builder.arbiter(arbiter).build().expect("valid random system");
+    system.run(cycles);
+    let events = system.trace().events().to_vec();
+    let waveform = vcd::trace_to_vcd(system.trace(), &names, cycles);
+    (system.stats().clone(), events, waveform)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn enum_dispatch_matches_boxed_dispatch_on_random_systems(
+        choices in prop::collection::vec(source_choice(), 4),
+        protocol_index in 0usize..HOT_PROTOCOLS.len(),
+        seed in 1u64..1_000_000,
+        cycles in 500u64..4_000,
+    ) {
+        let protocol = HOT_PROTOCOLS[protocol_index];
+        let enum_sources: Vec<SourceKind> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.enum_source(seed.wrapping_add(i as u64)))
+            .collect();
+        let boxed_sources: Vec<Box<dyn TrafficSource>> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.boxed_source(seed.wrapping_add(i as u64)))
+            .collect();
+
+        let direct = dispatch_outputs(enum_sources, hot_arbiter(protocol, seed), cycles);
+        let boxed = dispatch_outputs(
+            boxed_sources,
+            ArbiterKind::Custom(Box::new(hot_arbiter(protocol, seed))),
+            cycles,
+        );
+
+        prop_assert_eq!(&direct.0, &boxed.0, "{}: statistics diverged", protocol);
+        prop_assert_eq!(&direct.1, &boxed.1, "{}: trace events diverged", protocol);
+        prop_assert_eq!(&direct.2, &boxed.2, "{}: VCD bytes diverged", protocol);
+    }
+}

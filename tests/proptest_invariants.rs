@@ -227,7 +227,7 @@ fn random_system(
     with_faults: bool,
     seed: u64,
     fast_forward: bool,
-) -> System {
+) -> System<lotterybus_repro::arbiters::ArbiterKind> {
     let mut builder =
         SystemBuilder::new(BusConfig::default()).fast_forward(fast_forward).trace_capacity(1 << 15);
     for (i, &(kind, a, b, size)) in masters.iter().enumerate() {

@@ -22,6 +22,10 @@ LOWUTIL_MIN_SPEEDUP = 2.0
 # ...and must not cost more than 5% at saturation.
 SATURATED_MIN_RATIO = 0.95
 
+# Saturated hot-path throughput (cycles/sec per protocol, the `hot`
+# section) may drop this far against the baseline before warning.
+HOT_NOISE_TOLERANCE = 0.25
+
 
 def load(path):
     with open(path) as handle:
@@ -81,6 +85,26 @@ def main(argv):
     suite = current.get("kernel_suite_speedup")
     if suite is not None:
         print(f"info: whole-suite fast-kernel speedup {suite:.2f}x")
+
+    hot = current.get("hot", {}).get("protocols")
+    if hot is None:
+        warn("report lacks the hot-path lineup (old report format?)")
+    else:
+        baseline_hot = (baseline or {}).get("hot", {}).get("protocols", {})
+        for name, probe in hot.items():
+            now = probe.get("cycles_per_sec")
+            if now is None:
+                warn(f"hot.{name} lacks cycles_per_sec")
+                continue
+            was = baseline_hot.get(name, {}).get("cycles_per_sec")
+            if was is None:
+                print(f"info: hot {name} {now / 1e6:.2f}M cycles/s (no baseline)")
+            elif was > 0 and now < was * (1 - HOT_NOISE_TOLERANCE):
+                warn(
+                    f"hot {name} regressed: {was / 1e6:.2f}M -> {now / 1e6:.2f}M cycles/s"
+                )
+            else:
+                print(f"ok: hot {name} {was / 1e6:.2f}M -> {now / 1e6:.2f}M cycles/s")
 
     if warnings:
         print(f"{warnings} warning(s); soft check, exiting 0")
