@@ -33,6 +33,9 @@ pub enum ArbiterConfigError {
     /// A failover arbiter needs at least one cycle of patience before
     /// declaring its primary wedged.
     ZeroPatience,
+    /// A recovering failover arbiter needs at least one healthy shadow
+    /// decision before re-promoting its primary.
+    ZeroRecoveryWindow,
 }
 
 impl fmt::Display for ArbiterConfigError {
@@ -54,6 +57,9 @@ impl fmt::Display for ArbiterConfigError {
             }
             ArbiterConfigError::ZeroPatience => {
                 write!(f, "failover patience must be at least 1 cycle")
+            }
+            ArbiterConfigError::ZeroRecoveryWindow => {
+                write!(f, "failover recovery window must be at least 1 healthy decision")
             }
         }
     }

@@ -3,9 +3,12 @@
 //! An arbiter is a single point of failure for the whole bus: if its
 //! grant logic wedges or corrupts, every master starves. The
 //! [`FailoverArbiter`] wraps a primary protocol and watches its
-//! decisions; when the primary misbehaves it permanently falls over to
-//! a plain round-robin backup, trading the primary's performance
-//! properties for continued service.
+//! decisions; when the primary misbehaves it falls over to a plain
+//! round-robin backup, trading the primary's performance properties
+//! for continued service. By default the degradation is permanent;
+//! [`FailoverArbiter::with_recovery`] additionally shadow-probes the
+//! demoted primary and re-promotes it once it has produced a
+//! configurable streak of healthy decisions (a fault window ending).
 //!
 //! Two classes of misbehaviour trip the failover:
 //!
@@ -57,6 +60,15 @@ pub struct FailoverArbiter {
     starved: u64,
     failed_over: bool,
     failovers: u64,
+    /// `Some(window)` enables recovery: while failed over, the primary
+    /// is shadow-consulted every arbitration, and after `window`
+    /// consecutive healthy decisions with requests pending it is
+    /// re-promoted. `None` (the default) keeps degradation permanent.
+    recovery_after: Option<u64>,
+    /// Consecutive healthy shadow decisions (valid grant with requests
+    /// pending) observed from the demoted primary.
+    healthy_streak: u64,
+    recoveries: u64,
     name: String,
 }
 
@@ -105,8 +117,40 @@ impl FailoverArbiter {
             starved: 0,
             failed_over: false,
             failovers: 0,
+            recovery_after: None,
+            healthy_streak: 0,
+            recoveries: 0,
             name,
         })
+    }
+
+    /// Wraps `primary` with graceful recovery: while failed over, the
+    /// demoted primary is shadow-consulted on every arbitration, and
+    /// after `recovery_window` consecutive healthy decisions (a valid
+    /// grant with requests pending) it is re-promoted to serve grants
+    /// again. Shadow decisions on an idle bus neither extend nor reset
+    /// the streak — health can only be judged against real demand.
+    ///
+    /// Re-promotion takes effect on the *next* arbitration; the cycle
+    /// that completes the streak is still served by the backup, so a
+    /// grant is never issued twice for one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `masters` is zero or exceeds the bus width,
+    /// or `patience` or `recovery_window` is zero.
+    pub fn with_recovery(
+        primary: Box<dyn Arbiter>,
+        masters: usize,
+        patience: u64,
+        recovery_window: u64,
+    ) -> Result<Self, ArbiterConfigError> {
+        if recovery_window == 0 {
+            return Err(ArbiterConfigError::ZeroRecoveryWindow);
+        }
+        let mut arb = Self::with_patience(primary, masters, patience)?;
+        arb.recovery_after = Some(recovery_window);
+        Ok(arb)
     }
 
     /// Whether the backup policy is in charge.
@@ -114,10 +158,40 @@ impl FailoverArbiter {
         self.failed_over
     }
 
+    /// Times the primary was re-promoted after a healthy streak (always
+    /// zero without [`FailoverArbiter::with_recovery`]).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
     fn trip(&mut self) {
         self.failed_over = true;
         self.failovers += 1;
         self.starved = 0;
+        self.healthy_streak = 0;
+    }
+
+    /// Shadow-consults the demoted primary (recovery mode only) and
+    /// re-promotes it once the healthy streak reaches the window. The
+    /// shadow grant is discarded — the backup still serves this cycle.
+    fn probe_primary(&mut self, requests: &RequestMap, now: Cycle) {
+        let Some(window) = self.recovery_after else { return };
+        let any_pending = requests.iter_pending().next().is_some();
+        let shadow = self.primary.arbitrate(requests, now);
+        if !any_pending {
+            // An idle bus says nothing about health either way.
+            return;
+        }
+        match shadow {
+            Some(grant) if !self.is_invalid(grant, requests) => self.healthy_streak += 1,
+            _ => self.healthy_streak = 0,
+        }
+        if self.healthy_streak >= window {
+            self.failed_over = false;
+            self.starved = 0;
+            self.healthy_streak = 0;
+            self.recoveries += 1;
+        }
     }
 
     /// Whether `grant` violates the arbitration contract for `requests`.
@@ -131,6 +205,7 @@ impl FailoverArbiter {
 impl Arbiter for FailoverArbiter {
     fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
         if self.failed_over {
+            self.probe_primary(requests, now);
             return self.fallback.arbitrate(requests, now);
         }
         let any_pending = requests.iter_pending().next().is_some();
@@ -171,10 +246,17 @@ impl Arbiter for FailoverArbiter {
     /// Delegates to whichever arbiter is in charge. A custom primary
     /// that does not implement `next_event` reports `now` (the
     /// conservative default), so a misbehaving primary — one that might
-    /// grant on an empty map — is never skipped over.
+    /// grant on an empty map — is never skipped over. In recovery mode
+    /// the demoted primary is still shadow-probed every arbitration, so
+    /// while failed over its horizon constrains skipping too.
     fn next_event(&self, now: Cycle) -> Cycle {
         if self.failed_over {
-            self.fallback.next_event(now)
+            let fallback = self.fallback.next_event(now);
+            if self.recovery_after.is_some() {
+                fallback.min(self.primary.next_event(now))
+            } else {
+                fallback
+            }
         } else {
             self.primary.next_event(now)
         }
@@ -182,13 +264,18 @@ impl Arbiter for FailoverArbiter {
 
     /// Replays `delta` empty arbitrations: the delegate skips, and (pre
     /// failover) the starvation counter resets exactly as each empty
-    /// call would have reset it.
+    /// call would have reset it. In recovery mode the demoted primary
+    /// also skips — shadow probes on an empty map advance its state but
+    /// never touch the healthy streak, so the replay is exact.
     fn skip_idle(&mut self, delta: u64) {
         if delta == 0 {
             return;
         }
         if self.failed_over {
             self.fallback.skip_idle(delta);
+            if self.recovery_after.is_some() {
+                self.primary.skip_idle(delta);
+            }
         } else {
             self.primary.skip_idle(delta);
             self.starved = 0;
@@ -362,5 +449,218 @@ mod tests {
         let primary = Box::new(StaticPriorityArbiter::new(vec![1]).expect("valid"));
         let err = FailoverArbiter::with_patience(primary, 1, 0).unwrap_err();
         assert_eq!(err, ArbiterConfigError::ZeroPatience);
+    }
+
+    /// A primary that wedges only inside `[from, until)` and is healthy
+    /// on both sides — a bounded fault window.
+    struct WedgeWindow {
+        from: u64,
+        until: u64,
+        inner: StaticPriorityArbiter,
+    }
+
+    impl Arbiter for WedgeWindow {
+        fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+            if (self.from..self.until).contains(&now.index()) {
+                None
+            } else {
+                self.inner.arbitrate(requests, now)
+            }
+        }
+        fn name(&self) -> &str {
+            "wedge-window"
+        }
+    }
+
+    fn wedge_window(from: u64, until: u64) -> Box<WedgeWindow> {
+        Box::new(WedgeWindow {
+            from,
+            until,
+            inner: StaticPriorityArbiter::new(vec![1, 2]).expect("valid"),
+        })
+    }
+
+    #[test]
+    fn recovery_re_promotes_primary_after_healthy_streak() {
+        // Wedge during [10, 30); patience 5 trips the failover at cycle
+        // 14. From cycle 30 the shadow probes see healthy grants again;
+        // a window of 3 re-promotes after cycle 32, so cycle 33 onward
+        // is served by the primary (strict priority: master 1 wins).
+        let mut arb = FailoverArbiter::with_recovery(wedge_window(10, 30), 2, 5, 3).expect("valid");
+        let map = pending(2, &[0, 1]);
+        let mut post_recovery_grants = Vec::new();
+        for c in 0..40u64 {
+            let grant = arb.arbitrate(&map, Cycle::new(c));
+            if c >= 33 {
+                post_recovery_grants.push(grant.expect("primary grants").master);
+            }
+        }
+        assert_eq!(arb.failovers(), 1);
+        assert_eq!(arb.recoveries(), 1);
+        assert!(!arb.is_failed_over(), "primary re-promoted after the fault window");
+        // Round-robin alternates masters; the re-promoted priority
+        // primary grants master 1 exclusively.
+        assert!(post_recovery_grants.iter().all(|&m| m == MasterId::new(1)));
+    }
+
+    #[test]
+    fn without_recovery_degradation_stays_permanent() {
+        let mut arb = FailoverArbiter::with_patience(wedge_window(10, 30), 2, 5).expect("valid");
+        let map = pending(2, &[0, 1]);
+        for c in 0..200u64 {
+            arb.arbitrate(&map, Cycle::new(c));
+        }
+        assert!(arb.is_failed_over(), "no recovery configured: one-way degradation");
+        assert_eq!(arb.recoveries(), 0);
+        assert_eq!(arb.failovers(), 1);
+    }
+
+    #[test]
+    fn idle_probes_neither_advance_nor_reset_the_streak() {
+        // Trip at 14, healthy from 30. Two healthy probes (30, 31),
+        // then idle cycles, then one more healthy probe completes the
+        // window of 3: idle must have preserved the streak.
+        let mut arb = FailoverArbiter::with_recovery(wedge_window(10, 30), 2, 5, 3).expect("valid");
+        let map = pending(2, &[0, 1]);
+        let empty = RequestMap::new(2);
+        for c in 0..32u64 {
+            arb.arbitrate(&map, Cycle::new(c));
+        }
+        assert!(arb.is_failed_over());
+        for c in 32..64u64 {
+            arb.arbitrate(&empty, Cycle::new(c));
+        }
+        assert!(arb.is_failed_over(), "idle probes must not count as healthy");
+        arb.arbitrate(&map, Cycle::new(64));
+        assert!(!arb.is_failed_over(), "third healthy probe completes the streak");
+        assert_eq!(arb.recoveries(), 1);
+    }
+
+    #[test]
+    fn unhealthy_probe_resets_the_streak() {
+        // Wedged in [10, 30), healthy at 30–31 (streak 2), wedged again
+        // at exactly 32 (streak resets), healthy from 33: the window of
+        // 3 only completes at cycle 35.
+        struct Stutter {
+            inner: StaticPriorityArbiter,
+        }
+        impl Arbiter for Stutter {
+            fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+                let c = now.index();
+                if (10..30).contains(&c) || c == 32 {
+                    None
+                } else {
+                    self.inner.arbitrate(requests, now)
+                }
+            }
+            fn name(&self) -> &str {
+                "stutter"
+            }
+        }
+        let primary =
+            Box::new(Stutter { inner: StaticPriorityArbiter::new(vec![1, 2]).expect("valid") });
+        let mut arb = FailoverArbiter::with_recovery(primary, 2, 5, 3).expect("valid");
+        let map = pending(2, &[0, 1]);
+        for c in 0..35u64 {
+            arb.arbitrate(&map, Cycle::new(c));
+            if c == 34 {
+                break;
+            }
+        }
+        assert!(
+            arb.is_failed_over(),
+            "a window of 3 straddling the cycle-32 relapse must not re-promote early"
+        );
+        arb.arbitrate(&map, Cycle::new(35));
+        assert!(!arb.is_failed_over(), "streak restarted at 33 and completed at 35");
+        assert_eq!(arb.recoveries(), 1);
+    }
+
+    #[test]
+    fn recovered_primary_can_fail_over_again() {
+        // Two separate fault windows: each trips a failover, each is
+        // followed by a recovery.
+        struct DoubleWedge {
+            inner: StaticPriorityArbiter,
+        }
+        impl Arbiter for DoubleWedge {
+            fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+                let c = now.index();
+                if (10..30).contains(&c) || (50..70).contains(&c) {
+                    None
+                } else {
+                    self.inner.arbitrate(requests, now)
+                }
+            }
+            fn name(&self) -> &str {
+                "double-wedge"
+            }
+        }
+        let primary =
+            Box::new(DoubleWedge { inner: StaticPriorityArbiter::new(vec![1, 2]).expect("valid") });
+        let mut arb = FailoverArbiter::with_recovery(primary, 2, 5, 3).expect("valid");
+        let map = pending(2, &[0, 1]);
+        for c in 0..100u64 {
+            arb.arbitrate(&map, Cycle::new(c));
+        }
+        assert_eq!(arb.failovers(), 2);
+        assert_eq!(arb.recoveries(), 2);
+        assert!(!arb.is_failed_over());
+    }
+
+    #[test]
+    fn recovery_skip_idle_keeps_primary_in_lockstep() {
+        use crate::tdma::{TdmaArbiter, WheelLayout};
+        // A TDMA primary demoted by a rogue first decision: while failed
+        // over with recovery, idle skipping must advance the shadowed
+        // primary exactly as per-cycle empty probes would.
+        struct RogueFirst {
+            inner: TdmaArbiter,
+        }
+        impl Arbiter for RogueFirst {
+            fn arbitrate(&mut self, requests: &RequestMap, now: Cycle) -> Option<Grant> {
+                if now.index() == 0 {
+                    Some(Grant::whole_burst(MasterId::new(1)))
+                } else {
+                    self.inner.arbitrate(requests, now)
+                }
+            }
+            fn name(&self) -> &str {
+                "rogue-first"
+            }
+            fn next_event(&self, now: Cycle) -> Cycle {
+                self.inner.next_event(now)
+            }
+            fn skip_idle(&mut self, delta: u64) {
+                self.inner.skip_idle(delta);
+            }
+        }
+        let make = || {
+            let primary = Box::new(RogueFirst {
+                inner: TdmaArbiter::new(&[1, 1, 1], WheelLayout::Contiguous).expect("valid"),
+            });
+            let mut arb = FailoverArbiter::with_recovery(primary, 3, 5, 100).expect("valid");
+            // Master 1 is not pending: the rogue grant trips the failover.
+            let _ = arb.arbitrate(&pending(3, &[0]), Cycle::ZERO);
+            assert!(arb.is_failed_over());
+            arb
+        };
+        let empty = RequestMap::new(3);
+        let mut stepped = make();
+        let mut skipped = make();
+        for c in 1..8u64 {
+            assert!(stepped.arbitrate(&empty, Cycle::new(c)).is_none());
+        }
+        skipped.skip_idle(7);
+        let map = pending(3, &[0, 1, 2]);
+        assert_eq!(stepped.arbitrate(&map, Cycle::new(8)), skipped.arbitrate(&map, Cycle::new(8)));
+        assert_eq!(stepped.healthy_streak, skipped.healthy_streak);
+    }
+
+    #[test]
+    fn zero_recovery_window_rejected() {
+        let primary = Box::new(StaticPriorityArbiter::new(vec![1]).expect("valid"));
+        let err = FailoverArbiter::with_recovery(primary, 1, 4, 0).unwrap_err();
+        assert_eq!(err, ArbiterConfigError::ZeroRecoveryWindow);
     }
 }

@@ -78,8 +78,26 @@
 //! skips provably idle spans instead of stepping them cycle by cycle.
 //! Both kernels produce byte-identical reports (and traces and
 //! waveforms); only wall-clock time changes.
+//!
+//! ## Scenarios & fuzzing
+//!
+//! Two further subcommands drive the declarative robustness subsystem
+//! from the `scenario` crate:
+//!
+//! ```console
+//! $ lotterybus-sim scenario scenarios/                 # run the library
+//! $ lotterybus-sim scenario a.scenario --kernel fast
+//! $ lotterybus-sim fuzz --seed 7 --iters 50 --out tmp/
+//! ```
+//!
+//! `scenario` executes `.scenario` files as one dependency plan and
+//! prints a deterministic verdict JSON (exit status reflects whether
+//! every verdict matched its `expect` line); `fuzz` runs the seeded
+//! scenario fuzzer and writes shrunk reproducers. See
+//! [`scenario_cmd`] for the flag reference.
 
 pub mod report;
+pub mod scenario_cmd;
 pub mod spec;
 
 pub use report::{render_metrics, render_report};

@@ -22,7 +22,11 @@ use std::io::Read;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const USAGE: &str = "usage: lotterybus-sim <spec-file | -> [--vcd <file>] [--jobs <n>] | --example";
+const USAGE: &str = "\
+usage: lotterybus-sim <spec-file | -> [--vcd <file>] [--jobs <n>]
+       lotterybus-sim scenario <files-or-dirs>... [--kernel cycle|fast] [--jobs <n>] [--bench <file>]
+       lotterybus-sim fuzz [--seed <n>] [--iters <n>] [--out <dir>] [--demo-failure]
+       lotterybus-sim --example";
 
 const EXAMPLE_SPEC: &str = "\
 # lotterybus-sim example spec
@@ -73,6 +77,10 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+        Some("scenario") => {
+            subcommand_exit(lotterybus_cli::scenario_cmd::run_scenario_command(&args[1..]))
+        }
+        Some("fuzz") => subcommand_exit(lotterybus_cli::scenario_cmd::run_fuzz_command(&args[1..])),
         Some(path) => {
             let outcome = vcd_path(&args)
                 .and_then(|vcd| jobs_flag(&args).map(|jobs| (vcd, jobs)))
@@ -87,6 +95,26 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+    }
+}
+
+/// Prints a subcommand's stdout payload and maps its verdict to the
+/// process exit code (reports that ran but didn't match expectations
+/// still print before the non-zero exit).
+fn subcommand_exit(outcome: Result<(String, bool), String>) -> ExitCode {
+    match outcome {
+        Ok((stdout, ok)) => {
+            print!("{stdout}");
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
         }
     }
 }

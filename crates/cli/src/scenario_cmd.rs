@@ -1,0 +1,279 @@
+//! The `scenario` and `fuzz` subcommands.
+//!
+//! `lotterybus-sim scenario <files-or-dirs>…` parses every `.scenario`
+//! file (directories are expanded to their sorted `*.scenario`
+//! entries), executes them as one dependency plan, and prints the
+//! verdict JSON on stdout. The JSON is deterministic and contains no
+//! kernel or wall-clock information, so CI diffs a `--kernel cycle`
+//! run against a `--kernel fast` run byte for byte. Exit status is
+//! success iff every scenario's verdict matched its `expect` line.
+//!
+//! `lotterybus-sim fuzz` runs the seeded scenario fuzzer and prints
+//! its report JSON; `--out <dir>` additionally writes each finding's
+//! shrunk minimal reproducer as a committable `.scenario` file.
+
+use scenario::{fuzz, run_scenario_profiled, FuzzConfig, PlanReport, Scenario};
+use std::path::{Path, PathBuf};
+
+/// Parsed flags of the `scenario` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioArgs {
+    /// Files or directories to load scenarios from.
+    pub paths: Vec<String>,
+    /// Run under the fast-forward kernel.
+    pub fast: bool,
+    /// Worker threads (0 = all cores).
+    pub jobs: usize,
+    /// Write a wall-clock bench report to this file.
+    pub bench: Option<String>,
+}
+
+/// Parses the arguments after `scenario`.
+pub fn parse_scenario_args(args: &[String]) -> Result<ScenarioArgs, String> {
+    let mut parsed = ScenarioArgs { paths: Vec::new(), fast: false, jobs: 0, bench: None };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kernel" => match it.next().map(String::as_str) {
+                Some("cycle") => parsed.fast = false,
+                Some("fast") => parsed.fast = true,
+                other => {
+                    return Err(format!(
+                        "`--kernel` must be `cycle` or `fast`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--jobs" => {
+                parsed.jobs =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("`--jobs` requires a number")?;
+            }
+            "--bench" => {
+                parsed.bench = Some(it.next().ok_or("`--bench` requires a file argument")?.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown scenario flag `{flag}`: expected --kernel, --jobs or --bench"
+                ))
+            }
+            path => parsed.paths.push(path.to_owned()),
+        }
+    }
+    if parsed.paths.is_empty() {
+        return Err("`scenario` needs at least one .scenario file or directory".to_owned());
+    }
+    Ok(parsed)
+}
+
+/// Expands files and directories into the ordered list of `.scenario`
+/// files to load. Directory entries are sorted by name so a directory
+/// is a deterministic plan.
+pub fn collect_scenario_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for path in paths {
+        let p = Path::new(path);
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(p)
+                .map_err(|e| format!("cannot read directory `{path}`: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "scenario"))
+                .collect();
+            entries.sort();
+            if entries.is_empty() {
+                return Err(format!("directory `{path}` contains no .scenario files"));
+            }
+            files.extend(entries);
+        } else {
+            files.push(p.to_path_buf());
+        }
+    }
+    Ok(files)
+}
+
+/// Loads and parses every scenario file.
+fn load_scenarios(files: &[PathBuf]) -> Result<Vec<Scenario>, String> {
+    files
+        .iter()
+        .map(|file| {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read `{}`: {e}", file.display()))?;
+            Scenario::parse(&text).map_err(|e| format!("{}: {e}", file.display()))
+        })
+        .collect()
+}
+
+/// Runs the `scenario` subcommand. Returns the stdout payload and
+/// whether every scenario matched its expectation.
+pub fn run_scenario_command(args: &[String]) -> Result<(String, bool), String> {
+    let parsed = parse_scenario_args(args)?;
+    let files = collect_scenario_files(&parsed.paths)?;
+    let scenarios = load_scenarios(&files)?;
+    let report = scenario::run_plan(&scenarios, parsed.fast, parsed.jobs)?;
+    if let Some(bench_path) = &parsed.bench {
+        write_bench(bench_path, &scenarios, &report, parsed.fast)?;
+    }
+    let ok = report.all_as_expected();
+    eprintln!(
+        "ran {} scenario(s) under the {} kernel: {}",
+        scenarios.len(),
+        if parsed.fast { "fast-forward" } else { "cycle-accurate" },
+        if ok { "all as expected" } else { "unexpected verdicts" },
+    );
+    Ok((report.to_json().render() + "\n", ok))
+}
+
+/// Re-runs the suite serially with the phase profiler enabled and
+/// writes the wall-clock report. Bench numbers never touch stdout —
+/// the verdict stream stays diffable.
+fn write_bench(
+    path: &str,
+    scenarios: &[Scenario],
+    report: &PlanReport,
+    fast: bool,
+) -> Result<(), String> {
+    use experiments::json::Json;
+    let mut total = std::time::Duration::ZERO;
+    let mut timed = 0u64;
+    for sc in scenarios {
+        // Skipped scenarios cost nothing in the plan; keep the bench
+        // consistent with what actually ran.
+        let ran = report
+            .entries
+            .iter()
+            .any(|(name, o)| name == &sc.name && matches!(o, scenario::PlanOutcome::Ran(_)));
+        if !ran {
+            continue;
+        }
+        let (_, wall) = run_scenario_profiled(sc, fast)?;
+        total += wall;
+        timed += 1;
+    }
+    let json = Json::obj()
+        .field("scenario_suite_wall_secs", total.as_secs_f64())
+        .field("scenarios_timed", timed)
+        .field("kernel", if fast { "fast" } else { "cycle" });
+    std::fs::write(path, json.render() + "\n")
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    eprintln!("scenario bench: {timed} scenario(s) in {:.3}s -> {path}", total.as_secs_f64());
+    Ok(())
+}
+
+/// Parsed flags of the `fuzz` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzArgs {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Scenarios to generate.
+    pub iters: u32,
+    /// Directory for shrunk reproducers, if any.
+    pub out: Option<String>,
+    /// Arm the deterministic demo failure.
+    pub demo: bool,
+}
+
+/// Parses the arguments after `fuzz`.
+pub fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
+    let mut parsed = FuzzArgs { seed: 7, iters: 20, out: None, demo: false };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                parsed.seed =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("`--seed` requires a number")?;
+            }
+            "--iters" => {
+                parsed.iters =
+                    it.next().and_then(|v| v.parse().ok()).ok_or("`--iters` requires a number")?;
+            }
+            "--out" => {
+                parsed.out = Some(it.next().ok_or("`--out` requires a directory")?.clone());
+            }
+            "--demo-failure" => parsed.demo = true,
+            other => {
+                return Err(format!(
+                    "unknown fuzz flag `{other}`: expected --seed, --iters, --out or \
+                     --demo-failure"
+                ))
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+/// Runs the `fuzz` subcommand. Returns the stdout payload and whether
+/// the campaign counts as successful: no findings in normal mode; in
+/// `--demo-failure` mode, at least one finding and nothing but the
+/// injected `verdict-fail` kind.
+pub fn run_fuzz_command(args: &[String]) -> Result<(String, bool), String> {
+    let parsed = parse_fuzz_args(args)?;
+    let config =
+        FuzzConfig { seed: parsed.seed, iterations: parsed.iters, demo_failure: parsed.demo };
+    let report = fuzz(&config);
+    if let Some(dir) = &parsed.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+        for finding in &report.findings {
+            let path = Path::new(dir).join(format!("{}.scenario", finding.shrunk.name));
+            std::fs::write(&path, finding.shrunk.render())
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+            eprintln!("wrote shrunk reproducer {}", path.display());
+        }
+    }
+    let ok = if parsed.demo {
+        !report.findings.is_empty() && report.findings.iter().all(|f| f.invariant == "verdict-fail")
+    } else {
+        report.findings.is_empty()
+    };
+    eprintln!("fuzzed {} scenario(s), {} finding(s)", report.iterations, report.findings.len());
+    Ok((report.to_json().render() + "\n", ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn scenario_flags_parse() {
+        let parsed = parse_scenario_args(&args(&[
+            "scenarios",
+            "--kernel",
+            "fast",
+            "--jobs",
+            "2",
+            "--bench",
+            "b.json",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            parsed,
+            ScenarioArgs {
+                paths: vec!["scenarios".into()],
+                fast: true,
+                jobs: 2,
+                bench: Some("b.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn scenario_flag_errors_are_actionable() {
+        let e = parse_scenario_args(&args(&["dir", "--kernel", "warp"])).unwrap_err();
+        assert!(e.contains("cycle") && e.contains("fast"), "{e}");
+        let e = parse_scenario_args(&args(&["dir", "--frobnicate"])).unwrap_err();
+        assert!(e.contains("--frobnicate") && e.contains("--bench"), "{e}");
+        let e = parse_scenario_args(&args(&[])).unwrap_err();
+        assert!(e.contains(".scenario"), "{e}");
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let parsed = parse_fuzz_args(&args(&["--seed", "5", "--iters", "3", "--demo-failure"]))
+            .expect("valid");
+        assert_eq!(parsed, FuzzArgs { seed: 5, iters: 3, out: None, demo: true });
+        let e = parse_fuzz_args(&args(&["--seed"])).unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+    }
+}

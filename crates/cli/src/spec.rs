@@ -281,8 +281,15 @@ impl SimSpec {
             let (key, value) = (key.trim(), value.trim());
             match key {
                 "arbiter" => {
-                    spec.arbiter = ArbiterKind::parse(value)
-                        .ok_or_else(|| err(line_no, format!("unknown arbiter `{value}`")))?;
+                    spec.arbiter = ArbiterKind::parse(value).ok_or_else(|| {
+                        err(
+                            line_no,
+                            format!(
+                                "unknown arbiter `{value}` (expected lottery, lottery-dynamic, \
+                                 priority, tdma, rr, or token)"
+                            ),
+                        )
+                    })?;
                 }
                 "burst" => spec.burst = parse_num(line_no, key, value)?,
                 "cycles" => spec.cycles = parse_num(line_no, key, value)?,
@@ -298,7 +305,16 @@ impl SimSpec {
                         err(line_no, format!("unknown kernel `{value}` (expected fast or cycle)"))
                     })?;
                 }
-                _ => return Err(err(line_no, format!("unknown key `{key}`"))),
+                _ => {
+                    return Err(err(
+                        line_no,
+                        format!(
+                            "unknown key `{key}` (expected arbiter, burst, cycles, warmup, seed, \
+                             tdma-block, timeout, failover, replicas, jobs, or kernel — or a \
+                             `master`, `fault`, `retry`, `metrics`, or `trace` line)"
+                        ),
+                    ))
+                }
             }
         }
         if spec.masters.is_empty() {
@@ -432,7 +448,12 @@ fn parse_fault(line: usize, rest: &str, fault: &mut FaultConfig) -> Result<(), P
             "rate" => rate = Some(parse_num(line, key, value)?),
             "duration" => duration = Some(parse_num(line, key, value)?),
             "max" => max = Some(parse_num(line, key, value)?),
-            _ => return Err(err(line, format!("unknown fault key `{key}`"))),
+            _ => {
+                return Err(err(
+                    line,
+                    format!("unknown fault key `{key}` (expected rate=, duration=, or max=)"),
+                ))
+            }
         }
     }
     let rate = rate.ok_or_else(|| err(line, format!("fault {class} needs a `rate=`")))?;
@@ -480,7 +501,12 @@ fn parse_metrics(line: usize, rest: &str) -> Result<u64, ParseSpecError> {
             .ok_or_else(|| err(line, format!("expected `key=value`, got `{word}`")))?;
         match key {
             "window" => window = Some(parse_num(line, key, value)?),
-            _ => return Err(err(line, format!("unknown metrics key `{key}`"))),
+            _ => {
+                return Err(err(
+                    line,
+                    format!("unknown metrics key `{key}` (expected window=<cycles>)"),
+                ))
+            }
         }
     }
     let window = window.ok_or_else(|| err(line, "metrics line needs a `window=`"))?;
@@ -516,7 +542,12 @@ fn parse_trace(line: usize, rest: &str) -> Result<TraceSinkSpec, ParseSpecError>
                     }
                 });
             }
-            _ => return Err(err(line, format!("unknown trace key `{key}`"))),
+            _ => {
+                return Err(err(
+                    line,
+                    format!("unknown trace key `{key}` (expected sink=<jsonl|vcd>:<path>)"),
+                ))
+            }
         }
     }
     sink.ok_or_else(|| err(line, "trace line needs a `sink=`"))
@@ -540,7 +571,12 @@ fn parse_retry(line: usize, rest: &str) -> Result<RetryPolicy, ParseSpecError> {
                 policy.backoff_factor = parse_num(line, key, factor)?;
             }
             "base" => policy.backoff_base = parse_num(line, key, value)?,
-            _ => return Err(err(line, format!("unknown retry key `{key}`"))),
+            _ => {
+                return Err(err(
+                    line,
+                    format!("unknown retry key `{key}` (expected max=, backoff=, or base=)"),
+                ))
+            }
         }
     }
     if !saw_max {
@@ -564,12 +600,23 @@ fn parse_master(line: usize, rest: &str) -> Result<MasterSpec, ParseSpecError> {
                     saw_load = true;
                 }
                 "size" => master.size = parse_num(line, key, value)?,
-                _ => return Err(err(line, format!("unknown master key `{key}`"))),
+                _ => {
+                    return Err(err(
+                        line,
+                        format!("unknown master key `{key}` (expected weight=, load=, or size=)"),
+                    ))
+                }
             }
         } else if matches!(word, "burst" | "periodic" | "poisson") {
             master.arrival = if word == "poisson" { String::new() } else { word.to_owned() };
         } else {
-            return Err(err(line, format!("unknown master token `{word}`")));
+            return Err(err(
+                line,
+                format!(
+                    "unknown master token `{word}` (expected weight=, load=, size=, or an \
+                     arrival keyword: burst, periodic, or poisson)"
+                ),
+            ));
         }
     }
     if master.size == 0 {
@@ -753,6 +800,79 @@ mod tests {
 
         let e = SimSpec::parse(&format!("failover = 0\n{base}")).unwrap_err();
         assert!(e.message.contains("patience"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_name_themselves_and_the_accepted_values() {
+        let base = "master m load=0.1\n";
+
+        // Top-level key: names the key and lists the accepted ones.
+        let e = SimSpec::parse(&format!("bandwith = 3\n{base}")).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("`bandwith`"), "{e}");
+        assert!(e.message.contains("arbiter"), "{e}");
+        assert!(e.message.contains("kernel"), "{e}");
+
+        // Arbiter value: lists every protocol keyword.
+        let e = SimSpec::parse(&format!("arbiter = fifo\n{base}")).unwrap_err();
+        assert!(e.message.contains("`fifo`"), "{e}");
+        for kind in ["lottery", "lottery-dynamic", "priority", "tdma", "rr", "token"] {
+            assert!(e.message.contains(kind), "{e} should mention {kind}");
+        }
+
+        // Fault clause keys.
+        let e = SimSpec::parse(&format!("fault slave-error rate=0.1 depth=2\n{base}")).unwrap_err();
+        assert!(e.message.contains("`depth`"), "{e}");
+        assert!(e.message.contains("rate="), "{e}");
+        assert!(e.message.contains("duration="), "{e}");
+        assert!(e.message.contains("max="), "{e}");
+
+        // Metrics clause keys.
+        let e = SimSpec::parse(&format!("metrics span=100\n{base}")).unwrap_err();
+        assert!(e.message.contains("`span`"), "{e}");
+        assert!(e.message.contains("window=<cycles>"), "{e}");
+
+        // Trace clause keys.
+        let e = SimSpec::parse(&format!("trace file=out.vcd\n{base}")).unwrap_err();
+        assert!(e.message.contains("`file`"), "{e}");
+        assert!(e.message.contains("sink=<jsonl|vcd>:<path>"), "{e}");
+
+        // Retry clause keys.
+        let e = SimSpec::parse(&format!("retry max=3 cap=9\n{base}")).unwrap_err();
+        assert!(e.message.contains("`cap`"), "{e}");
+        assert!(e.message.contains("backoff="), "{e}");
+
+        // Master clause keys and bare tokens.
+        let e = SimSpec::parse("master m load=0.1 prio=2\n").unwrap_err();
+        assert!(e.message.contains("`prio`"), "{e}");
+        assert!(e.message.contains("weight="), "{e}");
+        let e = SimSpec::parse("master m load=0.1 bursty\n").unwrap_err();
+        assert!(e.message.contains("`bursty`"), "{e}");
+        assert!(e.message.contains("periodic"), "{e}");
+    }
+
+    #[test]
+    fn malformed_clause_shapes_are_actionable() {
+        let base = "master m load=0.1\n";
+
+        // A fault line with a bare word instead of key=value.
+        let e = SimSpec::parse(&format!("fault slave-error rate\n{base}")).unwrap_err();
+        assert!(e.message.contains("expected `key=value`"), "{e}");
+        assert_eq!(e.line, 1);
+
+        // Numbers that do not parse name the key and the value.
+        let e = SimSpec::parse(&format!("fault slave-error rate=lots\n{base}")).unwrap_err();
+        assert!(e.message.contains("`rate`"), "{e}");
+        assert!(e.message.contains("`lots`"), "{e}");
+
+        // A metrics line with a malformed pair.
+        let e = SimSpec::parse(&format!("metrics window=ten\n{base}")).unwrap_err();
+        assert!(e.message.contains("`window`"), "{e}");
+
+        // Errors on later lines carry the right line number.
+        let e = SimSpec::parse(&format!("{base}seed = 3\ntrace path=x.vcd\n")).unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        assert!(e.message.contains("`path`"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,574 @@
+//! Parser for `.scenario` files.
+//!
+//! The format is line-oriented: `#` starts a comment, blank lines are
+//! ignored, and every other line is one directive. Errors carry the
+//! 1-based line number and name both the offending token and the
+//! accepted alternatives, so a typo in a 40-line scenario file points
+//! straight at itself.
+
+use crate::model::{
+    ArbiterSel, Arrival, DepCondition, Dependency, Expectation, FailoverDecl, MasterDecl,
+    PhaseDecl, Scenario, Sla, SlaKind, SlaveDecl, WedgeWindow,
+};
+use socsim::RetryPolicy;
+use std::error::Error;
+use std::fmt;
+
+/// A parse or validation error, with the 1-based line it points at
+/// (line 0 for whole-file semantic errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number; 0 when the error spans the whole file.
+    pub line: usize,
+    /// Human-readable description naming the key and accepted values.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario: {}", self.message)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError { line, message: message.into() }
+}
+
+fn parse_u64(line: usize, key: &str, value: &str) -> Result<u64, ScenarioError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| err(line, format!("`{key}` needs a non-negative integer, got {value:?}")))
+}
+
+fn parse_u32(line: usize, key: &str, value: &str) -> Result<u32, ScenarioError> {
+    value
+        .parse::<u32>()
+        .map_err(|_| err(line, format!("`{key}` needs a non-negative integer, got {value:?}")))
+}
+
+fn parse_f64(line: usize, key: &str, value: &str) -> Result<f64, ScenarioError> {
+    value.parse::<f64>().map_err(|_| err(line, format!("`{key}` needs a number, got {value:?}")))
+}
+
+fn parse_rate(line: usize, key: &str, value: &str) -> Result<f64, ScenarioError> {
+    let rate = parse_f64(line, key, value)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(err(line, format!("`{key}` must be a probability in [0, 1], got {value}")));
+    }
+    Ok(rate)
+}
+
+/// Splits `key=value`, or returns `None` for a bare token.
+fn split_kv(token: &str) -> Option<(&str, &str)> {
+    token.split_once('=')
+}
+
+impl Scenario {
+    /// Parses and validates the text of one `.scenario` file.
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        let mut sc: Option<Scenario> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            match &mut sc {
+                None => {
+                    let Some(rest) = body.strip_prefix("scenario ") else {
+                        return Err(err(
+                            line,
+                            format!("the first directive must be `scenario <name>`, got {body:?}"),
+                        ));
+                    };
+                    let name = rest.trim();
+                    if name.split_whitespace().count() != 1 {
+                        return Err(err(
+                            line,
+                            format!("`scenario` needs exactly one name token, got {rest:?}"),
+                        ));
+                    }
+                    sc = Some(Scenario::empty(name));
+                }
+                Some(sc) => parse_directive(sc, line, body)?,
+            }
+        }
+        let sc = sc.ok_or_else(|| {
+            err(0, "empty file: a scenario needs at least `scenario <name>`, masters and phases")
+        })?;
+        sc.validate().map_err(|m| err(0, format!("in scenario `{}`: {m}", sc.name)))?;
+        Ok(sc)
+    }
+}
+
+fn parse_directive(sc: &mut Scenario, line: usize, body: &str) -> Result<(), ScenarioError> {
+    if body.starts_with("scenario ") {
+        return Err(err(line, "duplicate `scenario` line; one scenario per file"));
+    }
+    if let Some((key, value)) = body.split_once('=').filter(|(k, _)| !k.trim().contains(' ')) {
+        return parse_assignment(sc, line, key.trim(), value.trim());
+    }
+    let (word, rest) = body.split_once(' ').unwrap_or((body, ""));
+    let rest = rest.trim();
+    match word {
+        "master" => parse_master(sc, line, rest),
+        "slave" => parse_slave(sc, line, rest),
+        "phase" => parse_phase(sc, line, rest),
+        "fault" => parse_fault(sc, line, rest),
+        "retry" => parse_retry(sc, line, rest),
+        "failover" => parse_failover(sc, line, rest),
+        "sla" => parse_sla(sc, line, rest),
+        "after" => parse_after(sc, line, rest),
+        "metrics" => parse_metrics(sc, line, rest),
+        other => Err(err(
+            line,
+            format!(
+                "unknown directive `{other}`: expected `<key> = <value>` (seed, arbiter, burst, \
+                 tdma-block, expect, timeout) or a `master`, `slave`, `phase`, `fault`, `retry`, \
+                 `failover`, `sla`, `after` or `metrics` line"
+            ),
+        )),
+    }
+}
+
+fn parse_assignment(
+    sc: &mut Scenario,
+    line: usize,
+    key: &str,
+    value: &str,
+) -> Result<(), ScenarioError> {
+    match key {
+        "seed" => sc.seed = parse_u64(line, "seed", value)?,
+        "burst" => sc.burst = parse_u32(line, "burst", value)?,
+        "tdma-block" => sc.tdma_block = parse_u32(line, "tdma-block", value)?,
+        "timeout" => sc.timeout = Some(parse_u64(line, "timeout", value)?),
+        "arbiter" => {
+            sc.arbiter =
+                ArbiterSel::ALL.into_iter().find(|a| a.keyword() == value).ok_or_else(|| {
+                    let all: Vec<&str> = ArbiterSel::ALL.iter().map(|a| a.keyword()).collect();
+                    err(
+                        line,
+                        format!("unknown arbiter {value:?}: expected one of {}", all.join(", ")),
+                    )
+                })?;
+        }
+        "expect" => {
+            sc.expect = match value {
+                "pass" => Expectation::Pass,
+                "fail" => Expectation::Fail,
+                other => {
+                    return Err(err(
+                        line,
+                        format!("`expect` must be `pass` or `fail`, got {other:?}"),
+                    ))
+                }
+            };
+        }
+        other => {
+            return Err(err(
+                line,
+                format!(
+                    "unknown key `{other}`: assignable keys are seed, arbiter, burst, \
+                     tdma-block, timeout and expect"
+                ),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn parse_master(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut tokens = rest.split_whitespace();
+    let name = tokens
+        .next()
+        .ok_or_else(|| err(line, "`master` needs a name: `master <name> load=<f> ...`"))?;
+    let mut m = MasterDecl {
+        name: name.to_owned(),
+        weight: 1,
+        load: 0.0,
+        size: 8,
+        arrival: Arrival::Poisson,
+        slave: 0,
+    };
+    let mut has_load = false;
+    for token in tokens {
+        match split_kv(token) {
+            Some(("weight", v)) => m.weight = parse_u32(line, "weight", v)?,
+            Some(("size", v)) => m.size = parse_u32(line, "size", v)?,
+            Some(("slave", v)) => m.slave = parse_u64(line, "slave", v)? as usize,
+            Some(("load", v)) => {
+                m.load = parse_f64(line, "load", v)?;
+                has_load = true;
+            }
+            Some((other, _)) => {
+                return Err(err(
+                    line,
+                    format!(
+                        "unknown master key `{other}=`: expected weight=, load=, size= or slave="
+                    ),
+                ))
+            }
+            None => {
+                m.arrival = match token {
+                    "poisson" => Arrival::Poisson,
+                    "burst" => Arrival::Burst,
+                    "periodic" => Arrival::Periodic,
+                    other => {
+                        return Err(err(
+                            line,
+                            format!(
+                                "unknown master token `{other}`: arrival must be poisson, \
+                                 burst or periodic"
+                            ),
+                        ))
+                    }
+                };
+            }
+        }
+    }
+    if !has_load {
+        return Err(err(line, format!("master {name:?} needs a `load=` (words per cycle)")));
+    }
+    sc.masters.push(m);
+    Ok(())
+}
+
+fn parse_slave(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut tokens = rest.split_whitespace();
+    let name = tokens
+        .next()
+        .ok_or_else(|| err(line, "`slave` needs a name: `slave <name> wait=<cycles>`"))?;
+    let mut s = SlaveDecl { name: name.to_owned(), wait: 0 };
+    for token in tokens {
+        match split_kv(token) {
+            Some(("wait", v)) => s.wait = parse_u32(line, "wait", v)?,
+            _ => {
+                return Err(err(
+                    line,
+                    format!("unknown slave token `{token}`: the only slave key is wait=<cycles>"),
+                ))
+            }
+        }
+    }
+    sc.slaves.push(s);
+    Ok(())
+}
+
+fn parse_phase(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut tokens = rest.split_whitespace();
+    let name = tokens
+        .next()
+        .ok_or_else(|| err(line, "`phase` needs a name: `phase <name> duration=<cycles>`"))?;
+    let mut p = PhaseDecl { name: name.to_owned(), duration: 0, scale: 1.0, focus: None };
+    let mut has_duration = false;
+    for token in tokens {
+        match split_kv(token) {
+            Some(("duration", v)) => {
+                p.duration = parse_u64(line, "duration", v)?;
+                has_duration = true;
+            }
+            Some(("scale", v)) => p.scale = parse_f64(line, "scale", v)?,
+            Some(("focus", v)) => p.focus = Some(v.to_owned()),
+            _ => {
+                return Err(err(
+                    line,
+                    format!(
+                        "unknown phase token `{token}`: expected duration=<cycles>, \
+                         scale=<factor> or focus=<master>"
+                    ),
+                ))
+            }
+        }
+    }
+    if !has_duration {
+        return Err(err(line, format!("phase {name:?} needs a `duration=` in cycles")));
+    }
+    sc.phases.push(p);
+    Ok(())
+}
+
+fn parse_fault(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut tokens = rest.split_whitespace();
+    let class = tokens.next().ok_or_else(|| {
+        err(
+            line,
+            "`fault` needs a class: slave-error, slave-outage, grant-drop, grant-corrupt, \
+             master-stall or arbiter-wedge",
+        )
+    })?;
+    if class == "arbiter-wedge" {
+        let (mut from, mut until) = (None, None);
+        for token in tokens {
+            match split_kv(token) {
+                Some(("from", v)) => from = Some(parse_u64(line, "from", v)?),
+                Some(("until", v)) => until = Some(parse_u64(line, "until", v)?),
+                _ => {
+                    return Err(err(
+                        line,
+                        format!(
+                            "unknown arbiter-wedge token `{token}`: expected from=<cycle> \
+                             and until=<cycle>"
+                        ),
+                    ))
+                }
+            }
+        }
+        let (Some(from), Some(until)) = (from, until) else {
+            return Err(err(
+                line,
+                "fault arbiter-wedge needs both `from=<cycle>` and `until=<cycle>`",
+            ));
+        };
+        sc.wedges.push(WedgeWindow { from, until });
+        return Ok(());
+    }
+    let mut rate = None;
+    let mut duration = None;
+    let mut max = None;
+    for token in tokens {
+        match split_kv(token) {
+            Some(("rate", v)) => rate = Some(parse_rate(line, "rate", v)?),
+            Some(("duration", v)) => duration = Some(parse_u32(line, "duration", v)?),
+            Some(("max", v)) => max = Some(parse_u32(line, "max", v)?),
+            _ => {
+                return Err(err(
+                    line,
+                    format!(
+                        "unknown fault token `{token}`: expected rate=<p>, duration=<cycles> \
+                         (slave-outage) or max=<cycles> (master-stall)"
+                    ),
+                ))
+            }
+        }
+    }
+    let rate =
+        rate.ok_or_else(|| err(line, format!("fault {class} needs a `rate=` probability")))?;
+    let f = &mut sc.fault;
+    match class {
+        "slave-error" => f.slave_error_rate = rate,
+        "slave-outage" => {
+            f.slave_outage_rate = rate;
+            if let Some(d) = duration {
+                f.slave_outage_duration = d;
+            }
+        }
+        "grant-drop" => f.grant_drop_rate = rate,
+        "grant-corrupt" => f.grant_corrupt_rate = rate,
+        "master-stall" => {
+            f.master_stall_rate = rate;
+            if let Some(m) = max {
+                f.master_stall_max = m;
+            }
+        }
+        other => {
+            return Err(err(
+                line,
+                format!(
+                    "unknown fault class `{other}`: expected slave-error, slave-outage, \
+                     grant-drop, grant-corrupt, master-stall or arbiter-wedge"
+                ),
+            ))
+        }
+    }
+    if duration.is_some() && class != "slave-outage" {
+        return Err(err(line, "`duration=` only applies to fault slave-outage"));
+    }
+    if max.is_some() && class != "master-stall" {
+        return Err(err(line, "`max=` only applies to fault master-stall"));
+    }
+    Ok(())
+}
+
+fn parse_retry(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut policy = RetryPolicy { max_retries: 0, backoff_base: 8, backoff_factor: 2 };
+    let mut has_max = false;
+    for token in rest.split_whitespace() {
+        match split_kv(token) {
+            Some(("max", v)) => {
+                policy.max_retries = parse_u32(line, "max", v)?;
+                has_max = true;
+            }
+            Some(("base", v)) => policy.backoff_base = parse_u64(line, "base", v)?,
+            Some(("factor", v)) => policy.backoff_factor = parse_u64(line, "factor", v)?,
+            _ => {
+                return Err(err(
+                    line,
+                    format!(
+                        "unknown retry token `{token}`: expected max=<retries>, base=<cycles> \
+                         and factor=<multiplier>"
+                    ),
+                ))
+            }
+        }
+    }
+    if !has_max {
+        return Err(err(line, "`retry` needs a `max=` retry budget"));
+    }
+    sc.retry = Some(policy);
+    Ok(())
+}
+
+fn parse_failover(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut decl = FailoverDecl { patience: 0, recovery: None };
+    let mut has_patience = false;
+    for token in rest.split_whitespace() {
+        match split_kv(token) {
+            Some(("patience", v)) => {
+                decl.patience = parse_u64(line, "patience", v)?;
+                has_patience = true;
+            }
+            Some(("recovery", v)) => decl.recovery = Some(parse_u64(line, "recovery", v)?),
+            _ => {
+                return Err(err(
+                    line,
+                    format!(
+                        "unknown failover token `{token}`: expected patience=<cycles> and \
+                         optionally recovery=<decisions>"
+                    ),
+                ))
+            }
+        }
+    }
+    if !has_patience {
+        return Err(err(line, "`failover` needs a `patience=` in starved cycles"));
+    }
+    sc.failover = Some(decl);
+    Ok(())
+}
+
+fn parse_after(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut tokens = rest.split_whitespace();
+    let parent = tokens.next().ok_or_else(|| {
+        err(line, "`after` needs a parent scenario: `after <name> [passed|failed|failover-fired]`")
+    })?;
+    let condition = match tokens.next() {
+        None | Some("passed") => DepCondition::Passed,
+        Some("failed") => DepCondition::Failed,
+        Some("failover-fired") => DepCondition::FailoverFired,
+        Some(other) => {
+            return Err(err(
+                line,
+                format!(
+                    "unknown after-condition `{other}`: expected passed, failed or \
+                     failover-fired"
+                ),
+            ))
+        }
+    };
+    if tokens.next().is_some() {
+        return Err(err(line, "`after` takes at most a parent name and one condition"));
+    }
+    if sc.after.is_some() {
+        return Err(err(line, "duplicate `after` line; a scenario has at most one parent"));
+    }
+    sc.after = Some(Dependency { parent: parent.to_owned(), condition });
+    Ok(())
+}
+
+fn parse_metrics(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    for token in rest.split_whitespace() {
+        match split_kv(token) {
+            Some(("window", v)) => sc.metrics_window = parse_u64(line, "window", v)?,
+            _ => {
+                return Err(err(
+                    line,
+                    format!("unknown metrics token `{token}`: the only key is window=<cycles>"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_sla(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), ScenarioError> {
+    let mut tokens = rest.split_whitespace();
+    let kind_kw = tokens.next().ok_or_else(|| {
+        err(
+            line,
+            "`sla` needs a kind: bandwidth, latency, starvation, losses, failover, recovery \
+             or utilization",
+        )
+    })?;
+    let mut master = None;
+    let mut phase = None;
+    let mut min = None;
+    let mut max = None;
+    let mut p99 = None;
+    let mut max_windows = None;
+    for token in tokens {
+        match split_kv(token) {
+            Some(("master", v)) => master = Some(v.to_owned()),
+            Some(("phase", v)) => phase = Some(v.to_owned()),
+            Some(("min", v)) => min = Some(parse_f64(line, "min", v)?),
+            Some(("max", v)) => max = Some(parse_f64(line, "max", v)?),
+            Some(("p99", v)) => p99 = Some(parse_u64(line, "p99", v)?),
+            Some(("max-windows", v)) => max_windows = Some(parse_u64(line, "max-windows", v)?),
+            _ => {
+                return Err(err(
+                    line,
+                    format!(
+                        "unknown sla token `{token}`: expected master=, phase=, min=, max=, \
+                         p99= or max-windows="
+                    ),
+                ))
+            }
+        }
+    }
+    let need_master = |master: Option<String>| {
+        master.ok_or_else(|| err(line, format!("sla {kind_kw} needs a `master=<name>`")))
+    };
+    let as_count = |v: Option<f64>, key: &str| -> Result<Option<u64>, ScenarioError> {
+        match v {
+            None => Ok(None),
+            Some(f) if f >= 0.0 && f.fract() == 0.0 => Ok(Some(f as u64)),
+            Some(f) => {
+                Err(err(line, format!("`{key}` must be a non-negative whole count, got {f}")))
+            }
+        }
+    };
+    let kind = match kind_kw {
+        "bandwidth" => SlaKind::Bandwidth { master: need_master(master)?, min, max },
+        "latency" => {
+            let p99 = p99.ok_or_else(|| err(line, "sla latency needs a `p99=<cycles>` ceiling"))?;
+            match master {
+                Some(master) => SlaKind::LatencyMaster { master, p99 },
+                None => SlaKind::LatencyBus { p99 },
+            }
+        }
+        "starvation" => {
+            let master = need_master(master)?;
+            SlaKind::Starvation { master, max_windows: max_windows.unwrap_or(0) }
+        }
+        "losses" => {
+            let max = as_count(max, "max")?
+                .ok_or_else(|| err(line, "sla losses needs a `max=<transactions>` bound"))?;
+            SlaKind::Losses { master, max }
+        }
+        "failover" => SlaKind::Failover {
+            min: as_count(min, "min")?.unwrap_or(0),
+            max: as_count(max, "max")?,
+        },
+        "recovery" => SlaKind::Recovery {
+            min: as_count(min, "min")?
+                .ok_or_else(|| err(line, "sla recovery needs a `min=<count>`"))?,
+        },
+        "utilization" => SlaKind::Utilization { min, max },
+        other => {
+            return Err(err(
+                line,
+                format!(
+                    "unknown sla kind `{other}`: expected bandwidth, latency, starvation, \
+                     losses, failover, recovery or utilization"
+                ),
+            ))
+        }
+    };
+    sc.slas.push(Sla { kind, phase });
+    Ok(())
+}

@@ -1,0 +1,267 @@
+//! SLA evaluation: turns phase-boundary statistics snapshots and
+//! windowed metric samples into structured pass/fail violations.
+//!
+//! Every assertion evaluates against a *scope*: the whole run, or one
+//! phase's delta (cumulative counters at the phase's end minus those
+//! at its start). Windowed assertions (latency percentile ceilings,
+//! starvation bounds) assign each metrics window to the phase
+//! containing the window's first cycle.
+
+use crate::model::{Scenario, Sla, SlaKind};
+use socsim::metrics::WindowSample;
+use socsim::{BusStats, MasterId};
+
+/// One violated assertion, with the observed value and the bound it
+/// crossed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The SLA keyword (`bandwidth`, `latency`, …) or `conservation`
+    /// for the built-in accounting check.
+    pub sla: String,
+    /// Phase the assertion was scoped to, if any.
+    pub phase: Option<String>,
+    /// Master the assertion named, if any.
+    pub master: Option<String>,
+    /// The measured value.
+    pub observed: f64,
+    /// The bound it violated.
+    pub bound: f64,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+/// Everything the evaluator needs about one finished run.
+pub(crate) struct EvalInput<'a> {
+    /// The scenario under evaluation.
+    pub sc: &'a Scenario,
+    /// Cumulative statistics at the end of each phase.
+    pub snaps: &'a [BusStats],
+    /// Cumulative (failovers, recoveries) at the end of each phase.
+    pub probes: &'a [(u64, u64)],
+    /// All windowed metric samples of the run.
+    pub samples: &'a [WindowSample],
+}
+
+impl EvalInput<'_> {
+    /// First cycle of phase `k`.
+    fn phase_start(&self, k: usize) -> u64 {
+        self.sc.phases[..k].iter().map(|p| p.duration).sum()
+    }
+
+    /// Delta of a cumulative counter over the scope.
+    fn delta(&self, scope: Option<usize>, f: impl Fn(&BusStats) -> u64) -> u64 {
+        match scope {
+            None => f(self.snaps.last().expect("at least one phase")),
+            Some(k) => {
+                let end = f(&self.snaps[k]);
+                let start = if k == 0 { 0 } else { f(&self.snaps[k - 1]) };
+                end - start
+            }
+        }
+    }
+
+    /// Delta of the (failovers, recoveries) probe over the scope.
+    fn probe_delta(&self, scope: Option<usize>) -> (u64, u64) {
+        match scope {
+            None => *self.probes.last().expect("at least one phase"),
+            Some(k) => {
+                let end = self.probes[k];
+                let start = if k == 0 { (0, 0) } else { self.probes[k - 1] };
+                (end.0 - start.0, end.1 - start.1)
+            }
+        }
+    }
+
+    /// Samples whose window starts inside the scope.
+    fn samples_in(&self, scope: Option<usize>) -> impl Iterator<Item = &WindowSample> {
+        let range = match scope {
+            None => 0..u64::MAX,
+            Some(k) => self.phase_start(k)..self.phase_start(k) + self.sc.phases[k].duration,
+        };
+        self.samples.iter().filter(move |s| range.contains(&s.start.index()))
+    }
+}
+
+/// Evaluates every SLA of the scenario in declaration order.
+pub(crate) fn evaluate(input: &EvalInput<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for sla in &input.sc.slas {
+        check_sla(input, sla, &mut violations);
+    }
+    violations
+}
+
+fn scope_label(phase: &Option<String>) -> String {
+    match phase {
+        Some(p) => format!("phase {p}"),
+        None => "the whole run".to_owned(),
+    }
+}
+
+fn check_sla(input: &EvalInput<'_>, sla: &Sla, out: &mut Vec<Violation>) {
+    let scope = sla.phase.as_ref().and_then(|p| input.sc.phase_index(p));
+    let at = scope_label(&sla.phase);
+    let mut violate = |master: Option<&str>, observed: f64, bound: f64, message: String| {
+        out.push(Violation {
+            sla: sla.kind.keyword().to_owned(),
+            phase: sla.phase.clone(),
+            master: master.map(str::to_owned),
+            observed,
+            bound,
+            message,
+        });
+    };
+    match &sla.kind {
+        SlaKind::Bandwidth { master, min, max } => {
+            let id = input.sc.master_index(master).expect("validated");
+            let cycles = input.delta(scope, |s| s.cycles);
+            let words = input.delta(scope, |s| s.master(MasterId::new(id)).words);
+            let share = if cycles == 0 { 0.0 } else { words as f64 / cycles as f64 };
+            if let Some(min) = min {
+                if share < *min {
+                    violate(
+                        Some(master),
+                        share,
+                        *min,
+                        format!("bandwidth share of {master} in {at} is {share}, below min {min}"),
+                    );
+                }
+            }
+            if let Some(max) = max {
+                if share > *max {
+                    violate(
+                        Some(master),
+                        share,
+                        *max,
+                        format!("bandwidth share of {master} in {at} is {share}, above max {max}"),
+                    );
+                }
+            }
+        }
+        SlaKind::LatencyBus { p99 } => {
+            let worst = input
+                .samples_in(scope)
+                .filter(|s| s.latency.count > 0)
+                .map(|s| s.latency.p99)
+                .max()
+                .unwrap_or(0);
+            if worst > *p99 {
+                violate(
+                    None,
+                    worst as f64,
+                    *p99 as f64,
+                    format!("worst windowed p99 latency in {at} is {worst} cycles, above {p99}"),
+                );
+            }
+        }
+        SlaKind::LatencyMaster { master, p99 } => {
+            let id = input.sc.master_index(master).expect("validated");
+            let snap = input.snaps.last().expect("at least one phase");
+            let observed = snap.master(MasterId::new(id)).latency_quantile(0.99).unwrap_or(0);
+            if observed > *p99 {
+                violate(
+                    Some(master),
+                    observed as f64,
+                    *p99 as f64,
+                    format!("p99 latency of {master} is {observed} cycles, above {p99}"),
+                );
+            }
+        }
+        SlaKind::Starvation { master, max_windows } => {
+            let id = input.sc.master_index(master).expect("validated");
+            let starved = input
+                .samples_in(scope)
+                .filter(|s| s.per_master[id].queue_depth > 0 && s.per_master[id].grants == 0)
+                .count() as u64;
+            if starved > *max_windows {
+                violate(
+                    Some(master),
+                    starved as f64,
+                    *max_windows as f64,
+                    format!(
+                        "{master} was fully starved for {starved} windows in {at}, \
+                         above the allowed {max_windows}"
+                    ),
+                );
+            }
+        }
+        SlaKind::Losses { master, max } => {
+            let lost = match master {
+                Some(m) => {
+                    let id = input.sc.master_index(m).expect("validated");
+                    input.delta(scope, |s| s.master(MasterId::new(id)).aborted)
+                }
+                None => input.delta(scope, |s| s.aborted_transactions),
+            };
+            if lost > *max {
+                let who = master.as_deref().unwrap_or("the bus");
+                violate(
+                    master.as_deref(),
+                    lost as f64,
+                    *max as f64,
+                    format!("{who} lost {lost} transactions in {at}, above the allowed {max}"),
+                );
+            }
+        }
+        SlaKind::Failover { min, max } => {
+            let (fired, _) = input.probe_delta(scope);
+            if fired < *min {
+                violate(
+                    None,
+                    fired as f64,
+                    *min as f64,
+                    format!("failover fired {fired} times in {at}, below the required {min}"),
+                );
+            }
+            if let Some(max) = max {
+                if fired > *max {
+                    violate(
+                        None,
+                        fired as f64,
+                        *max as f64,
+                        format!("failover fired {fired} times in {at}, above the allowed {max}"),
+                    );
+                }
+            }
+        }
+        SlaKind::Recovery { min } => {
+            let (_, recovered) = input.probe_delta(scope);
+            if recovered < *min {
+                violate(
+                    None,
+                    recovered as f64,
+                    *min as f64,
+                    format!(
+                        "the primary was re-promoted {recovered} times in {at}, \
+                         below the required {min}"
+                    ),
+                );
+            }
+        }
+        SlaKind::Utilization { min, max } => {
+            let cycles = input.delta(scope, |s| s.cycles);
+            let busy = input.delta(scope, |s| s.busy_cycles);
+            let util = if cycles == 0 { 0.0 } else { busy as f64 / cycles as f64 };
+            if let Some(min) = min {
+                if util < *min {
+                    violate(
+                        None,
+                        util,
+                        *min,
+                        format!("bus utilization in {at} is {util}, below min {min}"),
+                    );
+                }
+            }
+            if let Some(max) = max {
+                if util > *max {
+                    violate(
+                        None,
+                        util,
+                        *max,
+                        format!("bus utilization in {at} is {util}, above max {max}"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the `.scenario` parser: it must never
+//! panic, and anything it accepts must survive a render/parse round
+//! trip unchanged.
+
+use proptest::prelude::*;
+use scenario::Scenario;
+
+/// Fragments the generator splices into candidate files — a mix of
+/// valid directives, near-miss typos and junk.
+const LINES: &[&str] = &[
+    "scenario prop",
+    "scenario two words",
+    "seed = 42",
+    "seed = -1",
+    "burst = 8",
+    "arbiter = lottery",
+    "arbiter = warp",
+    "expect = fail",
+    "master cpu load=0.3 weight=2 size=8",
+    "master cpu load=0.3 poisson",
+    "master dup load=2.0",
+    "master nameless",
+    "slave mem wait=2",
+    "phase p duration=1000",
+    "phase p duration=1000 scale=0.5 focus=cpu",
+    "phase q",
+    "fault slave-error rate=0.5",
+    "fault slave-outage rate=0.5 duration=0",
+    "fault arbiter-wedge from=10 until=5",
+    "retry max=2 base=8 factor=2",
+    "retry base=8",
+    "failover patience=32 recovery=16",
+    "after parent failover-fired",
+    "metrics window=256",
+    "sla utilization min=0.5",
+    "sla losses max=0",
+    "sla latency p99=100 master=cpu",
+    "sla bandwidth master=cpu",
+    "sla nonsense",
+    "# a comment",
+    "",
+    "garbage ===",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_and_accepted_files_round_trip(
+        picks in proptest::collection::vec(0..LINES.len(), 0..12),
+    ) {
+        let text: String =
+            picks.iter().map(|&i| format!("{}\n", LINES[i])).collect();
+        if let Ok(sc) = Scenario::parse(&text) {
+            let rendered = sc.render();
+            let reparsed = Scenario::parse(&rendered)
+                .expect("canonical render must re-parse");
+            prop_assert_eq!(reparsed, sc);
+        }
+    }
+}

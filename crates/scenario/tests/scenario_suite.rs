@@ -1,0 +1,137 @@
+//! Integration tests over the committed scenario library and the
+//! fuzzer: every `.scenario` file in `scenarios/` must parse, run to
+//! its expected verdict under BOTH kernels with byte-identical
+//! verdict JSON, and survive a render/parse round trip. The fuzzer's
+//! demo campaign must keep shrinking to the committed regression
+//! file.
+
+use scenario::{fuzz, run_plan, run_scenario, FuzzConfig, PlanOutcome, Scenario};
+use std::path::PathBuf;
+
+/// Repo-root `scenarios/` directory, resolved from the crate root.
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// Loads the committed library in name order, as the CLI would.
+fn load_library() -> Vec<Scenario> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scenario"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 15, "the library ships at least 15 scenarios, found {}", files.len());
+    files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(f).expect("readable");
+            Scenario::parse(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", f.display()))
+        })
+        .collect()
+}
+
+#[test]
+fn library_verdicts_match_expectations_and_kernels_agree_bytewise() {
+    let library = load_library();
+    let cycle = run_plan(&library, false, 0).expect("cycle plan runs");
+    let fast = run_plan(&library, true, 0).expect("fast plan runs");
+    assert!(cycle.all_as_expected(), "cycle verdicts: {}", cycle.to_json().render());
+    assert_eq!(
+        cycle.to_json().render(),
+        fast.to_json().render(),
+        "verdict JSON must be byte-identical across kernels"
+    );
+}
+
+#[test]
+fn library_round_trips_through_render_and_parse() {
+    for sc in load_library() {
+        let rendered = sc.render();
+        let reparsed = Scenario::parse(&rendered)
+            .unwrap_or_else(|e| panic!("render of `{}` does not re-parse: {e}", sc.name));
+        assert_eq!(reparsed, sc, "`{}` round trip changed the scenario", sc.name);
+    }
+}
+
+#[test]
+fn failover_recovery_scenario_fires_both_transitions_in_the_degraded_phase() {
+    let text = std::fs::read_to_string(scenarios_dir().join("failover-recovery.scenario"))
+        .expect("library file");
+    let sc = Scenario::parse(&text).expect("parses");
+    let outcome = run_scenario(&sc, false).expect("runs");
+    assert!(outcome.passed, "violations: {:?}", outcome.violations);
+    assert_eq!(outcome.failovers, 1, "exactly one failover");
+    assert_eq!(outcome.recoveries, 1, "exactly one re-promotion");
+    let degraded = outcome.phases.iter().find(|p| p.name == "degraded").expect("phase exists");
+    assert_eq!((degraded.failovers, degraded.recoveries), (1, 1));
+    let healthy = outcome.phases.iter().find(|p| p.name == "healthy").expect("phase exists");
+    assert_eq!((healthy.failovers, healthy.recoveries), (0, 0));
+}
+
+#[test]
+fn plan_dependencies_gate_execution() {
+    let parent_fails = Scenario::parse(
+        "scenario parent\n\
+         expect = fail\n\
+         master cpu load=0.3\n\
+         phase p duration=2000\n\
+         sla utilization min=0.99\n",
+    )
+    .expect("valid");
+    let child = Scenario::parse(
+        "scenario child\n\
+         after parent\n\
+         master cpu load=0.3\n\
+         phase p duration=2000\n",
+    )
+    .expect("valid");
+    let rescue = Scenario::parse(
+        "scenario rescue\n\
+         after parent failed\n\
+         master cpu load=0.3\n\
+         phase p duration=2000\n",
+    )
+    .expect("valid");
+    let report = run_plan(&[parent_fails, child, rescue], false, 0).expect("plan runs");
+    assert!(report.all_as_expected(), "{}", report.to_json().render());
+    let get = |name: &str| &report.entries.iter().find(|(n, _)| n == name).expect("entry exists").1;
+    assert!(matches!(get("parent"), PlanOutcome::Ran(o) if !o.passed));
+    assert!(
+        matches!(get("child"), PlanOutcome::Skipped { reason } if reason.contains("passed")),
+        "child needs `passed` and must be skipped"
+    );
+    assert!(matches!(get("rescue"), PlanOutcome::Ran(o) if o.passed));
+}
+
+#[test]
+fn fuzz_smoke_finds_nothing_organically() {
+    let report = fuzz(&FuzzConfig { seed: 7, iterations: 10, demo_failure: false });
+    assert_eq!(report.iterations, 10);
+    assert!(
+        report.findings.is_empty(),
+        "seed 7 must stay clean; findings: {}",
+        report.to_json().render()
+    );
+}
+
+#[test]
+fn demo_failure_shrinks_to_the_committed_regression_file() {
+    let report = fuzz(&FuzzConfig { seed: 7, iterations: 1, demo_failure: true });
+    assert_eq!(report.findings.len(), 1, "the armed failure must be found");
+    let finding = &report.findings[0];
+    assert_eq!(finding.invariant, "verdict-fail");
+    let committed =
+        std::fs::read_to_string(scenarios_dir().join("regressions/fuzz-0000-min.scenario"))
+            .expect("committed regression file");
+    assert_eq!(
+        finding.shrunk.render(),
+        committed,
+        "the shrinker drifted from the committed reproducer — \
+         regenerate scenarios/regressions/ or fix the regression"
+    );
+    // The reproducer itself runs to its recorded (failing) verdict.
+    let sc = Scenario::parse(&committed).expect("parses");
+    let outcome = run_scenario(&sc, false).expect("runs");
+    assert!(outcome.as_expected(), "reproducer no longer reproduces");
+}

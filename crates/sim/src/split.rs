@@ -590,6 +590,31 @@ mod tests {
     }
 
     #[test]
+    fn retry_exhaustion_runs_its_full_backoff_schedule_on_a_split_bus() {
+        // Certain slave errors WITH a retry budget: every request
+        // phase must walk the whole ladder — initial attempt plus
+        // `max_retries` backoffs — before aborting, and the split
+        // payload FIFO must survive the repeated re-grants.
+        let mut system = SplitSystemBuilder::new(BusConfig::default())
+            .master("a", script(&[(0, 4), (50, 4)]))
+            .master("b", script(&[(0, 2)]))
+            .split_slave("mem", 5, 2)
+            .arbiter(Box::new(FixedOrderArbiter::new(3)))
+            .faults(FaultConfig { seed: 3, slave_error_rate: 1.0, ..FaultConfig::default() })
+            .retry_policy(RetryPolicy { max_retries: 2, backoff_base: 4, backoff_factor: 2 })
+            .build()
+            .expect("valid");
+        system.run(400);
+        let stats = system.bus_stats();
+        assert_eq!(system.master_stats(0).transactions, 0, "nothing completes");
+        assert_eq!(system.master_stats(1).transactions, 0, "nothing completes");
+        assert_eq!(stats.aborted_transactions, 3, "every transaction exhausts eventually");
+        assert_eq!(stats.retries, 2 * 3, "each ran its full retry budget first");
+        assert_eq!(stats.slave_errors, 3 * 3, "one error per attempt, three attempts each");
+        assert_eq!(stats.timeouts, 0, "exhaustion, not the watchdog, resolved them");
+    }
+
+    #[test]
     fn inert_fault_config_leaves_split_results_unchanged() {
         let run = |faulty: bool| {
             let mut builder = SplitSystemBuilder::new(BusConfig::default())
