@@ -1,20 +1,21 @@
-//! Fast-forward kernel vs the cycle kernel on the paper's workload
-//! shapes (Figures 4/5/6): mostly-idle periodic traffic (the fast
-//! kernel's best case), the Figure 5 TDMA replay, and a saturated
-//! four-master system (its worst case — the skip path must cost
-//! nothing when there is nothing to skip).
+//! The three simulation kernels (cycle, fast-forward, TLM) on the
+//! paper's workload shapes (Figures 4/5/6): mostly-idle periodic
+//! traffic (the skipping kernels' best case), the Figure 5 TDMA
+//! replay, and a saturated four-master system (their worst case — the
+//! skip paths must cost nothing when there is nothing to skip).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use experiments::common::{low_utilization_specs, protocol_arbiter};
-use socsim::{BusConfig, SystemBuilder};
+use socsim::{BusConfig, Kernel, SystemBuilder};
 use std::hint::black_box;
 use traffic_gen::classes::saturating_specs;
 use traffic_gen::GeneratorSpec;
 
 const CYCLES: u64 = 50_000;
+const KERNELS: [Kernel; 3] = [Kernel::Cycle, Kernel::Fast, Kernel::Tlm];
 
-fn run_workload(specs: &[GeneratorSpec], fast_forward: bool) -> f64 {
-    let mut builder = SystemBuilder::new(BusConfig::default()).fast_forward(fast_forward);
+fn run_workload(specs: &[GeneratorSpec], kernel: Kernel) -> f64 {
+    let mut builder = SystemBuilder::new(BusConfig::default()).kernel(kernel);
     for (i, spec) in specs.iter().enumerate() {
         builder = builder.master(format!("m{i}"), spec.build_source(i as u64 + 1));
     }
@@ -30,10 +31,12 @@ fn kernel_comparison(c: &mut Criterion) {
         let group_name = format!("kernel_{name}");
         let mut group = c.benchmark_group(&group_name);
         group.throughput(Throughput::Elements(CYCLES));
-        for (kernel, fast) in [("cycle", false), ("fast", true)] {
-            group.bench_with_input(BenchmarkId::from_parameter(kernel), &fast, |b, &fast| {
-                b.iter(|| black_box(run_workload(specs, fast)))
-            });
+        for kernel in KERNELS {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kernel.name()),
+                &kernel,
+                |b, &kernel| b.iter(|| black_box(run_workload(specs, kernel))),
+            );
         }
         group.finish();
     }
@@ -44,10 +47,12 @@ fn kernel_fig5_replay(c: &mut Criterion) {
     // point: deterministic periodic traffic with long reserved-slot
     // gaps, a realistic middle ground between the two extremes above.
     let mut group = c.benchmark_group("kernel_fig5");
-    for (kernel, fast) in [("cycle", false), ("fast", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(kernel), &fast, |b, &fast| {
-            b.iter(|| black_box(experiments::fig5::run_kernel(1, fast)))
-        });
+    for kernel in KERNELS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &kernel| b.iter(|| black_box(experiments::fig5::run_kernel(1, kernel))),
+        );
     }
     group.finish();
 }

@@ -16,6 +16,7 @@
 //! and wall-clock telemetry goes to stderr only.
 
 use lotterybus_cli::report::render_replica_summary;
+use lotterybus_cli::scenario_cmd::CommandError;
 use lotterybus_cli::{render_metrics, render_report, SimSpec, TraceSinkSpec};
 use socsim::{SystemBuilder, TraceSink, WindowSample};
 use std::io::Read;
@@ -24,7 +25,7 @@ use std::time::Instant;
 
 const USAGE: &str = "\
 usage: lotterybus-sim <spec-file | -> [--vcd <file>] [--jobs <n>]
-       lotterybus-sim scenario <files-or-dirs>... [--kernel cycle|fast] [--jobs <n>] [--bench <file>]
+       lotterybus-sim scenario <files-or-dirs>... [--kernel cycle|fast|tlm] [--jobs <n>] [--bench <file>]
        lotterybus-sim fuzz [--seed <n>] [--iters <n>] [--out <dir>] [--demo-failure]
        lotterybus-sim --example";
 
@@ -56,9 +57,11 @@ master dma   weight=1 load=0.15 size=8  periodic
 # trace sink=jsonl:events.jsonl   # stream trace events as JSON lines
 # trace sink=vcd:waves.vcd        # or stream a VCD waveform
 
-# Optional kernel selection. `fast` skips provably idle spans; the
-# report is byte-identical either way, only wall-clock time changes.
-# kernel = fast                   # fast | cycle (default cycle)
+# Optional kernel selection. `fast` skips provably idle spans and is
+# byte-identical to `cycle`; `tlm` also batches whole bus tenures —
+# exact for periodic/burst arrivals, a bounded approximation for
+# memoryless (poisson) ones.
+# kernel = fast                   # cycle | fast | tlm (default cycle)
 ";
 
 fn main() -> ExitCode {
@@ -101,8 +104,10 @@ fn main() -> ExitCode {
 
 /// Prints a subcommand's stdout payload and maps its verdict to the
 /// process exit code (reports that ran but didn't match expectations
-/// still print before the non-zero exit).
-fn subcommand_exit(outcome: Result<(String, bool), String>) -> ExitCode {
+/// still print before the non-zero exit). Usage errors — a malformed
+/// command line, e.g. an unknown `--kernel` value — exit with status
+/// 2; runtime failures with 1.
+fn subcommand_exit(outcome: Result<(String, bool), CommandError>) -> ExitCode {
     match outcome {
         Ok((stdout, ok)) => {
             print!("{stdout}");
@@ -112,7 +117,11 @@ fn subcommand_exit(outcome: Result<(String, bool), String>) -> ExitCode {
                 ExitCode::from(2)
             }
         }
-        Err(message) => {
+        Err(CommandError::Usage(message)) => {
+            eprintln!("error: {message}\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CommandError::Failure(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
@@ -181,7 +190,7 @@ fn simulate(spec: &SimSpec, vcd: Option<&str>) -> Result<SimOutcome, String> {
         builder = builder.trace_capacity(3 * spec.cycles as usize);
     }
     let mut system = builder
-        .fast_forward(spec.kernel.is_fast())
+        .kernel(spec.kernel.to_kernel())
         .arbiter(spec.build_arbiter().map_err(|e| e.to_string())?)
         .build()
         .map_err(|e| e.to_string())?;
@@ -330,6 +339,22 @@ mod tests {
             report
         };
         assert_eq!(render("cycle"), render("fast"), "kernels must render identically");
+        assert_eq!(render("cycle"), render("tlm"), "tlm is exact for periodic arrivals");
+    }
+
+    #[test]
+    fn tlm_kernel_report_is_byte_identical_without_metrics() {
+        // Without a metrics window the TLM kernel actually batches
+        // tenures (metrics force the exact fallback); periodic
+        // arrivals keep it byte-exact regardless.
+        let base = "arbiter = lottery\ncycles = 5000\nwarmup = 500\n\
+                    master cpu weight=3 load=0.2 size=16 periodic\n\
+                    master dma weight=1 load=0.1 size=8 periodic\n";
+        let render = |kernel: &str| -> String {
+            let spec = SimSpec::parse(&format!("kernel = {kernel}\n{base}")).expect("valid spec");
+            render_report(&spec, &simulate(&spec, None).expect("runs").stats)
+        };
+        assert_eq!(render("cycle"), render("tlm"), "tlm must render identically");
     }
 
     #[test]

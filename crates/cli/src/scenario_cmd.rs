@@ -13,15 +13,35 @@
 //! shrunk minimal reproducer as a committable `.scenario` file.
 
 use scenario::{fuzz, run_scenario_profiled, FuzzConfig, PlanReport, Scenario};
+use socsim::Kernel;
 use std::path::{Path, PathBuf};
+
+/// How a subcommand failed: usage errors (bad flags) exit with status
+/// 2, runtime failures (unreadable files, invalid scenarios) with 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandError {
+    /// The command line itself is malformed.
+    Usage(String),
+    /// The command line parsed but the command could not run.
+    Failure(String),
+}
+
+impl CommandError {
+    /// The human-readable message, regardless of kind.
+    pub fn message(&self) -> &str {
+        match self {
+            CommandError::Usage(m) | CommandError::Failure(m) => m,
+        }
+    }
+}
 
 /// Parsed flags of the `scenario` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioArgs {
     /// Files or directories to load scenarios from.
     pub paths: Vec<String>,
-    /// Run under the fast-forward kernel.
-    pub fast: bool,
+    /// Simulation kernel to run under.
+    pub kernel: Kernel,
     /// Worker threads (0 = all cores).
     pub jobs: usize,
     /// Write a wall-clock bench report to this file.
@@ -30,20 +50,16 @@ pub struct ScenarioArgs {
 
 /// Parses the arguments after `scenario`.
 pub fn parse_scenario_args(args: &[String]) -> Result<ScenarioArgs, String> {
-    let mut parsed = ScenarioArgs { paths: Vec::new(), fast: false, jobs: 0, bench: None };
+    let mut parsed =
+        ScenarioArgs { paths: Vec::new(), kernel: Kernel::Cycle, jobs: 0, bench: None };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--kernel" => match it.next().map(String::as_str) {
-                Some("cycle") => parsed.fast = false,
-                Some("fast") => parsed.fast = true,
-                other => {
-                    return Err(format!(
-                        "`--kernel` must be `cycle` or `fast`, got {:?}",
-                        other.unwrap_or("nothing")
-                    ))
-                }
-            },
+            "--kernel" => {
+                let word = it.next().map(String::as_str).unwrap_or("nothing");
+                parsed.kernel = Kernel::parse(word)
+                    .ok_or(format!("`--kernel` must be `cycle`, `fast`, or `tlm`, got {word:?}"))?;
+            }
             "--jobs" => {
                 parsed.jobs =
                     it.next().and_then(|v| v.parse().ok()).ok_or("`--jobs` requires a number")?;
@@ -104,19 +120,21 @@ fn load_scenarios(files: &[PathBuf]) -> Result<Vec<Scenario>, String> {
 
 /// Runs the `scenario` subcommand. Returns the stdout payload and
 /// whether every scenario matched its expectation.
-pub fn run_scenario_command(args: &[String]) -> Result<(String, bool), String> {
-    let parsed = parse_scenario_args(args)?;
-    let files = collect_scenario_files(&parsed.paths)?;
-    let scenarios = load_scenarios(&files)?;
-    let report = scenario::run_plan(&scenarios, parsed.fast, parsed.jobs)?;
+pub fn run_scenario_command(args: &[String]) -> Result<(String, bool), CommandError> {
+    let parsed = parse_scenario_args(args).map_err(CommandError::Usage)?;
+    let files = collect_scenario_files(&parsed.paths).map_err(CommandError::Failure)?;
+    let scenarios = load_scenarios(&files).map_err(CommandError::Failure)?;
+    let report = scenario::run_plan(&scenarios, parsed.kernel, parsed.jobs)
+        .map_err(CommandError::Failure)?;
     if let Some(bench_path) = &parsed.bench {
-        write_bench(bench_path, &scenarios, &report, parsed.fast)?;
+        write_bench(bench_path, &scenarios, &report, parsed.kernel)
+            .map_err(CommandError::Failure)?;
     }
     let ok = report.all_as_expected();
     eprintln!(
         "ran {} scenario(s) under the {} kernel: {}",
         scenarios.len(),
-        if parsed.fast { "fast-forward" } else { "cycle-accurate" },
+        parsed.kernel.name(),
         if ok { "all as expected" } else { "unexpected verdicts" },
     );
     Ok((report.to_json().render() + "\n", ok))
@@ -129,7 +147,7 @@ fn write_bench(
     path: &str,
     scenarios: &[Scenario],
     report: &PlanReport,
-    fast: bool,
+    kernel: Kernel,
 ) -> Result<(), String> {
     use experiments::json::Json;
     let mut total = std::time::Duration::ZERO;
@@ -144,14 +162,14 @@ fn write_bench(
         if !ran {
             continue;
         }
-        let (_, wall) = run_scenario_profiled(sc, fast)?;
+        let (_, wall) = run_scenario_profiled(sc, kernel)?;
         total += wall;
         timed += 1;
     }
     let json = Json::obj()
         .field("scenario_suite_wall_secs", total.as_secs_f64())
         .field("scenarios_timed", timed)
-        .field("kernel", if fast { "fast" } else { "cycle" });
+        .field("kernel", kernel.name());
     std::fs::write(path, json.render() + "\n")
         .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     eprintln!("scenario bench: {timed} scenario(s) in {:.3}s -> {path}", total.as_secs_f64());
@@ -204,17 +222,19 @@ pub fn parse_fuzz_args(args: &[String]) -> Result<FuzzArgs, String> {
 /// the campaign counts as successful: no findings in normal mode; in
 /// `--demo-failure` mode, at least one finding and nothing but the
 /// injected `verdict-fail` kind.
-pub fn run_fuzz_command(args: &[String]) -> Result<(String, bool), String> {
-    let parsed = parse_fuzz_args(args)?;
+pub fn run_fuzz_command(args: &[String]) -> Result<(String, bool), CommandError> {
+    let parsed = parse_fuzz_args(args).map_err(CommandError::Usage)?;
     let config =
         FuzzConfig { seed: parsed.seed, iterations: parsed.iters, demo_failure: parsed.demo };
     let report = fuzz(&config);
     if let Some(dir) = &parsed.out {
-        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CommandError::Failure(format!("cannot create `{dir}`: {e}")))?;
         for finding in &report.findings {
             let path = Path::new(dir).join(format!("{}.scenario", finding.shrunk.name));
-            std::fs::write(&path, finding.shrunk.render())
-                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+            std::fs::write(&path, finding.shrunk.render()).map_err(|e| {
+                CommandError::Failure(format!("cannot write `{}`: {e}", path.display()))
+            })?;
             eprintln!("wrote shrunk reproducer {}", path.display());
         }
     }
@@ -251,21 +271,36 @@ mod tests {
             parsed,
             ScenarioArgs {
                 paths: vec!["scenarios".into()],
-                fast: true,
+                kernel: Kernel::Fast,
                 jobs: 2,
                 bench: Some("b.json".into()),
             }
         );
+        let parsed = parse_scenario_args(&args(&["scenarios", "--kernel", "tlm"])).expect("valid");
+        assert_eq!(parsed.kernel, Kernel::Tlm);
+        let parsed = parse_scenario_args(&args(&["scenarios"])).expect("valid");
+        assert_eq!(parsed.kernel, Kernel::Cycle, "default is the reference kernel");
     }
 
     #[test]
     fn scenario_flag_errors_are_actionable() {
         let e = parse_scenario_args(&args(&["dir", "--kernel", "warp"])).unwrap_err();
-        assert!(e.contains("cycle") && e.contains("fast"), "{e}");
+        assert!(e.contains("cycle") && e.contains("fast") && e.contains("tlm"), "{e}");
         let e = parse_scenario_args(&args(&["dir", "--frobnicate"])).unwrap_err();
         assert!(e.contains("--frobnicate") && e.contains("--bench"), "{e}");
         let e = parse_scenario_args(&args(&[])).unwrap_err();
         assert!(e.contains(".scenario"), "{e}");
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_usage_error_not_a_panic() {
+        let err = run_scenario_command(&args(&["dir", "--kernel", "warp"])).unwrap_err();
+        assert!(matches!(err, CommandError::Usage(_)), "bad --kernel must be a usage error");
+        assert!(err.message().contains("tlm"), "{}", err.message());
+        // A well-formed command line that fails at runtime is not a
+        // usage error.
+        let err = run_scenario_command(&args(&["/nonexistent-dir-for-test"])).unwrap_err();
+        assert!(matches!(err, CommandError::Failure(_)));
     }
 
     #[test]

@@ -54,12 +54,17 @@ impl ArbiterKind {
     }
 }
 
-/// Which simulation kernel the spec selects (`kernel = fast|cycle`).
+/// Which simulation kernel the spec selects
+/// (`kernel = cycle|fast|tlm`).
 ///
-/// Both kernels produce byte-identical reports; `fast` skips provably
-/// idle spans (see `socsim::fastforward`) and only changes wall-clock
-/// time. The report never mentions the kernel, so outputs stay
-/// diffable across the two.
+/// `cycle` and `fast` produce byte-identical reports; `fast` skips
+/// provably idle spans (see `socsim::fastforward`) and only changes
+/// wall-clock time. `tlm` additionally batches whole bus tenures into
+/// single events: exact for catch-up arrival processes (periodic,
+/// on/off) but a bounded approximation for memoryless (Bernoulli)
+/// arrivals, whose thinning against a busy bus differs when polls are
+/// deferred. The report never mentions the kernel, so outputs stay
+/// diffable wherever the kernels agree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelKind {
     /// Step every cycle (the reference kernel).
@@ -67,6 +72,8 @@ pub enum KernelKind {
     Cycle,
     /// Fast-forward across provably idle spans.
     Fast,
+    /// Transaction-level: idle skips plus whole-tenure batching.
+    Tlm,
 }
 
 impl KernelKind {
@@ -74,13 +81,23 @@ impl KernelKind {
         Some(match word {
             "cycle" => KernelKind::Cycle,
             "fast" => KernelKind::Fast,
+            "tlm" => KernelKind::Tlm,
             _ => return None,
         })
     }
 
     /// Whether this kernel runs with fast-forward enabled.
     pub fn is_fast(self) -> bool {
-        self == KernelKind::Fast
+        self != KernelKind::Cycle
+    }
+
+    /// The `socsim` kernel this spec keyword selects.
+    pub fn to_kernel(self) -> socsim::Kernel {
+        match self {
+            KernelKind::Cycle => socsim::Kernel::Cycle,
+            KernelKind::Fast => socsim::Kernel::Fast,
+            KernelKind::Tlm => socsim::Kernel::Tlm,
+        }
     }
 }
 
@@ -186,8 +203,10 @@ pub struct SimSpec {
     /// Streaming trace destination from a `trace sink=<kind>:<path>`
     /// line; requires `replicas = 1`.
     pub trace_sink: Option<TraceSinkSpec>,
-    /// Simulation kernel from a `kernel = fast|cycle` line (default
-    /// `cycle`). Never affects results, only wall-clock time.
+    /// Simulation kernel from a `kernel = cycle|fast|tlm` line
+    /// (default `cycle`). `cycle` and `fast` never affect results;
+    /// `tlm` is exact except under memoryless arrivals (see
+    /// [`KernelKind`]).
     pub kernel: KernelKind,
     /// The masters, in declaration order.
     pub masters: Vec<MasterSpec>,
@@ -302,7 +321,10 @@ impl SimSpec {
                 "jobs" => spec.jobs = parse_num(line_no, key, value)?,
                 "kernel" => {
                     spec.kernel = KernelKind::parse(value).ok_or_else(|| {
-                        err(line_no, format!("unknown kernel `{value}` (expected fast or cycle)"))
+                        err(
+                            line_no,
+                            format!("unknown kernel `{value}` (expected cycle, fast, or tlm)"),
+                        )
                     })?;
                 }
                 _ => {
@@ -701,15 +723,23 @@ mod tests {
         let spec = SimSpec::parse("kernel = fast\nmaster m load=0.1\n").expect("valid");
         assert_eq!(spec.kernel, KernelKind::Fast);
         assert!(spec.kernel.is_fast());
+        assert_eq!(spec.kernel.to_kernel(), socsim::Kernel::Fast);
+
+        let spec = SimSpec::parse("kernel = tlm\nmaster m load=0.1\n").expect("valid");
+        assert_eq!(spec.kernel, KernelKind::Tlm);
+        assert!(spec.kernel.is_fast());
+        assert_eq!(spec.kernel.to_kernel(), socsim::Kernel::Tlm);
 
         let spec = SimSpec::parse("kernel = cycle\nmaster m load=0.1\n").expect("valid");
         assert_eq!(spec.kernel, KernelKind::Cycle);
+        assert_eq!(spec.kernel.to_kernel(), socsim::Kernel::Cycle);
 
         let spec = SimSpec::parse("master m load=0.1\n").expect("valid");
         assert_eq!(spec.kernel, KernelKind::Cycle, "default is the reference kernel");
 
         let e = SimSpec::parse("kernel = warp\nmaster m load=0.1\n").unwrap_err();
         assert!(e.message.contains("unknown kernel"), "{e}");
+        assert!(e.message.contains("tlm"), "error must list tlm: {e}");
     }
 
     #[test]

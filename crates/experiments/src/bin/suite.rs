@@ -12,31 +12,37 @@
 //!   in every simulation. The samples are discarded, so the JSON output
 //!   is byte-identical with or without this flag; it exists to exercise
 //!   and measure the observability layer.
-//! * `--kernel K` — simulation kernel, `fast` or `cycle` (default
-//!   `cycle`). The fast-forward kernel skips provably idle spans; the
-//!   JSON output is byte-identical either way (the CI kernel-diff gate
-//!   checks exactly that), only wall-clock time changes.
+//! * `--kernel K` — simulation kernel, `cycle` (default), `fast`, or
+//!   `tlm`. The fast-forward kernel skips provably idle spans and the
+//!   JSON output is byte-identical (the CI kernel-diff gate checks
+//!   exactly that). The TLM kernel additionally collapses whole bus
+//!   tenures into single events: exact for catch-up arrival processes
+//!   (periodic, on/off, replay), a bounded approximation for
+//!   memoryless (Bernoulli) arrivals against a contended bus.
 //! * `--out FILE` — write the JSON document to FILE instead of stdout.
 //! * `--bench FILE` — benchmark mode: run the suite serially (`--jobs
 //!   1`) and with the requested worker count, with metrics off and on,
 //!   and once under the fast-forward kernel; assert all result
 //!   documents are byte-identical, profile the cycle kernel's phases,
 //!   time the fast kernel against the cycle kernel on a low-utilization
-//!   and a saturated workload, run the saturated hot-path lineup
+//!   and a saturated workload, probe the TLM kernel (byte-exactness
+//!   plus speedup on the low-utilization workload, measured error
+//!   bounds on the saturated one), run the saturated hot-path lineup
 //!   (steady-state cycles/sec per protocol), and write the wall-clock
-//!   report to FILE (the `BENCH_PR5.json` artifact: parallel speedup,
-//!   metrics overhead, kernel speedups, per-phase breakdown, and
-//!   per-protocol hot-path throughput).
+//!   report to FILE (the `BENCH_PR7.json` artifact: parallel speedup,
+//!   metrics overhead, kernel speedups, the `tlm` probe section,
+//!   per-phase breakdown, and per-protocol hot-path throughput).
 //!
 //! Timing telemetry always goes to **stderr** so stdout stays a clean,
 //! diffable result stream.
 
 use experiments::suite::{run_suite, SuiteOptions};
 use experiments::telemetry::{sim_phases_json, sim_phases_report};
+use socsim::Kernel;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: suite [--quick] [--jobs N] [--metrics W] [--kernel fast|cycle] [--out FILE] \
+        "usage: suite [--quick] [--jobs N] [--metrics W] [--kernel cycle|fast|tlm] [--out FILE] \
          [--bench FILE]"
     );
     std::process::exit(2);
@@ -44,7 +50,7 @@ fn usage() -> ! {
 
 fn main() {
     let mut opts =
-        SuiteOptions { quick: false, jobs: 0, metrics_window: None, fast_forward: false };
+        SuiteOptions { quick: false, jobs: 0, metrics_window: None, kernel: Kernel::Cycle };
     let mut out: Option<String> = None;
     let mut bench: Option<String> = None;
 
@@ -65,11 +71,8 @@ fn main() {
                 opts.metrics_window = Some(window);
             }
             "--kernel" => {
-                opts.fast_forward = match args.next().unwrap_or_else(|| usage()).as_str() {
-                    "fast" => true,
-                    "cycle" => false,
-                    _ => usage(),
-                };
+                let value = args.next().unwrap_or_else(|| usage());
+                opts.kernel = Kernel::parse(&value).unwrap_or_else(|| usage());
             }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--bench" => bench = Some(args.next().unwrap_or_else(|| usage())),
@@ -94,8 +97,8 @@ fn main() {
 /// JSON report. Returns the suite result document.
 fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
     let window = opts.metrics_window.unwrap_or(1_000);
-    let off = SuiteOptions { metrics_window: None, fast_forward: false, ..*opts };
-    let on = SuiteOptions { metrics_window: Some(window), fast_forward: false, ..*opts };
+    let off = SuiteOptions { metrics_window: None, kernel: Kernel::Cycle, ..*opts };
+    let on = SuiteOptions { metrics_window: Some(window), kernel: Kernel::Cycle, ..*opts };
 
     // Serial baseline first, then the parallel run; the two result
     // documents must be byte-identical (the determinism guarantee the
@@ -125,7 +128,7 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
 
     // The fast-forward kernel must reproduce the suite byte for byte
     // — the same guarantee the CI kernel-diff gate enforces.
-    let fast = run_suite(&SuiteOptions { jobs: 1, fast_forward: true, ..off });
+    let fast = run_suite(&SuiteOptions { jobs: 1, kernel: Kernel::Fast, ..off });
     assert_eq!(
         serial.json, fast.json,
         "suite output differs between the cycle and fast-forward kernels"
@@ -165,6 +168,25 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         lowutil.speedup, saturated.speedup
     );
 
+    // TLM probes. On the low-utilization periodic workload every
+    // arbitration outcome is forced, so the TLM kernel must be
+    // byte-exact and much faster than the cycle kernel. On the
+    // saturated Bernoulli workload it is an approximation: measure the
+    // deviation instead of asserting identity, and publish the error
+    // bounds so regressions (accuracy or speed) are visible in the
+    // bench artifact.
+    let tlm_lowutil = tlm_exact_probe(&experiments::common::low_utilization_specs(4), &probe);
+    let tlm_saturated = tlm_error_probe(&traffic_gen::classes::saturating_specs(4), &probe);
+    eprintln!(
+        "tlm kernel: low-utilization {:.2}x (byte-exact), saturated {:.2}x \
+         (util err {:.4}, share err {:.4}, p99 ratio err {:.3})",
+        tlm_lowutil.speedup,
+        tlm_saturated.speedup,
+        tlm_saturated.utilization_abs_error,
+        tlm_saturated.bandwidth_share_max_abs_error,
+        tlm_saturated.p99_latency_max_ratio_error,
+    );
+
     // The saturated hot-path lineup: steady-state cycles/sec per
     // protocol with always-requesting sources (no RNG, no per-cycle
     // allocation), the number the enum-dispatch kernel is tuned for.
@@ -197,6 +219,12 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         .field("kernel_byte_identical", true)
         .field("kernel_lowutil", lowutil.to_json())
         .field("kernel_saturated", saturated.to_json())
+        .field(
+            "tlm",
+            experiments::json::Json::obj()
+                .field("lowutil", tlm_lowutil.to_json())
+                .field("saturated", tlm_saturated.to_json()),
+        )
         .field("hot", experiments::hotpath::hot_json(&hot))
         .field("sim_phases", sim_phases_json(&profiler))
         .field("serial", serial.telemetry.to_json())
@@ -230,27 +258,156 @@ fn kernel_probe(
     specs: &[traffic_gen::GeneratorSpec],
     settings: &experiments::RunSettings,
 ) -> KernelProbe {
-    let arbiter = || experiments::common::protocol_arbiter(4, settings.seed);
     // Warm the caches once, then take the best of several timed runs
     // per kernel — single runs are short enough for scheduler noise to
     // dominate the ratio.
-    experiments::common::run_system(specs, arbiter(), settings);
-    let time_best = |s: &experiments::RunSettings| {
-        let mut best = f64::INFINITY;
-        let mut stats = None;
-        for _ in 0..5 {
-            let start = std::time::Instant::now();
-            let run = experiments::common::run_system(specs, arbiter(), s);
-            best = best.min(start.elapsed().as_secs_f64());
-            stats = Some(run);
-        }
-        (best, stats.expect("ran at least once"))
-    };
-    let (cycle_wall_secs, cycle_stats) = time_best(settings);
-    let (fast_wall_secs, fast_stats) = time_best(&settings.with_fast_forward(true));
+    experiments::common::run_system(
+        specs,
+        experiments::common::protocol_arbiter(4, settings.seed),
+        settings,
+    );
+    let (cycle_wall_secs, cycle_stats) = time_best(specs, settings);
+    let (fast_wall_secs, fast_stats) = time_best(specs, &settings.with_fast_forward(true));
     assert_eq!(cycle_stats, fast_stats, "kernel probe results diverged");
     let speedup = if fast_wall_secs > 0.0 { cycle_wall_secs / fast_wall_secs } else { 1.0 };
     KernelProbe { cycle_wall_secs, fast_wall_secs, speedup }
+}
+
+/// Best-of-5 wall time for one workload under one kernel, returning the
+/// (deterministic) stats of the final run alongside the timing.
+fn time_best(
+    specs: &[traffic_gen::GeneratorSpec],
+    settings: &experiments::RunSettings,
+) -> (f64, socsim::stats::BusStats) {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..5 {
+        let arbiter = experiments::common::protocol_arbiter(4, settings.seed);
+        let start = std::time::Instant::now();
+        let run = experiments::common::run_system(specs, arbiter, settings);
+        best = best.min(start.elapsed().as_secs_f64());
+        stats = Some(run);
+    }
+    (best, stats.expect("ran at least once"))
+}
+
+/// The TLM exactness probe: on a forced-outcome workload the TLM kernel
+/// must reproduce the cycle kernel's stats exactly *and* beat it on
+/// wall clock by a wide margin (the ≥10x acceptance target).
+struct TlmExactProbe {
+    cycle_wall_secs: f64,
+    tlm_wall_secs: f64,
+    speedup: f64,
+}
+
+impl TlmExactProbe {
+    fn to_json(&self) -> experiments::json::Json {
+        experiments::json::Json::obj()
+            .field("cycle_wall_secs", self.cycle_wall_secs)
+            .field("tlm_wall_secs", self.tlm_wall_secs)
+            .field("speedup", self.speedup)
+            .field("byte_identical", true)
+    }
+}
+
+fn tlm_exact_probe(
+    specs: &[traffic_gen::GeneratorSpec],
+    settings: &experiments::RunSettings,
+) -> TlmExactProbe {
+    experiments::common::run_system(
+        specs,
+        experiments::common::protocol_arbiter(4, settings.seed),
+        settings,
+    );
+    let (cycle_wall_secs, cycle_stats) = time_best(specs, settings);
+    let (tlm_wall_secs, tlm_stats) = time_best(specs, &settings.with_kernel(Kernel::Tlm));
+    assert_eq!(cycle_stats, tlm_stats, "tlm kernel diverged on a forced-outcome workload");
+    let speedup = if tlm_wall_secs > 0.0 { cycle_wall_secs / tlm_wall_secs } else { 1.0 };
+    TlmExactProbe { cycle_wall_secs, tlm_wall_secs, speedup }
+}
+
+/// The TLM error probe: on a saturated Bernoulli workload tenure
+/// batching thins the arrival polls, so instead of asserting identity
+/// we measure how far utilization, per-master bandwidth shares, and
+/// latency quantiles drift from the cycle kernel's ground truth.
+struct TlmErrorProbe {
+    cycle_wall_secs: f64,
+    tlm_wall_secs: f64,
+    speedup: f64,
+    utilization_abs_error: f64,
+    bandwidth_share_max_abs_error: f64,
+    p50_latency_max_ratio_error: f64,
+    p99_latency_max_ratio_error: f64,
+}
+
+impl TlmErrorProbe {
+    fn to_json(&self) -> experiments::json::Json {
+        experiments::json::Json::obj()
+            .field("cycle_wall_secs", self.cycle_wall_secs)
+            .field("tlm_wall_secs", self.tlm_wall_secs)
+            .field("speedup", self.speedup)
+            .field("utilization_abs_error", self.utilization_abs_error)
+            .field("bandwidth_share_max_abs_error", self.bandwidth_share_max_abs_error)
+            .field("p50_latency_max_ratio_error", self.p50_latency_max_ratio_error)
+            .field("p99_latency_max_ratio_error", self.p99_latency_max_ratio_error)
+    }
+}
+
+fn tlm_error_probe(
+    specs: &[traffic_gen::GeneratorSpec],
+    settings: &experiments::RunSettings,
+) -> TlmErrorProbe {
+    experiments::common::run_system(
+        specs,
+        experiments::common::protocol_arbiter(4, settings.seed),
+        settings,
+    );
+    let (cycle_wall_secs, cycle_stats) = time_best(specs, settings);
+    let (tlm_wall_secs, tlm_stats) = time_best(specs, &settings.with_kernel(Kernel::Tlm));
+    let speedup = if tlm_wall_secs > 0.0 { cycle_wall_secs / tlm_wall_secs } else { 1.0 };
+
+    let utilization_abs_error = (cycle_stats.bus_utilization() - tlm_stats.bus_utilization()).abs();
+    // Bandwidth *shares* are relative: each master's fraction of the
+    // words actually delivered. Utilization error measures how much
+    // total throughput the approximation loses; share error measures
+    // whether it distorts the split between masters (fairness).
+    let relative_share = |stats: &socsim::stats::BusStats, id: socsim::MasterId| -> f64 {
+        let total: f64 =
+            (0..specs.len()).map(|j| stats.bandwidth_fraction(socsim::MasterId::new(j))).sum();
+        if total > 0.0 {
+            stats.bandwidth_fraction(id) / total
+        } else {
+            0.0
+        }
+    };
+    let mut bandwidth_share_max_abs_error = 0.0f64;
+    let mut p50_latency_max_ratio_error = 0.0f64;
+    let mut p99_latency_max_ratio_error = 0.0f64;
+    for i in 0..specs.len() {
+        let id = socsim::MasterId::new(i);
+        bandwidth_share_max_abs_error = bandwidth_share_max_abs_error
+            .max((relative_share(&cycle_stats, id) - relative_share(&tlm_stats, id)).abs());
+        let quantile_ratio_error = |q: f64| -> f64 {
+            let cycle_q = cycle_stats.master(id).latency_quantile(q);
+            let tlm_q = tlm_stats.master(id).latency_quantile(q);
+            match (cycle_q, tlm_q) {
+                (Some(c), Some(t)) if c > 0 => (t as f64 - c as f64).abs() / c as f64,
+                _ => 0.0,
+            }
+        };
+        p50_latency_max_ratio_error = p50_latency_max_ratio_error.max(quantile_ratio_error(0.5));
+        p99_latency_max_ratio_error = p99_latency_max_ratio_error.max(quantile_ratio_error(0.99));
+    }
+
+    TlmErrorProbe {
+        cycle_wall_secs,
+        tlm_wall_secs,
+        speedup,
+        utilization_abs_error,
+        bandwidth_share_max_abs_error,
+        p50_latency_max_ratio_error,
+        p99_latency_max_ratio_error,
+    }
 }
 
 fn emit(out: Option<&str>, json: &str) {

@@ -1,7 +1,9 @@
 //! Shared experiment plumbing: system assembly, runs, permutations.
 
 use arbiters::ArbiterKind;
-use socsim::{Arbiter, BusConfig, BusStats, MasterId, PhaseProfiler, SystemBuilder, WindowSample};
+use socsim::{
+    Arbiter, BusConfig, BusStats, Kernel, MasterId, PhaseProfiler, SystemBuilder, WindowSample,
+};
 use traffic_gen::{GeneratorSpec, SourceKind};
 
 /// Simulation window settings shared by all experiments.
@@ -26,11 +28,13 @@ pub struct RunSettings {
     /// byte-identical to a metrics-off run; the point is to measure the
     /// observability overhead with `suite --bench`.
     pub metrics_window: Option<u64>,
-    /// When set, every system built by [`run_system`] runs under the
-    /// fast-forward kernel (see `socsim::fastforward`). Results are
-    /// byte-identical to the cycle kernel — only wall-clock time
-    /// changes — so the suite JSON never records this flag.
-    pub fast_forward: bool,
+    /// Which simulation kernel every system built by [`run_system`]
+    /// runs under (see `socsim::fastforward`). [`Kernel::Fast`]
+    /// results are byte-identical to the cycle kernel;
+    /// [`Kernel::Tlm`] additionally batches whole bus tenures and is
+    /// exact only for catch-up arrival processes (periodic, on/off) —
+    /// the suite JSON never records this field.
+    pub kernel: Kernel,
 }
 
 impl RunSettings {
@@ -43,7 +47,7 @@ impl RunSettings {
             bus: BusConfig::default(),
             jobs: 0,
             metrics_window: None,
-            fast_forward: false,
+            kernel: Kernel::Cycle,
         }
     }
 
@@ -65,7 +69,12 @@ impl RunSettings {
     /// These settings with the fast-forward kernel enabled (or not) in
     /// every run.
     pub fn with_fast_forward(self, enabled: bool) -> Self {
-        RunSettings { fast_forward: enabled, ..self }
+        self.with_kernel(if enabled { Kernel::Fast } else { Kernel::Cycle })
+    }
+
+    /// These settings running every system under `kernel`.
+    pub fn with_kernel(self, kernel: Kernel) -> Self {
+        RunSettings { kernel, ..self }
     }
 }
 
@@ -141,7 +150,7 @@ fn system_builder<A: Arbiter>(
     specs: &[GeneratorSpec],
     settings: &RunSettings,
 ) -> SystemBuilder<A, SourceKind> {
-    let mut builder = SystemBuilder::new(settings.bus).fast_forward(settings.fast_forward);
+    let mut builder = SystemBuilder::new(settings.bus).kernel(settings.kernel);
     for (i, spec) in specs.iter().enumerate() {
         builder = builder.master(
             format!("C{}", i + 1),
@@ -339,6 +348,22 @@ mod tests {
             &settings.with_fast_forward(true),
         );
         assert_eq!(cycle, fast, "fast-forward kernel perturbed the simulation");
+    }
+
+    #[test]
+    fn tlm_kernel_is_exact_on_periodic_low_utilization_traffic() {
+        let settings = RunSettings { warmup: 1_000, measure: 20_000, ..RunSettings::quick() };
+        let cycle = run_system(
+            &low_utilization_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings,
+        );
+        let tlm = run_system(
+            &low_utilization_specs(4),
+            Box::new(RoundRobinArbiter::new(4).expect("valid")),
+            &settings.with_kernel(Kernel::Tlm),
+        );
+        assert_eq!(cycle, tlm, "TLM kernel perturbed a forced-outcome workload");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::json::{Json, ToJson};
 use arbiters::{TdmaArbiter, WheelLayout};
 use serde::{Deserialize, Serialize};
-use socsim::{BusConfig, MasterId, SystemBuilder};
+use socsim::{BusConfig, Kernel, MasterId, SystemBuilder};
 use traffic_gen::{GeneratorSpec, ReplaySource, SizeDist, SourceKind};
 
 /// Words per message and slots per reservation block (the paper's
@@ -40,13 +40,13 @@ pub struct Fig5 {
     pub misaligned: Fig5Trace,
 }
 
-fn replay_run(slots_early: u64, rotations: usize, fast_forward: bool) -> Fig5Trace {
+fn replay_run(slots_early: u64, rotations: usize, kernel: Kernel) -> Fig5Trace {
     let wheel = u64::from(BLOCK) * 3; // 18 slots
                                       // M3's block spans slots [12, 18); its k-th request arrives
                                       // `slots_early` cycles before the block of rotation k+1 opens.
     let m3_phase = 2 * u64::from(BLOCK) - slots_early;
-    let mut builder = SystemBuilder::new(BusConfig { max_burst: BLOCK, ..BusConfig::default() })
-        .fast_forward(fast_forward);
+    let mut builder =
+        SystemBuilder::new(BusConfig { max_burst: BLOCK, ..BusConfig::default() }).kernel(kernel);
     // Saturated background masters: far more traffic than their blocks
     // can carry, so their request lines are always asserted.
     for m in 0..2 {
@@ -87,19 +87,16 @@ pub fn run() -> Fig5 {
 /// are independent, fully deterministic simulations, so running them
 /// concurrently produces the identical `Fig5`.
 pub fn run_jobs(jobs: usize) -> Fig5 {
-    run_kernel(jobs, false)
+    run_kernel(jobs, Kernel::Cycle)
 }
 
-/// [`run_jobs`] with an explicit kernel choice: `fast_forward = true`
-/// runs both replays under the fast-forward kernel, which produces the
-/// identical `Fig5` (the suite's kernel-diff gate checks this byte for
-/// byte).
-pub fn run_kernel(jobs: usize, fast_forward: bool) -> Fig5 {
-    let (aligned, misaligned) = socsim::pool::join(
-        jobs,
-        || replay_run(0, 12, fast_forward),
-        || replay_run(3, 12, fast_forward),
-    );
+/// [`run_jobs`] with an explicit kernel choice: every kernel produces
+/// the identical `Fig5` — the replayed request trace announces its
+/// arrival times, so even the TLM kernel stays exact here (the
+/// suite's kernel-diff gate checks this byte for byte).
+pub fn run_kernel(jobs: usize, kernel: Kernel) -> Fig5 {
+    let (aligned, misaligned) =
+        socsim::pool::join(jobs, || replay_run(0, 12, kernel), || replay_run(3, 12, kernel));
     Fig5 { aligned, misaligned }
 }
 
@@ -172,8 +169,9 @@ mod tests {
     }
 
     #[test]
-    fn fast_kernel_replays_match_the_cycle_kernel() {
-        assert_eq!(run_kernel(1, true), run(), "kernels disagree on Figure 5");
+    fn fast_and_tlm_kernel_replays_match_the_cycle_kernel() {
+        assert_eq!(run_kernel(1, Kernel::Fast), run(), "fast kernel disagrees on Figure 5");
+        assert_eq!(run_kernel(1, Kernel::Tlm), run(), "tlm kernel disagrees on Figure 5");
     }
 
     #[test]

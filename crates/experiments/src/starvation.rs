@@ -64,7 +64,7 @@ fn cdf_curve(settings: &RunSettings) -> Vec<CdfPoint> {
     let heavy = GeneratorSpec::poisson(0.08, SizeDist::fixed(16));
     let assignment = TicketAssignment::new(vec![tickets, total - tickets]).expect("valid tickets");
     let mut system = SystemBuilder::new(BusConfig::default())
-        .fast_forward(settings.fast_forward)
+        .kernel(settings.kernel)
         .master("observed", light.build_kind(settings.seed))
         .master("competitor", heavy.build_kind(settings.seed + 1))
         .arbiter(

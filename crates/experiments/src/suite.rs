@@ -25,17 +25,20 @@ pub struct SuiteOptions {
     /// JSON is byte-identical either way; `suite --bench` uses this to
     /// measure the observability overhead.
     pub metrics_window: Option<u64>,
-    /// Run every simulation under the fast-forward kernel. The result
-    /// JSON is byte-identical either way (the CI kernel-diff gate
-    /// checks exactly that); only wall-clock time changes.
-    pub fast_forward: bool,
+    /// Which simulation kernel every simulation runs under. `fast`
+    /// keeps the result JSON byte-identical (the CI kernel-diff gate
+    /// checks exactly that); `tlm` batches whole bus tenures and is
+    /// exact only where no memoryless arrival process feeds a
+    /// contended bus — `suite --bench` reports its error bounds
+    /// instead of asserting identity.
+    pub kernel: socsim::Kernel,
 }
 
 impl SuiteOptions {
     /// The settings implied by these options.
     pub fn settings(&self) -> RunSettings {
         let base = if self.quick { RunSettings::quick() } else { RunSettings::new() };
-        let base = base.with_jobs(self.jobs).with_fast_forward(self.fast_forward);
+        let base = base.with_jobs(self.jobs).with_kernel(self.kernel);
         match self.metrics_window {
             Some(window) => base.with_metrics(window),
             None => base,
@@ -60,7 +63,7 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteRun {
 
     let fig4 = t.time("fig4", 24, || crate::fig4::run(&settings));
     let fig4_ts = t.time("fig4_timeseries", 2, || crate::fig4::run_timeseries(&settings));
-    let fig5 = t.time("fig5", 2, || crate::fig5::run_kernel(settings.jobs, settings.fast_forward));
+    let fig5 = t.time("fig5", 2, || crate::fig5::run_kernel(settings.jobs, settings.kernel));
     let fig6a = t.time("fig6a", 24, || crate::fig6::run_bandwidth(&settings));
     let fig6b = t.time("fig6b", 2, || crate::fig6::run_latency(TrafficClass::T6, &settings));
     let fig12a = t.time("fig12a", 9, || crate::fig12::run_bandwidth(&settings));
@@ -108,18 +111,24 @@ mod tests {
 
     #[test]
     fn options_map_to_settings() {
-        let opts = SuiteOptions { quick: true, jobs: 3, metrics_window: None, fast_forward: false };
+        use socsim::Kernel;
+        let opts =
+            SuiteOptions { quick: true, jobs: 3, metrics_window: None, kernel: Kernel::Cycle };
         let s = opts.settings();
         assert_eq!(s.jobs, 3);
         assert_eq!(s.measure, RunSettings::quick().measure);
         assert_eq!(s.metrics_window, None);
-        assert!(!s.fast_forward);
-        let full =
-            SuiteOptions { quick: false, jobs: 0, metrics_window: Some(1_000), fast_forward: true }
-                .settings();
+        assert_eq!(s.kernel, Kernel::Cycle);
+        let full = SuiteOptions {
+            quick: false,
+            jobs: 0,
+            metrics_window: Some(1_000),
+            kernel: Kernel::Tlm,
+        }
+        .settings();
         assert_eq!(full.measure, RunSettings::new().measure);
         assert_eq!(full.jobs, 0);
         assert_eq!(full.metrics_window, Some(1_000));
-        assert!(full.fast_forward);
+        assert_eq!(full.kernel, Kernel::Tlm);
     }
 }

@@ -2,11 +2,11 @@
 //!
 //! The fuzzer generates random-but-valid scenarios from a splitmix64
 //! counter stream (fully deterministic for a given seed), runs each
-//! one under both kernels, and checks four invariants:
+//! one under every kernel, and checks four invariants:
 //!
 //! 1. **round-trip** — `parse(render(s)) == s`.
-//! 2. **kernel-equivalence** — the cycle-accurate and fast-forward
-//!    kernels render byte-identical verdict JSON.
+//! 2. **kernel-equivalence** — the cycle-accurate, fast-forward and
+//!    TLM kernels render byte-identical verdict JSON.
 //! 3. **verdict** — no assertion (generated SLAs are chosen to be
 //!    satisfiable, and conservation always holds) may be violated.
 //! 4. **no silent loss/starvation** — a scenario with no fault
@@ -25,7 +25,7 @@ use crate::model::{
 use crate::phased::mix;
 use crate::run::run_scenario;
 use experiments::json::Json;
-use socsim::RetryPolicy;
+use socsim::{Kernel, RetryPolicy};
 
 /// Deterministic counter-mode RNG (splitmix64).
 struct Rng {
@@ -227,20 +227,22 @@ fn check(sc: &Scenario) -> Option<(String, String)> {
             }
         }
     }
-    let cycle = match run_scenario(sc, false) {
+    let cycle = match run_scenario(sc, Kernel::Cycle) {
         Ok(o) => o,
         Err(e) => return Some(("run-error".into(), e)),
     };
-    let fast = match run_scenario(sc, true) {
-        Ok(o) => o,
-        Err(e) => return Some(("run-error".into(), format!("fast kernel: {e}"))),
-    };
-    let (cycle_json, fast_json) = (cycle.to_json().render(), fast.to_json().render());
-    if cycle_json != fast_json {
-        return Some((
-            "kernel-divergence".into(),
-            "cycle-accurate and fast-forward kernels render different verdicts".into(),
-        ));
+    let cycle_json = cycle.to_json().render();
+    for kernel in [Kernel::Fast, Kernel::Tlm] {
+        let other = match run_scenario(sc, kernel) {
+            Ok(o) => o,
+            Err(e) => return Some(("run-error".into(), format!("{} kernel: {e}", kernel.name()))),
+        };
+        if other.to_json().render() != cycle_json {
+            return Some((
+                "kernel-divergence".into(),
+                format!("cycle-accurate and {} kernels render different verdicts", kernel.name()),
+            ));
+        }
     }
     if !cycle.passed {
         let first = cycle.violations.first().expect("failed verdict has a violation");

@@ -7,15 +7,16 @@
 //! windows that trip failover), and SLA assertions that evaluate to a
 //! structured pass/fail verdict. Scenarios compose into plans with
 //! `after` dependencies and execute in parallel through the job pool
-//! under either simulation kernel.
+//! under any of the three simulation kernels.
 //!
-//! The crate also ships a seeded fuzzer ([`fuzz`]) that generates
+//! The crate also ships a seeded fuzzer ([`fuzz()`]) that generates
 //! random-but-valid scenarios, checks cross-kernel determinism,
 //! conservation and starvation invariants, and shrinks any failure to
 //! a minimal reproducing `.scenario` file.
 //!
 //! ```
 //! use scenario::{run_scenario, Scenario};
+//! use socsim::Kernel;
 //!
 //! let sc = Scenario::parse(
 //!     "scenario smoke\n\
@@ -26,7 +27,7 @@
 //!      sla losses max=0\n",
 //! )
 //! .expect("valid scenario");
-//! let verdict = run_scenario(&sc, false).expect("runs");
+//! let verdict = run_scenario(&sc, Kernel::Cycle).expect("runs");
 //! assert!(verdict.passed);
 //! ```
 

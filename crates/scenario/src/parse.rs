@@ -188,6 +188,12 @@ fn parse_master(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), Scenar
     let name = tokens
         .next()
         .ok_or_else(|| err(line, "`master` needs a name: `master <name> load=<f> ...`"))?;
+    if sc.masters.iter().any(|m| m.name == name) {
+        return Err(err(
+            line,
+            format!("duplicate master name {name:?}: master names must be unique"),
+        ));
+    }
     let mut m = MasterDecl {
         name: name.to_owned(),
         weight: 1,
@@ -244,6 +250,12 @@ fn parse_slave(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), Scenari
     let name = tokens
         .next()
         .ok_or_else(|| err(line, "`slave` needs a name: `slave <name> wait=<cycles>`"))?;
+    if sc.slaves.iter().any(|s| s.name == name) {
+        return Err(err(
+            line,
+            format!("duplicate slave name {name:?}: slave names must be unique"),
+        ));
+    }
     let mut s = SlaveDecl { name: name.to_owned(), wait: 0 };
     for token in tokens {
         match split_kv(token) {
@@ -265,6 +277,12 @@ fn parse_phase(sc: &mut Scenario, line: usize, rest: &str) -> Result<(), Scenari
     let name = tokens
         .next()
         .ok_or_else(|| err(line, "`phase` needs a name: `phase <name> duration=<cycles>`"))?;
+    if sc.phases.iter().any(|p| p.name == name) {
+        return Err(err(
+            line,
+            format!("duplicate phase name {name:?}: phase names must be unique"),
+        ));
+    }
     let mut p = PhaseDecl { name: name.to_owned(), duration: 0, scale: 1.0, focus: None };
     let mut has_duration = false;
     for token in tokens {

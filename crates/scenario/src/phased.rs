@@ -10,10 +10,12 @@
 //!
 //! Two subtleties keep the streams byte-identical across kernels:
 //!
-//! * Bernoulli generators produce a catch-up flood when first polled
-//!   at a late cycle (they draw for every skipped cycle). A phase's
-//!   generator is first polled at the phase start, so arrivals
-//!   stamped before the phase went live are discarded here.
+//! * Periodic and on–off generators catch up when first polled at a
+//!   late cycle: they emit every arrival their schedule placed in the
+//!   skipped span, stamped in the past. (Bernoulli generators do not
+//!   — they draw once per poll and stamp at the polled cycle.) A
+//!   phase's generator is first polled at the phase start, so
+//!   arrivals stamped before the phase went live are discarded here.
 //! * [`PhasedSource::next_event`] never reports a horizon past the
 //!   current phase's end, so the fast kernel cannot skip a boundary
 //!   and miss the generator switch.
@@ -133,9 +135,9 @@ impl TrafficSource for PhasedSource {
             if txn.issued_at().index() >= start {
                 return Some(txn);
             }
-            // Catch-up arrival stamped before this phase went live
-            // (the generator back-fills cycles it was never polled
-            // for); drop it and keep draining.
+            // Catch-up arrival stamped before this phase went live (a
+            // periodic/on–off schedule emits arrivals for cycles it
+            // was never polled at); drop it and keep draining.
         }
     }
 

@@ -12,6 +12,7 @@ use crate::model::{DepCondition, Scenario};
 use crate::run::{run_scenario, Outcome};
 use experiments::json::Json;
 use socsim::pool::parallel_map;
+use socsim::Kernel;
 
 /// What happened to one scenario of a plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,7 +156,7 @@ fn condition_met(
 /// Executes a plan: validates the dependency DAG, runs scenarios
 /// level by level (parallel within a level, `jobs = 0` = all cores),
 /// and reports every scenario in input order.
-pub fn run_plan(scenarios: &[Scenario], fast: bool, jobs: usize) -> Result<PlanReport, String> {
+pub fn run_plan(scenarios: &[Scenario], kernel: Kernel, jobs: usize) -> Result<PlanReport, String> {
     if scenarios.is_empty() {
         return Err("plan contains no scenarios".to_owned());
     }
@@ -182,7 +183,7 @@ pub fn run_plan(scenarios: &[Scenario], fast: bool, jobs: usize) -> Result<PlanR
             }
         }
         let results =
-            parallel_map(jobs, &runnable, |_worker, &i| run_scenario(&scenarios[i], fast));
+            parallel_map(jobs, &runnable, |_worker, &i| run_scenario(&scenarios[i], kernel));
         for (&i, result) in runnable.iter().zip(results) {
             slots[i] = Some(PlanOutcome::Ran(result?));
         }

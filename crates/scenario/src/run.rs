@@ -11,8 +11,8 @@
 //! Verdicts serialize to deterministic JSON via
 //! [`experiments::json::Json`] and deliberately contain no wall-clock
 //! or kernel information — the same scenario run under the
-//! cycle-accurate and fast-forward kernels must produce byte-identical
-//! verdicts, and CI diffs exactly that.
+//! cycle-accurate, fast-forward and TLM kernels must produce
+//! byte-identical verdicts, and CI diffs exactly that.
 
 use crate::model::{ArbiterSel, Expectation, Scenario};
 use crate::phased::{mix, PhasedSource};
@@ -26,7 +26,8 @@ use arbiters::{
 use experiments::json::Json;
 use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
 use socsim::{
-    Arbiter, BusConfig, BusStats, FaultConfig, MasterId, Slave, SlaveId, System, SystemBuilder,
+    Arbiter, BusConfig, BusStats, FaultConfig, Kernel, MasterId, Slave, SlaveId, System,
+    SystemBuilder,
 };
 
 /// Per-phase slice of the verdict.
@@ -189,8 +190,14 @@ fn probe(arb: &ArbiterKind) -> (u64, u64) {
 }
 
 /// Runs one scenario under the chosen kernel and evaluates its SLAs.
-pub fn run_scenario(sc: &Scenario, fast: bool) -> Result<Outcome, String> {
-    run_scenario_inner(sc, fast, false).map(|(outcome, _)| outcome)
+///
+/// Scenario runs always sample windowed metrics (SLA starvation
+/// checks need them), so [`Kernel::Tlm`] degrades to the exact
+/// fast-forward path here: verdicts are byte-identical across all
+/// three kernels by construction. The TLM tenure-batching win shows
+/// up in the experiment suite, which runs without metrics.
+pub fn run_scenario(sc: &Scenario, kernel: Kernel) -> Result<Outcome, String> {
+    run_scenario_inner(sc, kernel, false).map(|(outcome, _)| outcome)
 }
 
 /// Like [`run_scenario`], but with the simulator's phase profiler
@@ -199,14 +206,14 @@ pub fn run_scenario(sc: &Scenario, fast: bool) -> Result<Outcome, String> {
 /// bench (`lotterybus-sim scenario --bench`) sums these.
 pub fn run_scenario_profiled(
     sc: &Scenario,
-    fast: bool,
+    kernel: Kernel,
 ) -> Result<(Outcome, std::time::Duration), String> {
-    run_scenario_inner(sc, fast, true)
+    run_scenario_inner(sc, kernel, true)
 }
 
 fn run_scenario_inner(
     sc: &Scenario,
-    fast: bool,
+    kernel: Kernel,
     profiling: bool,
 ) -> Result<(Outcome, std::time::Duration), String> {
     sc.validate()?;
@@ -230,7 +237,7 @@ fn run_scenario_inner(
     let mut system: System<ArbiterKind, PhasedSource> = builder
         .metrics_window(sc.metrics_window)
         .profiling(profiling)
-        .fast_forward(fast)
+        .kernel(kernel)
         .arbiter(build_arbiter(sc)?)
         .build()
         .map_err(|e| format!("scenario `{}`: {e}", sc.name))?;

@@ -1,11 +1,12 @@
 //! Integration tests over the committed scenario library and the
 //! fuzzer: every `.scenario` file in `scenarios/` must parse, run to
-//! its expected verdict under BOTH kernels with byte-identical
+//! its expected verdict under ALL THREE kernels with byte-identical
 //! verdict JSON, and survive a render/parse round trip. The fuzzer's
 //! demo campaign must keep shrinking to the committed regression
 //! file.
 
 use scenario::{fuzz, run_plan, run_scenario, FuzzConfig, PlanOutcome, Scenario};
+use socsim::Kernel;
 use std::path::PathBuf;
 
 /// Repo-root `scenarios/` directory, resolved from the crate root.
@@ -34,14 +35,18 @@ fn load_library() -> Vec<Scenario> {
 #[test]
 fn library_verdicts_match_expectations_and_kernels_agree_bytewise() {
     let library = load_library();
-    let cycle = run_plan(&library, false, 0).expect("cycle plan runs");
-    let fast = run_plan(&library, true, 0).expect("fast plan runs");
+    let cycle = run_plan(&library, Kernel::Cycle, 0).expect("cycle plan runs");
     assert!(cycle.all_as_expected(), "cycle verdicts: {}", cycle.to_json().render());
-    assert_eq!(
-        cycle.to_json().render(),
-        fast.to_json().render(),
-        "verdict JSON must be byte-identical across kernels"
-    );
+    for kernel in [Kernel::Fast, Kernel::Tlm] {
+        let other = run_plan(&library, kernel, 0)
+            .unwrap_or_else(|e| panic!("{} plan runs: {e}", kernel.name()));
+        assert_eq!(
+            cycle.to_json().render(),
+            other.to_json().render(),
+            "verdict JSON must be byte-identical between cycle and {}",
+            kernel.name()
+        );
+    }
 }
 
 #[test]
@@ -59,7 +64,7 @@ fn failover_recovery_scenario_fires_both_transitions_in_the_degraded_phase() {
     let text = std::fs::read_to_string(scenarios_dir().join("failover-recovery.scenario"))
         .expect("library file");
     let sc = Scenario::parse(&text).expect("parses");
-    let outcome = run_scenario(&sc, false).expect("runs");
+    let outcome = run_scenario(&sc, Kernel::Cycle).expect("runs");
     assert!(outcome.passed, "violations: {:?}", outcome.violations);
     assert_eq!(outcome.failovers, 1, "exactly one failover");
     assert_eq!(outcome.recoveries, 1, "exactly one re-promotion");
@@ -93,7 +98,7 @@ fn plan_dependencies_gate_execution() {
          phase p duration=2000\n",
     )
     .expect("valid");
-    let report = run_plan(&[parent_fails, child, rescue], false, 0).expect("plan runs");
+    let report = run_plan(&[parent_fails, child, rescue], Kernel::Cycle, 0).expect("plan runs");
     assert!(report.all_as_expected(), "{}", report.to_json().render());
     let get = |name: &str| &report.entries.iter().find(|(n, _)| n == name).expect("entry exists").1;
     assert!(matches!(get("parent"), PlanOutcome::Ran(o) if !o.passed));
@@ -105,6 +110,34 @@ fn plan_dependencies_gate_execution() {
 }
 
 #[test]
+fn duplicate_declaration_names_are_hard_parse_errors_with_line_numbers() {
+    let dup_master = "scenario dup\n\
+                      master cpu load=0.3\n\
+                      master cpu load=0.2\n\
+                      phase p duration=1000\n";
+    let err = Scenario::parse(dup_master).expect_err("duplicate master must not parse");
+    assert_eq!(err.line, 3, "error must point at the second declaration");
+    assert!(err.message.contains("duplicate master name \"cpu\""), "got: {}", err.message);
+
+    let dup_slave = "scenario dup\n\
+                     master cpu load=0.3\n\
+                     slave mem wait=1\n\
+                     slave mem wait=2\n\
+                     phase p duration=1000\n";
+    let err = Scenario::parse(dup_slave).expect_err("duplicate slave must not parse");
+    assert_eq!(err.line, 4);
+    assert!(err.message.contains("duplicate slave name \"mem\""), "got: {}", err.message);
+
+    let dup_phase = "scenario dup\n\
+                     master cpu load=0.3\n\
+                     phase p duration=1000\n\
+                     phase p duration=2000\n";
+    let err = Scenario::parse(dup_phase).expect_err("duplicate phase must not parse");
+    assert_eq!(err.line, 4);
+    assert!(err.message.contains("duplicate phase name \"p\""), "got: {}", err.message);
+}
+
+#[test]
 fn fuzz_smoke_finds_nothing_organically() {
     let report = fuzz(&FuzzConfig { seed: 7, iterations: 10, demo_failure: false });
     assert_eq!(report.iterations, 10);
@@ -113,6 +146,26 @@ fn fuzz_smoke_finds_nothing_organically() {
         "seed 7 must stay clean; findings: {}",
         report.to_json().render()
     );
+}
+
+#[test]
+fn fuzzer_reproducers_never_contain_duplicate_names() {
+    // Duplicate master/slave/phase names are hard parse errors, so a
+    // shrunk reproducer carrying one would be unloadable as a
+    // committed regression file. Every finding's scenario and shrunk
+    // form must validate and survive a render/parse round trip
+    // (which now rejects duplicates with a line number).
+    for seed in [7u64, 11, 99] {
+        let report = fuzz(&FuzzConfig { seed, iterations: 3, demo_failure: true });
+        for finding in &report.findings {
+            for sc in [&finding.scenario, &finding.shrunk] {
+                sc.validate().unwrap_or_else(|e| panic!("seed {seed}: invalid scenario: {e}"));
+                let reparsed = Scenario::parse(&sc.render())
+                    .unwrap_or_else(|e| panic!("seed {seed}: reproducer does not re-parse: {e}"));
+                assert_eq!(&reparsed, sc, "seed {seed}: reproducer round-trip drifted");
+            }
+        }
+    }
 }
 
 #[test]
@@ -132,6 +185,6 @@ fn demo_failure_shrinks_to_the_committed_regression_file() {
     );
     // The reproducer itself runs to its recorded (failing) verdict.
     let sc = Scenario::parse(&committed).expect("parses");
-    let outcome = run_scenario(&sc, false).expect("runs");
+    let outcome = run_scenario(&sc, Kernel::Cycle).expect("runs");
     assert!(outcome.as_expected(), "reproducer no longer reproduces");
 }

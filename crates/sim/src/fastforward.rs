@@ -40,6 +40,67 @@ use crate::fault::FaultPlan;
 use crate::master::MasterPort;
 use crate::slave::Slave;
 
+/// Which simulation kernel drives [`crate::System::run`].
+///
+/// All three kernels share the per-cycle [`crate::System::step`] as
+/// their ground truth; they differ only in which spans of cycles they
+/// replace with batched arithmetic:
+///
+/// * [`Kernel::Cycle`] — steps every cycle. The reference kernel.
+/// * [`Kernel::Fast`] — additionally jumps over provably idle gaps
+///   (see the module docs). Byte-exact for every system.
+/// * [`Kernel::Tlm`] — additionally models each uncontended bus tenure
+///   as one event (`System::skip_tenure`): once a grant is issued, the
+///   stall and burst cycles it implies are replayed arithmetically up
+///   to the next component horizon. Byte-exact when every traffic
+///   source announces true future horizons (periodic, on–off/burst,
+///   replay, silent); *approximate* for sources that must be polled
+///   every cycle (Bernoulli/Poisson, saturate probes), whose polls are
+///   deferred to the next arbitration boundary. Tenure skipping
+///   disables itself (degrading to [`Kernel::Fast`], which is exact)
+///   when fault injection or windowed metrics are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Cycle-accurate reference kernel.
+    #[default]
+    Cycle,
+    /// Idle-skipping event kernel (PR-4 fast-forward).
+    Fast,
+    /// Transaction-level kernel: idle skipping plus tenure batching.
+    Tlm,
+}
+
+impl Kernel {
+    /// Parses a kernel name as used by CLI flags and spec files.
+    pub fn parse(name: &str) -> Option<Kernel> {
+        match name {
+            "cycle" => Some(Kernel::Cycle),
+            "fast" => Some(Kernel::Fast),
+            "tlm" => Some(Kernel::Tlm),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`cycle`, `fast`, `tlm`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Cycle => "cycle",
+            Kernel::Fast => "fast",
+            Kernel::Tlm => "tlm",
+        }
+    }
+
+    /// Whether the kernel jumps over idle gaps.
+    pub fn skips_idle(self) -> bool {
+        !matches!(self, Kernel::Cycle)
+    }
+
+    /// Whether the kernel batches uncontended bus tenures.
+    pub fn skips_tenures(self) -> bool {
+        matches!(self, Kernel::Tlm)
+    }
+}
+
 /// The event-horizon interface of the fast-forward kernel.
 ///
 /// Implemented by the passive simulation components (master ports,
@@ -112,6 +173,19 @@ mod tests {
         port.enqueue(Transaction::new(SlaveId::new(0), 4, Cycle::ZERO));
         let now = Cycle::new(7);
         assert_eq!(NextEvent::next_event(&port, now), MasterPort::next_event(&port, now));
+    }
+
+    #[test]
+    fn kernel_names_round_trip_and_unknowns_are_rejected() {
+        for k in [Kernel::Cycle, Kernel::Fast, Kernel::Tlm] {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::parse("turbo"), None);
+        assert_eq!(Kernel::parse("TLM"), None, "names are case-sensitive");
+        assert_eq!(Kernel::default(), Kernel::Cycle);
+        assert!(!Kernel::Cycle.skips_idle());
+        assert!(Kernel::Fast.skips_idle() && !Kernel::Fast.skips_tenures());
+        assert!(Kernel::Tlm.skips_idle() && Kernel::Tlm.skips_tenures());
     }
 
     #[test]

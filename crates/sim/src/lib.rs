@@ -77,7 +77,7 @@ pub use bus::Bus;
 pub use config::BusConfig;
 pub use cycle::Cycle;
 pub use error::BuildSystemError;
-pub use fastforward::NextEvent;
+pub use fastforward::{Kernel, NextEvent};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan, RetryPolicy};
 pub use ids::{MasterId, SlaveId};
 pub use master::{MasterPort, RetryOutcome};

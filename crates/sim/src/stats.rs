@@ -73,18 +73,25 @@ impl LatencyHistogram {
             if c == 0 {
                 continue;
             }
-            let lo = 1u64.checked_shl(k as u32).unwrap_or(u64::MAX);
-            let hi = 1u64.checked_shl(k as u32 + 1).unwrap_or(u64::MAX);
+            // Bucket k spans [lo, top] inclusive with `top = 2·lo − 1`,
+            // computed overflow-free: for k = 63 that is exactly
+            // `u64::MAX`. The former `checked_shl` saturation collapsed
+            // the top bucket's upper bound onto `u64::MAX` *exclusive*,
+            // mis-sizing its width and mis-judging coverage for
+            // latencies near the top of the range.
+            let lo = 1u64 << k;
+            let top = lo - 1 + lo;
             if k == 0 {
                 // Bucket 0 spans latencies [0, 2): `record(0)` and
                 // `record(1)` both land here. At `latency == 0` half the
                 // span is covered, matching the interpolation below.
                 included += if latency >= 1 { c as f64 } else { c as f64 / 2.0 };
-            } else if hi <= latency.saturating_add(1) {
+            } else if latency >= top {
                 included += c as f64;
-            } else if lo <= latency {
-                // Linear interpolation inside the straddled bucket.
-                let covered = (latency - lo + 1) as f64 / (hi - lo) as f64;
+            } else if latency >= lo {
+                // Linear interpolation inside the straddled bucket; the
+                // width `lo` (= 2^k) is exact in f64 for every k.
+                let covered = (latency - lo + 1) as f64 / lo as f64;
                 included += c as f64 * covered;
             }
         }
@@ -94,6 +101,17 @@ impl LatencyHistogram {
     /// An upper bound (within 2×) on the `q`-quantile latency, or
     /// `None` if nothing was recorded.
     ///
+    /// Both edges have defined conventions:
+    ///
+    /// * `q == 0.0` returns the **lower** bound of the first occupied
+    ///   bucket (`0` for bucket 0, else `2^k`) — a defined minimum.
+    ///   Earlier versions clamped the rank to 1 here and reported that
+    ///   bucket's *upper* bound, so an all-zero-latency histogram
+    ///   claimed a 2-cycle minimum.
+    /// * every `q > 0.0` (including `q == 1.0`) returns the 2× upper
+    ///   bound `2^(k+1)` of the bucket holding the `ceil(q·count)`-th
+    ///   smallest latency, saturating at `u64::MAX` for the top bucket.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -101,6 +119,10 @@ impl LatencyHistogram {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.count == 0 {
             return None;
+        }
+        if q == 0.0 {
+            let first = self.buckets.iter().position(|&c| c > 0)?;
+            return Some(if first == 0 { 0 } else { 1u64 << first });
         }
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
@@ -483,8 +505,60 @@ mod tests {
         h.record(0);
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
-        assert_eq!(h.quantile(0.0), Some(2));
+        // q = 0 is the lower bound of the first occupied bucket.
+        assert_eq!(h.quantile(0.0), Some(0));
         assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantile_zero_is_a_defined_minimum() {
+        // Regression: `quantile(0.0)` used to clamp the rank to 1 and
+        // report the first occupied bucket's *upper* bound — an
+        // all-zero-latency histogram claimed a 2-cycle minimum.
+        let mut zeros = LatencyHistogram::new();
+        for _ in 0..5 {
+            zeros.record(0);
+        }
+        assert_eq!(zeros.quantile(0.0), Some(0));
+        assert_eq!(zeros.quantile(1.0), Some(2), "q > 0 keeps the 2x upper-bound convention");
+
+        // A histogram whose smallest latency is 100 (bucket 6, spanning
+        // [64, 128)) reports the bucket's lower bound 64 at q = 0.
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 3000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(64));
+        assert!(h.quantile(0.0).unwrap() <= 100, "q=0 must not exceed the true minimum");
+        assert_eq!(h.quantile(0.5), Some(128));
+    }
+
+    #[test]
+    fn cdf_is_exact_at_bucket_boundaries_and_u64_max() {
+        // Regression: the old `checked_shl(64)` saturation mis-sized the
+        // top bucket [2^63, u64::MAX], claiming full coverage for any
+        // latency >= 2^63 even when larger latencies were recorded.
+        let mut h = LatencyHistogram::new();
+        h.record(42); // bucket 5
+        h.record(u64::MAX); // top bucket [2^63, u64::MAX]
+        assert_eq!(h.fraction_at_most(u64::MAX), Some(1.0));
+        // One cycle below the top bucket's lower bound covers none of it.
+        assert_eq!(h.fraction_at_most((1u64 << 63) - 1), Some(0.5));
+        // The bottom of the top bucket covers ~2^-63 of its width.
+        let at_lo = h.fraction_at_most(1u64 << 63).expect("recorded");
+        assert!((0.5..0.51).contains(&at_lo), "top-bucket coverage mis-sized: {at_lo}");
+
+        // Exact boundaries: the inclusive top of bucket k is 2^(k+1)-1;
+        // coverage there equals the whole bucket, and one cycle below the
+        // bucket's lower bound contributes nothing.
+        let mut b = LatencyHistogram::new();
+        for v in [4u64, 5, 6, 7] {
+            b.record(v); // bucket 2: [4, 8)
+        }
+        assert_eq!(b.fraction_at_most(3), Some(0.0));
+        assert_eq!(b.fraction_at_most(4), Some(0.25));
+        assert_eq!(b.fraction_at_most(7), Some(1.0));
+        assert_eq!(b.fraction_at_most(8), Some(1.0));
     }
 
     #[test]

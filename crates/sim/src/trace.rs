@@ -370,6 +370,20 @@ impl BusTrace {
         }
     }
 
+    /// Records a [`TraceEvent::Word`] event for `master` at every cycle
+    /// in `start..start + words` — the TLM kernel's batched form of the
+    /// per-cycle word recording the cycle kernel performs during a
+    /// burst, preserving byte-identical buffers, drop counts, and sink
+    /// streams across kernels. A no-op when the trace is disabled.
+    pub fn record_word_span(&mut self, start: Cycle, words: u32, master: MasterId) {
+        if !self.is_enabled() {
+            return;
+        }
+        for offset in 0..u64::from(words) {
+            self.record(TraceEvent::Word { cycle: start + offset, master });
+        }
+    }
+
     /// All buffered events in time order (at most the capacity; see
     /// [`BusTrace::dropped`] for what fell off the end).
     pub fn events(&self) -> &[TraceEvent] {
@@ -523,6 +537,24 @@ mod tests {
 
         let mut off = BusTrace::disabled();
         off.record_idle_span(Cycle::ZERO, 1_000);
+        assert!(off.events().is_empty());
+    }
+
+    #[test]
+    fn word_span_matches_per_cycle_records() {
+        let ring = Arc::new(Mutex::new(RingSink::new(16)));
+        let mut spanned = BusTrace::enabled(3).with_sink(Box::new(Arc::clone(&ring)));
+        spanned.record_word_span(Cycle::new(20), 5, MasterId::new(2));
+        let mut stepped = BusTrace::enabled(3);
+        for c in 20..25 {
+            stepped.record(TraceEvent::Word { cycle: Cycle::new(c), master: MasterId::new(2) });
+        }
+        assert_eq!(spanned, stepped, "buffer and drop accounting match");
+        assert_eq!(spanned.dropped(), 2);
+        assert_eq!(ring.lock().unwrap().len(), 5, "sink saw every word cycle");
+
+        let mut off = BusTrace::disabled();
+        off.record_word_span(Cycle::ZERO, 1_000, MasterId::new(0));
         assert!(off.events().is_empty());
     }
 

@@ -16,20 +16,21 @@
 
 use lotterybus_repro::experiments::json::{Json, ToJson};
 use lotterybus_repro::experiments::{self, RunSettings};
+use lotterybus_repro::socsim::Kernel;
 
 const GOLDEN_PATH: &str = "tests/golden/suite_mini.json";
 
 /// Pinned settings for the miniature suite: short windows, fixed seed,
 /// one worker (worker count never changes results, but pinning it keeps
 /// the document's provenance obvious).
-fn golden_settings(fast_forward: bool) -> RunSettings {
+fn golden_settings(kernel: Kernel) -> RunSettings {
     RunSettings { warmup: 500, measure: 4_000, seed: 0x60_1DEB, jobs: 1, ..RunSettings::new() }
-        .with_fast_forward(fast_forward)
+        .with_kernel(kernel)
 }
 
 /// Renders the miniature suite document under the chosen kernel.
-fn golden_document(fast_forward: bool) -> String {
-    let settings = golden_settings(fast_forward);
+fn golden_document(kernel: Kernel) -> String {
+    let settings = golden_settings(kernel);
     let doc = Json::obj()
         .field(
             "meta",
@@ -39,15 +40,19 @@ fn golden_document(fast_forward: bool) -> String {
                 .field("measure", settings.measure),
         )
         .field("fig4", experiments::fig4::run(&settings).to_json())
-        .field("fig5", experiments::fig5::run_kernel(1, fast_forward).to_json())
+        .field("fig5", experiments::fig5::run_kernel(1, kernel).to_json())
         .field("starvation", experiments::starvation::run(&settings).to_json())
         .field("energy", experiments::energy::run(&settings).to_json());
     doc.render() + "\n"
 }
 
 #[test]
-fn golden_suite_document_is_stable_under_both_kernels() {
-    let cycle = golden_document(false);
+fn golden_suite_document_is_stable_under_both_exact_kernels() {
+    // The TLM kernel is deliberately absent here: fig4/starvation/
+    // energy drive Bernoulli traffic, where it is a bounded
+    // approximation rather than byte-exact (its exact subset — fig5 —
+    // is pinned by tests/kernel_equivalence.rs instead).
+    let cycle = golden_document(Kernel::Cycle);
     if std::env::var_os("REGEN_GOLDEN").is_some() {
         std::fs::write(GOLDEN_PATH, &cycle).expect("write golden snapshot");
         eprintln!("regenerated {GOLDEN_PATH}");
@@ -60,7 +65,7 @@ fn golden_suite_document_is_stable_under_both_kernels() {
         "cycle-kernel output drifted from the golden snapshot; if the change is \
          intentional, regenerate with REGEN_GOLDEN=1 and review the diff"
     );
-    let fast = golden_document(true);
+    let fast = golden_document(Kernel::Fast);
     assert_eq!(
         fast, golden,
         "fast-kernel output differs from the golden snapshot (kernel equivalence broken)"

@@ -1,4 +1,4 @@
-//! Differential testing harness for the fast-forward kernel.
+//! Differential testing harness for the fast-forward and TLM kernels.
 //!
 //! Every suite experiment — and a set of system-level scenarios
 //! covering fault injection, recovery, windowed metrics, traces,
@@ -7,6 +7,13 @@
 //! statistics struct-for-struct, serialized JSON byte-for-byte, trace
 //! streams event-for-event. Fast-forward is a pure wall-clock
 //! optimization; any divergence here is a kernel bug.
+//!
+//! The TLM kernel joins the matrix wherever it claims exactness: on
+//! forced-outcome systems (periodic/replay arrivals, or any system
+//! with metrics or faults enabled, where tenure batching switches
+//! itself off) its output must also be byte-identical. Its bounded
+//! statistical error on contended memoryless traffic is measured by
+//! `suite --bench`, not asserted here.
 
 use lotterybus_cli::{render_metrics, render_report, SimSpec};
 use lotterybus_repro::arbiters::FailoverArbiter;
@@ -14,7 +21,7 @@ use lotterybus_repro::experiments::json::ToJson;
 use lotterybus_repro::experiments::{self, RunSettings};
 use lotterybus_repro::lottery::{StaticLotteryArbiter, TicketAssignment};
 use lotterybus_repro::socsim::{
-    vcd, Arbiter, BusConfig, FaultConfig, RetryPolicy, RingSink, SystemBuilder,
+    vcd, Arbiter, BusConfig, FaultConfig, Kernel, RetryPolicy, RingSink, SystemBuilder,
 };
 use lotterybus_repro::traffic::{GeneratorSpec, SizeDist, TrafficClass};
 
@@ -48,10 +55,12 @@ fn fig4_bandwidth_and_timeseries_match() {
 
 #[test]
 fn fig5_tdma_replay_matches() {
-    let cycle = experiments::fig5::run_kernel(1, false);
-    let fast = experiments::fig5::run_kernel(1, true);
-    assert_eq!(cycle, fast, "fig5: kernels disagree");
-    assert_eq!(cycle.to_json().render(), fast.to_json().render());
+    let cycle = experiments::fig5::run_kernel(1, Kernel::Cycle);
+    for kernel in [Kernel::Fast, Kernel::Tlm] {
+        let other = experiments::fig5::run_kernel(1, kernel);
+        assert_eq!(cycle, other, "fig5: {} kernel disagrees", kernel.name());
+        assert_eq!(cycle.to_json().render(), other.to_json().render());
+    }
 }
 
 #[test]
@@ -231,6 +240,50 @@ fn cli_spec_pipeline_matches_across_kernels() {
     let fast = render(&spec_for("fast"));
     assert!(cycle.contains("fault"), "spec fault section missing from the report");
     assert_eq!(cycle, fast, "CLI report differs between kernels");
+}
+
+#[test]
+fn scenario_and_suite_experiment_match_across_the_full_kernel_matrix() {
+    // One declarative scenario: the runner always enables windowed
+    // metrics, so even the TLM kernel must render a byte-identical
+    // verdict (tenure batching disables itself under observation).
+    let text = "scenario kernel-matrix\n\
+                seed = 42\n\
+                arbiter = lottery\n\
+                master cpu weight=3 load=0.20 size=8\n\
+                master dma weight=1 load=0.05 size=16\n\
+                phase steady duration=20000\n\
+                sla losses max=0\n";
+    let sc = scenario::Scenario::parse(text).expect("valid scenario");
+    let cycle = scenario::run_scenario(&sc, Kernel::Cycle).expect("cycle run");
+    for kernel in [Kernel::Fast, Kernel::Tlm] {
+        let other = scenario::run_scenario(&sc, kernel).expect("kernel run");
+        assert_eq!(
+            cycle.to_json().render(),
+            other.to_json().render(),
+            "scenario verdict differs under the {} kernel",
+            kernel.name()
+        );
+    }
+
+    // One suite experiment on a forced-outcome workload: periodic
+    // low-utilization traffic, where the TLM kernel claims outright
+    // exactness (every arbitration outcome is forced, so whole-tenure
+    // batching loses nothing).
+    let settings = short();
+    let specs = experiments::common::low_utilization_specs(4);
+    let run = |s: &RunSettings| {
+        experiments::common::run_system(&specs, experiments::common::protocol_arbiter(4, s.seed), s)
+    };
+    let cycle_stats = run(&settings);
+    for kernel in [Kernel::Fast, Kernel::Tlm] {
+        assert_eq!(
+            cycle_stats,
+            run(&settings.with_kernel(kernel)),
+            "suite experiment stats differ under the {} kernel",
+            kernel.name()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
