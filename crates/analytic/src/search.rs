@@ -1,0 +1,518 @@
+//! Instant design-space search: scan millions of (tickets, burst,
+//! load-scale) points through the closed-form predictors, short-list
+//! the candidates that satisfy a set of SLA targets, and hand the
+//! survivors to the simulator for confirmation.
+//!
+//! One point evaluation is a few hundred flops and allocates nothing,
+//! so a single thread covers a 4-master × 32-ticket grid (1,048,576
+//! points) in well under a second. Equivalent ticket vectors are
+//! folded together in the short list: scaling every ticket count by a
+//! common factor changes nothing for the lottery, deficit-RR, or
+//! priority models (only the order matters for the latter), so the
+//! short list reports each *allocation shape* once, at its smallest
+//! ticket sum.
+//!
+//! ```
+//! use analytic::{Protocol, SearchSpace, SlaTarget, TargetKind, TrafficInput};
+//! use socsim::BusConfig;
+//! use traffic_gen::SizeDist;
+//!
+//! let traffic = vec![
+//!     TrafficInput { lambda: 0.04, size: SizeDist::fixed(16), stall: None };
+//!     4
+//! ];
+//! let mut space = SearchSpace::new(Protocol::LotteryStatic, BusConfig::default(), traffic);
+//! space.max_tickets = 8; // 8⁴ = 4096 points
+//! let targets = [SlaTarget { master: 3, kind: TargetKind::MinShare(0.4) }];
+//! let report = analytic::search(&space, &targets, 4).unwrap();
+//! assert_eq!(report.scanned, 4096);
+//! assert!(report.feasible > 0);
+//! // The best candidate skews tickets toward master 3.
+//! let best = &report.candidates[0];
+//! assert_eq!(best.weights[3], *best.weights.iter().max().unwrap());
+//! ```
+
+use crate::model::{MasterModel, Prediction, Protocol, Scratch, SystemModel, MAX_MASTERS};
+use socsim::BusConfig;
+use traffic_gen::SizeDist;
+
+/// One master's traffic, as the search sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficInput {
+    /// Message arrival rate in messages per cycle (at load scale 1.0).
+    pub lambda: f64,
+    /// Message size distribution.
+    pub size: SizeDist,
+    /// Per-grant stall override (arbitration overhead + the addressed
+    /// slave's wait states); `None` uses the bus default.
+    pub stall: Option<u32>,
+}
+
+/// An SLA target the analytic scan scores candidates against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetKind {
+    /// Bandwidth share (words per cycle) must be at least this.
+    MinShare(f64),
+    /// Bandwidth share must be at most this.
+    MaxShare(f64),
+    /// Mean latency in cycles per word must be at most this.
+    MaxCyclesPerWord(f64),
+    /// p99 per-message latency in cycles must be at most this.
+    MaxP99(f64),
+}
+
+/// A target bound to one master.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaTarget {
+    /// Master index the target constrains.
+    pub master: usize,
+    /// The constraint.
+    pub kind: TargetKind,
+}
+
+impl SlaTarget {
+    /// Normalized slack of `pred` against this target: positive when
+    /// satisfied (1.0 = met with 100% headroom), negative when
+    /// violated, `-1.0` when the predictor declares the metric
+    /// unbounded (unstable queue).
+    pub fn slack(&self, pred: &Prediction) -> f64 {
+        fn headroom(limit: f64, value: Option<f64>) -> f64 {
+            match value {
+                None => -1.0,
+                Some(v) => (limit - v) / limit.max(f64::MIN_POSITIVE),
+            }
+        }
+        match self.kind {
+            TargetKind::MinShare(min) => (pred.share - min) / min.max(f64::MIN_POSITIVE),
+            TargetKind::MaxShare(max) => (max - pred.share) / max.max(f64::MIN_POSITIVE),
+            TargetKind::MaxCyclesPerWord(max) => headroom(max, pred.cycles_per_word),
+            TargetKind::MaxP99(max) => headroom(max, pred.p99_latency),
+        }
+    }
+}
+
+/// The design space a [`search`] scans exhaustively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Arbitration protocol under design.
+    pub protocol: Protocol,
+    /// TDMA slots per weight unit (used only by [`Protocol::Tdma2Level`]).
+    pub tdma_block: u32,
+    /// DRR quantum unit in words per weight per round (used only by
+    /// [`Protocol::DeficitRoundRobin`]).
+    pub drr_quantum: u32,
+    /// Bus parameters; `max_burst` is overridden by each scanned burst.
+    pub bus: BusConfig,
+    /// Per-master traffic at load scale 1.0.
+    pub traffic: Vec<TrafficInput>,
+    /// Every master's ticket count scans `1..=max_tickets`.
+    pub max_tickets: u32,
+    /// Burst limits to scan.
+    pub bursts: Vec<u32>,
+    /// Load multipliers to scan (applied to every master's rate).
+    pub load_scales: Vec<f64>,
+}
+
+impl SearchSpace {
+    /// A space scanning tickets `1..=32` per master at the bus's own
+    /// burst limit and nominal load — for four masters, 1,048,576
+    /// points.
+    pub fn new(protocol: Protocol, bus: BusConfig, traffic: Vec<TrafficInput>) -> Self {
+        SearchSpace {
+            protocol,
+            tdma_block: 6,
+            drr_quantum: 8,
+            bursts: vec![bus.max_burst],
+            bus,
+            traffic,
+            max_tickets: 32,
+            load_scales: vec![1.0],
+        }
+    }
+
+    /// Number of design points the scan will visit
+    /// (`max_tickets^masters × bursts × load_scales`), saturating at
+    /// `u64::MAX`.
+    pub fn points(&self) -> u64 {
+        let per_cell = (u128::from(self.max_tickets))
+            .checked_pow(self.traffic.len() as u32)
+            .unwrap_or(u128::MAX);
+        let cells = (self.bursts.len() as u128).saturating_mul(self.load_scales.len() as u128);
+        u64::try_from(per_cell.saturating_mul(cells)).unwrap_or(u64::MAX)
+    }
+
+    /// Raises `max_tickets` until the scan covers at least
+    /// `target` points (useful to dimension "scan a million points"
+    /// requests regardless of master count).
+    pub fn dimension_for(&mut self, target: u64) {
+        while self.points() < target && self.max_tickets < 4096 {
+            self.max_tickets += 1;
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let n = self.traffic.len();
+        if n == 0 || n > MAX_MASTERS {
+            return Err(format!("search supports 1..={MAX_MASTERS} masters, got {n}"));
+        }
+        if self.max_tickets == 0 {
+            return Err("max_tickets must be at least 1".into());
+        }
+        if self.bursts.is_empty() || self.bursts.contains(&0) {
+            return Err("bursts must be non-empty and nonzero".into());
+        }
+        if self.load_scales.is_empty() {
+            return Err("load_scales must be non-empty".into());
+        }
+        if self.load_scales.iter().any(|&s| s.is_nan() || s < 0.0 || !s.is_finite()) {
+            return Err("load scales must be finite and >= 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// One short-listed design point with its predicted metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Ticket/weight vector, in master order.
+    pub weights: Vec<u32>,
+    /// Burst limit of this point.
+    pub burst: u32,
+    /// Load multiplier of this point.
+    pub load_scale: f64,
+    /// Worst normalized target slack (higher = more headroom).
+    pub margin: f64,
+    /// Predicted per-master metrics at this point.
+    pub predicted: Vec<Prediction>,
+}
+
+/// The result of an analytic design-space scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Design points evaluated.
+    pub scanned: u64,
+    /// Points satisfying every target.
+    pub feasible: u64,
+    /// Best feasible candidates, one per allocation shape, by
+    /// descending margin.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Exhaustively scans `space`, scoring every point against `targets`,
+/// and returns up to `top` shape-deduplicated feasible candidates by
+/// descending worst-target slack.
+///
+/// # Errors
+///
+/// Returns a description when the space is degenerate (no masters,
+/// zero tickets or bursts, a target naming an out-of-range master).
+pub fn search(
+    space: &SearchSpace,
+    targets: &[SlaTarget],
+    top: usize,
+) -> Result<SearchReport, String> {
+    space.validate()?;
+    let n = space.traffic.len();
+    if let Some(t) = targets.iter().find(|t| t.master >= n) {
+        return Err(format!("target names master {} but the system has {n}", t.master));
+    }
+
+    let mut scratch = Scratch::new();
+    let mut scanned = 0u64;
+    let mut feasible = 0u64;
+    let mut shortlist: Vec<Candidate> = Vec::new();
+
+    for &burst in &space.bursts {
+        let bus = BusConfig { max_burst: burst, ..space.bus };
+        let base: Vec<MasterModel> = space
+            .traffic
+            .iter()
+            .map(|t| {
+                MasterModel::new(
+                    t.lambda,
+                    t.size,
+                    1,
+                    t.stall.unwrap_or_else(|| bus.per_grant_overhead()),
+                    burst,
+                )
+            })
+            .collect();
+        for &scale in &space.load_scales {
+            let masters: Vec<MasterModel> =
+                base.iter().map(|m| MasterModel { lambda: m.lambda * scale, ..*m }).collect();
+            let mut model = SystemModel::new(space.protocol, masters)
+                .with_tdma_block(space.tdma_block)
+                .with_drr_quantum(space.drr_quantum);
+            model.max_burst = burst;
+            let mut weights = [1u32; MAX_MASTERS];
+            loop {
+                for (m, &w) in model.masters.iter_mut().zip(&weights[..n]) {
+                    m.weight = w;
+                }
+                model.evaluate(&mut scratch);
+                let margin = targets
+                    .iter()
+                    .map(|t| t.slack(&scratch.preds[t.master]))
+                    .fold(f64::INFINITY, f64::min);
+                scanned += 1;
+                if margin >= 0.0 {
+                    feasible += 1;
+                    let ctx = ShapeCtx {
+                        protocol: space.protocol,
+                        drr_quantum: space.drr_quantum,
+                        burst,
+                    };
+                    offer(
+                        &mut shortlist,
+                        top,
+                        ctx,
+                        &weights[..n],
+                        burst,
+                        scale,
+                        margin,
+                        &scratch.preds[..n],
+                    );
+                }
+                // Odometer over the ticket grid.
+                let mut digit = 0;
+                while digit < n {
+                    weights[digit] += 1;
+                    if weights[digit] <= space.max_tickets {
+                        break;
+                    }
+                    weights[digit] = 1;
+                    digit += 1;
+                }
+                if digit == n {
+                    break;
+                }
+            }
+        }
+    }
+
+    shortlist.sort_by(|a, b| b.margin.partial_cmp(&a.margin).expect("finite margins"));
+    Ok(SearchReport { scanned, feasible, candidates: shortlist })
+}
+
+/// The dedup context of one scan cell: the protocol plus the knobs
+/// that decide when two weight vectors predict identically.
+#[derive(Clone, Copy)]
+struct ShapeCtx {
+    protocol: Protocol,
+    drr_quantum: u32,
+    burst: u32,
+}
+
+/// The shape under which a weight vector is deduplicated: ticket
+/// ratios are what the models respond to, so `(2,4,6,8)` folds into
+/// `(1,2,3,4)`. Static priority only reacts to the weight *order*, so
+/// its shape is the dense rank vector. DRR first clamps each weight to
+/// its effective per-round words `min(w · quantum, burst)` — beyond
+/// one full burst per round, more tickets change nothing. TDMA keeps
+/// exact weights — its slot-alignment wait grows with absolute frame
+/// length.
+fn shape(ctx: ShapeCtx, weights: &[u32], out: &mut [u32; MAX_MASTERS]) {
+    let n = weights.len();
+    match ctx.protocol {
+        Protocol::Tdma2Level => out[..n].copy_from_slice(weights),
+        Protocol::RoundRobin => out[..n].fill(1),
+        Protocol::StaticPriority => {
+            for i in 0..n {
+                out[i] = weights.iter().filter(|&&w| w < weights[i]).count() as u32;
+            }
+        }
+        _ => {
+            let eff = |w: u32| match ctx.protocol {
+                Protocol::DeficitRoundRobin => {
+                    w.saturating_mul(ctx.drr_quantum.max(1)).min(ctx.burst.max(1))
+                }
+                _ => w,
+            };
+            let g = weights.iter().fold(0u32, |g, &w| gcd(g, eff(w))).max(1);
+            for i in 0..n {
+                out[i] = eff(weights[i]) / g;
+            }
+        }
+    }
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn offer(
+    shortlist: &mut Vec<Candidate>,
+    top: usize,
+    ctx: ShapeCtx,
+    weights: &[u32],
+    burst: u32,
+    load_scale: f64,
+    margin: f64,
+    preds: &[Prediction],
+) {
+    if top == 0 {
+        return;
+    }
+    let mut sig = [0u32; MAX_MASTERS];
+    shape(ctx, weights, &mut sig);
+    let mut other = [0u32; MAX_MASTERS];
+    // Same shape in the same (burst, scale) cell: keep the best margin,
+    // and at equal margin the smallest ticket sum (the cheapest wheel).
+    if let Some(existing) = shortlist.iter_mut().find(|c| {
+        shape(ctx, &c.weights, &mut other);
+        c.burst == burst
+            && c.load_scale == load_scale
+            && other[..weights.len()] == sig[..weights.len()]
+    }) {
+        let sum: u32 = weights.iter().sum();
+        let existing_sum: u32 = existing.weights.iter().sum();
+        if margin > existing.margin + f64::EPSILON
+            || (margin >= existing.margin - f64::EPSILON && sum < existing_sum)
+        {
+            existing.weights.copy_from_slice(weights);
+            existing.margin = margin;
+            existing.predicted.copy_from_slice(preds);
+        }
+        return;
+    }
+    if shortlist.len() >= top {
+        let (worst_idx, worst) = shortlist
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.margin.partial_cmp(&b.1.margin).expect("finite"))
+            .expect("non-empty");
+        if margin <= worst.margin {
+            return;
+        }
+        shortlist.swap_remove(worst_idx);
+    }
+    shortlist.push(Candidate {
+        weights: weights.to_vec(),
+        burst,
+        load_scale,
+        margin,
+        predicted: preds.to_vec(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(n: usize, lambda: f64) -> Vec<TrafficInput> {
+        vec![TrafficInput { lambda, size: SizeDist::fixed(16), stall: None }; n]
+    }
+
+    fn space(max_tickets: u32) -> SearchSpace {
+        let mut s =
+            SearchSpace::new(Protocol::LotteryStatic, BusConfig::default(), traffic(4, 0.09));
+        s.max_tickets = max_tickets;
+        s
+    }
+
+    #[test]
+    fn points_counts_the_grid() {
+        let mut s = space(32);
+        assert_eq!(s.points(), 1 << 20);
+        s.bursts = vec![8, 16];
+        s.load_scales = vec![0.8, 1.0, 1.2];
+        assert_eq!(s.points(), 6 << 20);
+    }
+
+    #[test]
+    fn dimension_for_reaches_the_target() {
+        let mut s = space(1);
+        s.dimension_for(1_000_000);
+        assert!(s.points() >= 1_000_000);
+        assert_eq!(s.max_tickets, 32, "4 masters need 32 tickets for 1M points");
+    }
+
+    #[test]
+    fn feasible_share_target_produces_candidates() {
+        let targets = [SlaTarget { master: 0, kind: TargetKind::MinShare(0.5) }];
+        let report = search(&space(6), &targets, 5).unwrap();
+        assert_eq!(report.scanned, 1296);
+        assert!(report.feasible > 0);
+        assert!(!report.candidates.is_empty());
+        for c in &report.candidates {
+            assert!(c.margin >= 0.0);
+            assert!(c.predicted[0].share >= 0.5 - 1e-9, "{c:?}");
+            // Master 0 must out-ticket the field to win half the bus.
+            assert!(c.weights[0] > c.weights[1]);
+        }
+        // Sorted by descending margin.
+        for pair in report.candidates.windows(2) {
+            assert!(pair[0].margin >= pair[1].margin);
+        }
+    }
+
+    #[test]
+    fn impossible_target_reports_zero_feasible() {
+        // Four saturating masters: nobody can hold 99% of the bus with
+        // at most 6 tickets against three 1-ticket competitors.
+        let targets = [SlaTarget { master: 0, kind: TargetKind::MinShare(0.99) }];
+        let report = search(&space(6), &targets, 5).unwrap();
+        assert_eq!(report.feasible, 0);
+        assert!(report.candidates.is_empty());
+    }
+
+    #[test]
+    fn shortlist_dedups_scaled_ticket_vectors() {
+        // Every feasible point with shape k:1:1:1 collapses; distinct
+        // shapes remain.
+        let targets = [SlaTarget { master: 0, kind: TargetKind::MinShare(0.25) }];
+        let report = search(&space(4), &targets, 16).unwrap();
+        let mut shapes: Vec<Vec<u32>> = Vec::new();
+        for c in &report.candidates {
+            let mut sig = [0u32; MAX_MASTERS];
+            let ctx = ShapeCtx { protocol: Protocol::LotteryStatic, drr_quantum: 8, burst: 16 };
+            shape(ctx, &c.weights, &mut sig);
+            let sig = sig[..4].to_vec();
+            assert!(!shapes.contains(&sig), "duplicate shape {sig:?}");
+            shapes.push(sig);
+        }
+    }
+
+    #[test]
+    fn latency_targets_reject_unstable_points() {
+        // Saturated lottery queues are unstable: no point satisfies a
+        // finite mean-latency ceiling.
+        let targets = [SlaTarget { master: 0, kind: TargetKind::MaxCyclesPerWord(100.0) }];
+        let report = search(&space(4), &targets, 5).unwrap();
+        assert_eq!(report.feasible, 0);
+        // At a third of the load the queues are stable and candidates
+        // appear.
+        let mut light = space(4);
+        light.traffic = traffic(4, 0.01);
+        let report = search(&light, &targets, 5).unwrap();
+        assert!(report.feasible > 0);
+    }
+
+    #[test]
+    fn degenerate_spaces_are_rejected() {
+        let mut s = space(4);
+        s.traffic.clear();
+        assert!(search(&s, &[], 5).is_err());
+        let mut s = space(0);
+        s.max_tickets = 0;
+        assert!(search(&s, &[], 5).is_err());
+        let s = space(4);
+        let bad = [SlaTarget { master: 9, kind: TargetKind::MinShare(0.1) }];
+        assert!(search(&s, &bad, 5).is_err());
+    }
+
+    #[test]
+    fn load_scale_zero_is_graceful() {
+        let mut s = space(2);
+        s.load_scales = vec![0.0];
+        let targets = [SlaTarget { master: 0, kind: TargetKind::MaxCyclesPerWord(100.0) }];
+        let report = search(&s, &targets, 3).unwrap();
+        assert_eq!(report.scanned, 16);
+        assert_eq!(report.feasible, 16, "an idle bus satisfies any latency ceiling");
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the closed-form predictors: structural
+//! invariants that must hold at every point of the design space the
+//! search scans, not just at hand-picked workloads.
+//!
+//! * **Monotone in tickets** — giving a master more tickets (weight)
+//!   never reduces its own predicted bandwidth share, for every
+//!   protocol. (Round-robin ignores weights, which satisfies the bound
+//!   trivially; DRR's burst clamp flattens it beyond one burst per
+//!   round, which still satisfies it.)
+//! * **Monotone in load** — raising a master's arrival rate never
+//!   reduces its own share, and never *improves* its own latency
+//!   (treating an unstable queue as infinite latency).
+//! * **Bandwidth conservation** — predicted shares sum to at most the
+//!   bus capacity, and utilization stays in [0, 1].
+//! * **Graceful at zero load** — an idle master predicts a zero share,
+//!   a stable queue, and a finite queueing-free latency.
+
+use analytic::{MasterModel, Protocol, SystemModel};
+use proptest::prelude::*;
+use traffic_gen::SizeDist;
+
+const PROTOCOLS: [Protocol; 5] = [
+    Protocol::StaticPriority,
+    Protocol::RoundRobin,
+    Protocol::DeficitRoundRobin,
+    Protocol::Tdma2Level,
+    Protocol::LotteryStatic,
+];
+
+/// One randomly drawn master: arrival rate, fixed message size, weight.
+#[derive(Debug, Clone)]
+struct Draw {
+    lambda: f64,
+    size: u32,
+    weight: u32,
+}
+
+fn draw() -> impl Strategy<Value = Draw> {
+    (0.0..0.08f64, 1..48u32, 1..24u32).prop_map(|(lambda, size, weight)| Draw {
+        lambda,
+        size,
+        weight,
+    })
+}
+
+fn system(protocol: Protocol, draws: &[Draw], stall: u32, burst: u32) -> SystemModel {
+    let masters = draws
+        .iter()
+        .map(|d| MasterModel::new(d.lambda, SizeDist::fixed(d.size), d.weight, stall, burst))
+        .collect();
+    let mut model = SystemModel::new(protocol, masters);
+    model.max_burst = burst;
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn share_is_monotone_in_own_tickets(
+        draws in prop::collection::vec(draw(), 2..8),
+        stall in 0..8u32,
+        burst in 1..32u32,
+        bump in 1..16u32,
+    ) {
+        for protocol in PROTOCOLS {
+            let before = system(protocol, &draws, stall, burst).predict();
+            let mut richer = draws.clone();
+            richer[0].weight += bump;
+            let after = system(protocol, &richer, stall, burst).predict();
+            prop_assert!(
+                after.masters[0].share >= before.masters[0].share - 1e-9,
+                "{protocol:?}: weight {} -> {} dropped master 0's share {} -> {}",
+                draws[0].weight,
+                richer[0].weight,
+                before.masters[0].share,
+                after.masters[0].share,
+            );
+        }
+    }
+
+    #[test]
+    fn share_is_monotone_and_latency_anti_monotone_in_own_load(
+        draws in prop::collection::vec(draw(), 2..8),
+        stall in 0..8u32,
+        burst in 1..32u32,
+        factor in 1.1..4.0f64,
+    ) {
+        for protocol in PROTOCOLS {
+            let before = system(protocol, &draws, stall, burst).predict();
+            let mut hotter = draws.clone();
+            hotter[0].lambda *= factor;
+            let after = system(protocol, &hotter, stall, burst).predict();
+            prop_assert!(
+                after.masters[0].share >= before.masters[0].share - 1e-9,
+                "{protocol:?}: scaling master 0's load by {factor} dropped its share \
+                 {} -> {}",
+                before.masters[0].share,
+                after.masters[0].share,
+            );
+            // More of one's own traffic never shortens one's own queue:
+            // an unstable queue counts as infinite latency.
+            let wait = |p: &analytic::Prediction| p.cycles_per_word.unwrap_or(f64::INFINITY);
+            prop_assert!(
+                wait(&after.masters[0]) >= wait(&before.masters[0]) - 1e-6,
+                "{protocol:?}: extra load improved master 0's latency {:?} -> {:?}",
+                before.masters[0].cycles_per_word,
+                after.masters[0].cycles_per_word,
+            );
+        }
+    }
+
+    #[test]
+    fn shares_conserve_bus_capacity(
+        draws in prop::collection::vec(draw(), 1..16),
+        stall in 0..8u32,
+        burst in 1..32u32,
+    ) {
+        for protocol in PROTOCOLS {
+            let pred = system(protocol, &draws, stall, burst).predict();
+            let total: f64 = pred.masters.iter().map(|m| m.share).sum();
+            prop_assert!(total <= 1.0 + 1e-9, "{protocol:?}: shares sum to {total}");
+            prop_assert!(
+                (0.0..=1.0 + 1e-9).contains(&pred.bus_utilization),
+                "{protocol:?}: utilization {} out of range",
+                pred.bus_utilization,
+            );
+            for (i, m) in pred.masters.iter().enumerate() {
+                prop_assert!(
+                    m.share >= 0.0 && m.share <= 1.0 + 1e-9,
+                    "{protocol:?}: master {i} share {} out of range",
+                    m.share,
+                );
+                // A master is never granted more than it offers.
+                prop_assert!(
+                    m.share <= m.demand + 1e-9,
+                    "{protocol:?}: master {i} share {} exceeds demand {}",
+                    m.share,
+                    m.demand,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_load_degrades_gracefully(
+        draws in prop::collection::vec(draw(), 1..8),
+        stall in 0..8u32,
+        burst in 1..32u32,
+    ) {
+        for protocol in PROTOCOLS {
+            let mut idle = draws.clone();
+            for d in &mut idle {
+                d.lambda = 0.0;
+            }
+            let pred = system(protocol, &idle, stall, burst).predict();
+            prop_assert!(!pred.saturated, "{protocol:?}: an idle bus cannot saturate");
+            for (i, m) in pred.masters.iter().enumerate() {
+                prop_assert!(m.share.abs() < 1e-12, "{protocol:?}: idle master {i} has share");
+                prop_assert!(m.stable, "{protocol:?}: idle master {i} predicted unstable");
+                let lat = m.cycles_per_word.expect("idle queue has finite latency");
+                prop_assert!(
+                    lat.is_finite() && lat >= 1.0 - 1e-9,
+                    "{protocol:?}: idle master {i} latency {lat} (want finite, >= 1 \
+                     cycle/word of pure service)",
+                );
+                prop_assert!(
+                    m.p99_latency.expect("finite p99").is_finite(),
+                    "{protocol:?}: idle master {i} p99 not finite",
+                );
+            }
+        }
+    }
+}

@@ -95,9 +95,26 @@
 //! every verdict matched its `expect` line); `fuzz` runs the seeded
 //! scenario fuzzer and writes shrunk reproducers. See
 //! [`scenario_cmd`] for the flag reference.
+//!
+//! ## Design-space search
+//!
+//! The `search` subcommand turns a `.scenario` file's SLA lines into
+//! analytic targets, scans a million-plus (tickets, burst, load)
+//! design points through the closed-form predictors of the `analytic`
+//! crate, and confirms the best candidates by simulation:
+//!
+//! ```console
+//! $ lotterybus-sim search scenarios/baseline-fairness.scenario
+//! $ lotterybus-sim search sla.scenario --points 2000000 --confirm 5
+//! ```
+//!
+//! Exit status 0 means at least one candidate was confirmed; 2 means
+//! the targets are infeasible over the scanned space. See
+//! [`search_cmd`] for the flag reference.
 
 pub mod report;
 pub mod scenario_cmd;
+pub mod search_cmd;
 pub mod spec;
 
 pub use report::{render_metrics, render_report};

@@ -27,6 +27,7 @@ const USAGE: &str = "\
 usage: lotterybus-sim <spec-file | -> [--vcd <file>] [--jobs <n>]
        lotterybus-sim scenario <files-or-dirs>... [--kernel cycle|fast|tlm] [--jobs <n>] [--bench <file>]
        lotterybus-sim fuzz [--seed <n>] [--iters <n>] [--out <dir>] [--demo-failure]
+       lotterybus-sim search <file.scenario> [--points <n>] [--top <k>] [--confirm <k>] [--kernel cycle|fast|tlm] [--bursts <a,b>] [--load-scales <x,y>] [--max-tickets <n>]
        lotterybus-sim --example";
 
 const EXAMPLE_SPEC: &str = "\
@@ -84,6 +85,9 @@ fn main() -> ExitCode {
             subcommand_exit(lotterybus_cli::scenario_cmd::run_scenario_command(&args[1..]))
         }
         Some("fuzz") => subcommand_exit(lotterybus_cli::scenario_cmd::run_fuzz_command(&args[1..])),
+        Some("search") => {
+            subcommand_exit(lotterybus_cli::search_cmd::run_search_command(&args[1..]))
+        }
         Some(path) => {
             let outcome = vcd_path(&args)
                 .and_then(|vcd| jobs_flag(&args).map(|jobs| (vcd, jobs)))

@@ -2,7 +2,8 @@
 //! document on stdout (or `--out FILE`).
 //!
 //! ```text
-//! suite [--quick] [--jobs N] [--metrics W] [--kernel K] [--out FILE] [--bench FILE]
+//! suite [--quick] [--jobs N] [--metrics W] [--kernel K] [--validate-analytic]
+//!       [--out FILE] [--bench FILE]
 //! ```
 //!
 //! * `--quick` — short measurement window (CI-friendly).
@@ -19,6 +20,12 @@
 //!   tenures into single events: exact for catch-up arrival processes
 //!   (periodic, on/off, replay), a bounded approximation for
 //!   memoryless (Bernoulli) arrivals against a contended bus.
+//! * `--validate-analytic` — additionally run the analytic-model
+//!   validation grid (48 simulations, each compared against the
+//!   closed-form predictors of the `analytic` crate) and embed the
+//!   per-cell error table as an `analytic_validation` field of the
+//!   result document. Off by default so the core document the CI
+//!   determinism gates diff is unchanged.
 //! * `--out FILE` — write the JSON document to FILE instead of stdout.
 //! * `--bench FILE` — benchmark mode: run the suite serially (`--jobs
 //!   1`) and with the requested worker count, with metrics off and on,
@@ -42,15 +49,20 @@ use socsim::Kernel;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: suite [--quick] [--jobs N] [--metrics W] [--kernel cycle|fast|tlm] [--out FILE] \
-         [--bench FILE]"
+        "usage: suite [--quick] [--jobs N] [--metrics W] [--kernel cycle|fast|tlm] \
+         [--validate-analytic] [--out FILE] [--bench FILE]"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut opts =
-        SuiteOptions { quick: false, jobs: 0, metrics_window: None, kernel: Kernel::Cycle };
+    let mut opts = SuiteOptions {
+        quick: false,
+        jobs: 0,
+        metrics_window: None,
+        kernel: Kernel::Cycle,
+        validate_analytic: false,
+    };
     let mut out: Option<String> = None;
     let mut bench: Option<String> = None;
 
@@ -74,6 +86,7 @@ fn main() {
                 let value = args.next().unwrap_or_else(|| usage());
                 opts.kernel = Kernel::parse(&value).unwrap_or_else(|| usage());
             }
+            "--validate-analytic" => opts.validate_analytic = true,
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--bench" => bench = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
@@ -97,8 +110,15 @@ fn main() {
 /// JSON report. Returns the suite result document.
 fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
     let window = opts.metrics_window.unwrap_or(1_000);
-    let off = SuiteOptions { metrics_window: None, kernel: Kernel::Cycle, ..*opts };
-    let on = SuiteOptions { metrics_window: Some(window), kernel: Kernel::Cycle, ..*opts };
+    // The validation grid is benchmarked once on the side (below), not
+    // inside each of the five suite runs the identity checks compare.
+    let off = SuiteOptions {
+        metrics_window: None,
+        kernel: Kernel::Cycle,
+        validate_analytic: false,
+        ..*opts
+    };
+    let on = SuiteOptions { metrics_window: Some(window), kernel: Kernel::Cycle, ..off };
 
     // Serial baseline first, then the parallel run; the two result
     // documents must be byte-identical (the determinism guarantee the
@@ -187,6 +207,23 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         tlm_saturated.p99_latency_max_ratio_error,
     );
 
+    // The analytic crate's two headline numbers: how close the closed
+    // forms track the simulator across the validation grid, and how
+    // fast the design-space search scans. Both land in the bench
+    // artifact so accuracy or throughput regressions fail the gate.
+    let analytic_probe = analytic_probe(&probe, workers);
+    eprintln!(
+        "analytic: share err max {:.4} / mean {:.4}, latency rel err max {:.3} / mean {:.3}; \
+         search {} points in {:.3}s ({:.1}M points/s)",
+        analytic_probe.validation.share_max_abs_error,
+        analytic_probe.validation.share_mean_abs_error,
+        analytic_probe.validation.latency_max_rel_error,
+        analytic_probe.validation.latency_mean_rel_error,
+        analytic_probe.search_points,
+        analytic_probe.search_wall_secs,
+        analytic_probe.search_points_per_sec / 1e6,
+    );
+
     // The saturated hot-path lineup: steady-state cycles/sec per
     // protocol with always-requesting sources (no RNG, no per-cycle
     // allocation), the number the enum-dispatch kernel is tuned for.
@@ -225,6 +262,7 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
                 .field("lowutil", tlm_lowutil.to_json())
                 .field("saturated", tlm_saturated.to_json()),
         )
+        .field("analytic", analytic_probe.to_json())
         .field("hot", experiments::hotpath::hot_json(&hot))
         .field("sim_phases", sim_phases_json(&profiler))
         .field("serial", serial.telemetry.to_json())
@@ -407,6 +445,77 @@ fn tlm_error_probe(
         bandwidth_share_max_abs_error,
         p50_latency_max_ratio_error,
         p99_latency_max_ratio_error,
+    }
+}
+
+/// The analytic probe: the validation grid's error summary plus the
+/// single-threaded design-space search throughput (the "scan a million
+/// points in under five seconds" acceptance number).
+struct AnalyticProbe {
+    grid_wall_secs: f64,
+    validation: experiments::validate::ErrorSummary,
+    search_points: u64,
+    search_feasible: u64,
+    search_shortlisted: usize,
+    search_wall_secs: f64,
+    search_points_per_sec: f64,
+}
+
+impl AnalyticProbe {
+    fn to_json(&self) -> experiments::json::Json {
+        use experiments::json::ToJson as _;
+        experiments::json::Json::obj()
+            .field("grid_wall_secs", self.grid_wall_secs)
+            .field("validation", self.validation.to_json())
+            .field(
+                "search",
+                experiments::json::Json::obj()
+                    .field("points", self.search_points)
+                    .field("feasible", self.search_feasible)
+                    .field("shortlisted", self.search_shortlisted)
+                    .field("wall_secs", self.search_wall_secs)
+                    .field("points_per_sec", self.search_points_per_sec),
+            )
+    }
+}
+
+fn analytic_probe(settings: &experiments::RunSettings, workers: usize) -> AnalyticProbe {
+    let start = std::time::Instant::now();
+    let grid = experiments::validate::run(&settings.with_jobs(workers));
+    let grid_wall_secs = start.elapsed().as_secs_f64();
+    let validation = grid.summary();
+
+    // The acceptance scan: four saturating masters × tickets 1..=32 =
+    // 1,048,576 lottery design points against a 40 % share SLA on the
+    // last master — single-threaded, best of 3.
+    let traffic = vec![
+        analytic::TrafficInput {
+            lambda: 0.09,
+            size: traffic_gen::SizeDist::fixed(16),
+            stall: None
+        };
+        4
+    ];
+    let space =
+        analytic::SearchSpace::new(analytic::Protocol::LotteryStatic, settings.bus, traffic);
+    let targets = [analytic::SlaTarget { master: 3, kind: analytic::TargetKind::MinShare(0.4) }];
+    let mut wall = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let r = analytic::search(&space, &targets, 8).expect("probe space is valid");
+        wall = wall.min(start.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("ran at least once");
+    AnalyticProbe {
+        grid_wall_secs,
+        validation,
+        search_points: report.scanned,
+        search_feasible: report.feasible,
+        search_shortlisted: report.candidates.len(),
+        search_wall_secs: wall,
+        search_points_per_sec: if wall > 0.0 { report.scanned as f64 / wall } else { 0.0 },
     }
 }
 

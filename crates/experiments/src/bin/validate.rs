@@ -1,0 +1,31 @@
+//! Prints the analytic-model validation grid as human-readable tables:
+//! every sweep workload simulated and compared against the closed-form
+//! predictors, with per-cell errors and the aggregate summary. The
+//! data behind the EXPERIMENTS.md validation section.
+//!
+//! ```text
+//! validate [--quick] [--jobs N]
+//! ```
+
+use experiments::RunSettings;
+
+fn usage() -> ! {
+    eprintln!("usage: validate [--quick] [--jobs N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut settings = RunSettings::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings = RunSettings { jobs: settings.jobs, ..RunSettings::quick() },
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                settings.jobs = value.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    print!("{}", experiments::validate::run(&settings));
+}

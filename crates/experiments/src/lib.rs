@@ -33,5 +33,6 @@ pub mod suite;
 pub mod sweeps;
 pub mod table1;
 pub mod telemetry;
+pub mod validate;
 
 pub use common::RunSettings;

@@ -32,6 +32,12 @@ pub struct SuiteOptions {
     /// contended bus — `suite --bench` reports its error bounds
     /// instead of asserting identity.
     pub kernel: socsim::Kernel,
+    /// Also run the analytic-model validation grid
+    /// ([`crate::validate`]) and embed its per-cell error table as an
+    /// `analytic_validation` field. Off by default so the core result
+    /// document — the one the CI determinism and kernel gates diff —
+    /// is unchanged.
+    pub validate_analytic: bool,
 }
 
 impl SuiteOptions {
@@ -77,8 +83,11 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteRun {
     let sweeps = t.time("sweeps", 39, || crate::sweeps::run(&settings));
     let energy = t.time("energy", 5, || crate::energy::run(&settings));
     let ablations = t.time("ablations", 12, || crate::ablations::run(&settings));
+    let validation = opts
+        .validate_analytic
+        .then(|| t.time("analytic_validation", 48, || crate::validate::run(&settings)));
 
-    let doc = Json::obj()
+    let mut doc = Json::obj()
         .field(
             "meta",
             Json::obj()
@@ -101,6 +110,9 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteRun {
         .field("sweeps", sweeps.to_json())
         .field("energy", energy.to_json())
         .field("ablations", ablations.to_json());
+    if let Some(grid) = validation {
+        doc = doc.field("analytic_validation", grid.to_json());
+    }
 
     SuiteRun { json: doc.render(), telemetry: t }
 }
@@ -112,8 +124,13 @@ mod tests {
     #[test]
     fn options_map_to_settings() {
         use socsim::Kernel;
-        let opts =
-            SuiteOptions { quick: true, jobs: 3, metrics_window: None, kernel: Kernel::Cycle };
+        let opts = SuiteOptions {
+            quick: true,
+            jobs: 3,
+            metrics_window: None,
+            kernel: Kernel::Cycle,
+            validate_analytic: false,
+        };
         let s = opts.settings();
         assert_eq!(s.jobs, 3);
         assert_eq!(s.measure, RunSettings::quick().measure);
@@ -124,6 +141,7 @@ mod tests {
             jobs: 0,
             metrics_window: Some(1_000),
             kernel: Kernel::Tlm,
+            validate_analytic: true,
         }
         .settings();
         assert_eq!(full.measure, RunSettings::new().measure);

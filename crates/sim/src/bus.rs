@@ -220,7 +220,7 @@ impl Bus {
                             .iter()
                             .find(|s| s.id() == slave)
                             .map_or(self.config.slave_wait_states, Slave::wait_states);
-                        let stall = self.config.arbitration_overhead + wait_states;
+                        let stall = self.config.grant_stall(wait_states);
                         if stall > 0 {
                             stats.record_stall(1);
                             self.state = if stall == 1 {

@@ -44,6 +44,24 @@ impl BusConfig {
         }
     }
 
+    /// Stall cycles inserted before the first word of a grant whose
+    /// addressed slave uses `wait_states`: arbitration overhead plus the
+    /// slave's wait states. This is the per-tenure fixed cost — the bus
+    /// step loop, the TLM tenure batch, and the `analytic` predictors
+    /// all derive tenure durations from it.
+    #[inline]
+    pub fn grant_stall(&self, wait_states: u32) -> u32 {
+        self.arbitration_overhead + wait_states
+    }
+
+    /// [`BusConfig::grant_stall`] for the default (config-level) slave
+    /// wait states: the per-grant overhead of a tenure addressed to an
+    /// undeclared slave.
+    #[inline]
+    pub fn per_grant_overhead(&self) -> u32 {
+        self.grant_stall(self.slave_wait_states)
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

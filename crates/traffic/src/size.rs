@@ -85,11 +85,34 @@ impl SizeDist {
 
     /// Expected message size in words.
     pub fn mean(&self) -> f64 {
+        self.expect(f64::from)
+    }
+
+    /// Expected squared message size `E[L²]` in words² — the second
+    /// moment the analytic queueing predictors need for
+    /// Pollaczek–Khinchine waiting times.
+    ///
+    /// ```
+    /// use traffic_gen::SizeDist;
+    /// assert_eq!(SizeDist::fixed(4).second_moment(), 16.0);
+    /// ```
+    pub fn second_moment(&self) -> f64 {
+        self.expect(|w| f64::from(w) * f64::from(w))
+    }
+
+    /// Expectation of an arbitrary per-size function `f` under this
+    /// distribution, computed exactly (every variant has finite
+    /// support). This is how the analytic model derives tenure-duration
+    /// moments: `f` maps a message size to its bus-tenure cost.
+    pub fn expect(&self, mut f: impl FnMut(u32) -> f64) -> f64 {
         match *self {
-            SizeDist::Fixed(w) => f64::from(w),
-            SizeDist::Uniform { lo, hi } => f64::from(lo + hi) / 2.0,
+            SizeDist::Fixed(w) => f(w),
+            SizeDist::Uniform { lo, hi } => {
+                let n = f64::from(hi - lo + 1);
+                (lo..=hi).map(|w| f(w) / n).sum()
+            }
             SizeDist::Bimodal { small, large, large_prob } => {
-                f64::from(small) * (1.0 - large_prob) + f64::from(large) * large_prob
+                f(small) * (1.0 - large_prob) + f(large) * large_prob
             }
         }
     }

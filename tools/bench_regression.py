@@ -41,6 +41,24 @@ TLM_MAX_UTILIZATION_ABS_ERROR = 0.30
 TLM_MAX_SHARE_ABS_ERROR = 0.25
 TLM_MAX_P99_RATIO_ERROR = 1.5
 
+# Analytic-model gates (the `analytic` section, PR-8). Validation-grid
+# error ceilings leave headroom over the measured quick-suite numbers
+# (share max ~0.014 / mean ~0.003; latency rel max ~0.51 / mean ~0.16 —
+# the worst latency cells are TDMA, whose slot-alignment wait is an
+# upper bound) without letting the model drift into a different regime.
+ANALYTIC_MAX_SHARE_ABS_ERROR = 0.05
+ANALYTIC_MEAN_SHARE_ABS_ERROR = 0.02
+ANALYTIC_MAX_LATENCY_REL_ERROR = 1.0
+ANALYTIC_MEAN_LATENCY_REL_ERROR = 0.40
+# The search probe must cover at least a million design points...
+ANALYTIC_MIN_SEARCH_POINTS = 1_000_000
+# ...inside the PR-8 acceptance wall-clock bound (measured ~0.1s).
+ANALYTIC_MAX_SEARCH_WALL_SECS = 5.0
+# The validation grid must keep comparing a healthy number of cells —
+# a shrinking grid would hollow the error ceilings out silently.
+ANALYTIC_MIN_SHARE_CELLS = 50
+ANALYTIC_MIN_LATENCY_CELLS = 15
+
 
 def load(path):
     with open(path) as handle:
@@ -87,6 +105,57 @@ def check_tlm(tlm, warn):
             warn(f"tlm {key} is {value:.4f} (ceiling {ceiling:.2f})")
         else:
             print(f"ok: tlm {key} {value:.4f} <= {ceiling:.2f}")
+
+
+def check_analytic(analytic, warn):
+    """Gate the analytic model's validation-grid error and search probe."""
+    validation = analytic.get("validation", {})
+    for key, ceiling in (
+        ("share_max_abs_error", ANALYTIC_MAX_SHARE_ABS_ERROR),
+        ("share_mean_abs_error", ANALYTIC_MEAN_SHARE_ABS_ERROR),
+        ("latency_max_rel_error", ANALYTIC_MAX_LATENCY_REL_ERROR),
+        ("latency_mean_rel_error", ANALYTIC_MEAN_LATENCY_REL_ERROR),
+    ):
+        value = validation.get(key)
+        if value is None:
+            warn(f"analytic.validation lacks {key}")
+        elif value > ceiling:
+            warn(f"analytic {key} is {value:.4f} (ceiling {ceiling:.2f})")
+        else:
+            print(f"ok: analytic {key} {value:.4f} <= {ceiling:.2f}")
+    for key, floor in (
+        ("share_cells", ANALYTIC_MIN_SHARE_CELLS),
+        ("latency_cells", ANALYTIC_MIN_LATENCY_CELLS),
+    ):
+        value = validation.get(key)
+        if value is None:
+            warn(f"analytic.validation lacks {key}")
+        elif value < floor:
+            warn(f"analytic validation grid has only {value} {key} (floor {floor})")
+        else:
+            print(f"ok: analytic validation grid compares {value} {key}")
+
+    search = analytic.get("search", {})
+    points = search.get("points")
+    wall = search.get("wall_secs")
+    if points is None or wall is None:
+        warn("analytic.search lacks points/wall_secs")
+        return
+    if points < ANALYTIC_MIN_SEARCH_POINTS:
+        warn(
+            f"analytic search scanned {points} points "
+            f"(floor {ANALYTIC_MIN_SEARCH_POINTS})"
+        )
+    elif wall > ANALYTIC_MAX_SEARCH_WALL_SECS:
+        warn(
+            f"analytic search took {wall:.3f}s for {points} points "
+            f"(ceiling {ANALYTIC_MAX_SEARCH_WALL_SECS:.1f}s)"
+        )
+    else:
+        print(
+            f"ok: analytic search scanned {points} points in {wall:.3f}s "
+            f"({points / max(wall, 1e-12) / 1e6:.1f}M points/s, single-threaded)"
+        )
 
 
 def main(argv):
@@ -165,6 +234,14 @@ def main(argv):
         warn("report lacks the tlm probe section (old report format?)")
     else:
         check_tlm(tlm, warn)
+
+    analytic = current.get("analytic")
+    if analytic is None:
+        # Pre-PR8 reports (e.g. the PR7 baseline re-checked in CI) have
+        # no analytic section; only warn for fresh reports that should.
+        print("note: report has no analytic section (pre-PR8 format)")
+    else:
+        check_analytic(analytic, warn)
 
     hot = current.get("hot", {}).get("protocols")
     if hot is None:

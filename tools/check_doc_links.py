@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links point at files that exist.
+"""Check that relative markdown links point at files — and anchors — that exist.
 
 Usage: tools/check_doc_links.py README.md DESIGN.md EXPERIMENTS.md ...
 
 Scans each document for inline markdown links `[text](target)` and
-verifies every relative target resolves to a file or directory in the
-repository (anchors and external URLs are skipped). Exits non-zero and
-lists every broken link, so CI fails when a doc refactor leaves a
-dangling reference.
+verifies that
+
+* every relative target resolves to a file or directory in the
+  repository (external URLs are skipped), and
+* every anchor — `#section` in the same file or `OTHER.md#section`
+  across files — matches a heading in the target document, using
+  GitHub's heading-to-anchor slug rules.
+
+Exits non-zero and lists every broken link, so CI fails when a doc
+refactor leaves a dangling reference or renames a section out from
+under a cross-link.
 """
 
 import os
@@ -16,6 +23,35 @@ import sys
 
 # Inline links only; reference-style links are not used in this repo.
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+# Strip inline code/emphasis markers and links before slugifying.
+MARKUP = re.compile(r"[`*_]|\[([^\]]*)\]\([^)]*\)")
+
+
+def slugify(title: str) -> str:
+    """GitHub's heading anchor: lowercase, punctuation dropped,
+    spaces to hyphens."""
+    title = MARKUP.sub(lambda m: m.group(1) or "", title)
+    title = title.strip().lower()
+    title = re.sub(r"[^\w\- ]", "", title)
+    return title.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set[str]:
+    """Every anchor a document's headings define (duplicate headings
+    get -1/-2/... suffixes, all accepted)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Headings inside fenced code blocks are not anchors.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    seen: dict[str, int] = {}
+    anchors = set()
+    for match in HEADING.finditer(text):
+        slug = slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
 
 
 def check(path: str) -> list[str]:
@@ -25,14 +61,23 @@ def check(path: str) -> list[str]:
         text = handle.read()
     for match in LINK.finditer(text):
         target = match.group(1)
-        if target.startswith(("http://", "https://", "mailto:", "#")):
-            continue
-        target = target.split("#", 1)[0]  # strip in-file anchors
-        if not target:
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
         line = text.count("\n", 0, match.start()) + 1
-        if not os.path.exists(os.path.join(root, target)):
-            broken.append(f"{path}:{line}: broken link -> {target}")
+        file_part, _, anchor = target.partition("#")
+        resolved = path if not file_part else os.path.join(root, file_part)
+        if file_part and not os.path.exists(resolved):
+            broken.append(f"{path}:{line}: broken link -> {file_part}")
+            continue
+        if not anchor:
+            continue
+        if not resolved.endswith((".md", ".markdown")):
+            continue  # anchors into non-markdown files are not checked
+        if slugify(anchor) not in anchors_of(resolved):
+            broken.append(
+                f"{path}:{line}: broken anchor -> {file_part or os.path.basename(path)}"
+                f"#{anchor}"
+            )
     return broken
 
 
