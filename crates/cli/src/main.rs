@@ -25,7 +25,7 @@ use std::time::Instant;
 
 const USAGE: &str = "\
 usage: lotterybus-sim <spec-file | -> [--vcd <file>] [--jobs <n>]
-       lotterybus-sim scenario <files-or-dirs>... [--kernel cycle|fast|tlm] [--jobs <n>] [--bench <file>]
+       lotterybus-sim scenario <files-or-dirs>... [--kernel cycle|fast|tlm] [--jobs <n>] [--bench <file>] [--fleet]
        lotterybus-sim fuzz [--seed <n>] [--iters <n>] [--out <dir>] [--demo-failure]
        lotterybus-sim search <file.scenario> [--points <n>] [--top <k>] [--confirm <k>] [--kernel cycle|fast|tlm] [--bursts <a,b>] [--load-scales <x,y>] [--max-tickets <n>]
        lotterybus-sim --example";

@@ -46,12 +46,20 @@ pub struct ScenarioArgs {
     pub jobs: usize,
     /// Write a wall-clock bench report to this file.
     pub bench: Option<String>,
+    /// Pack each plan level into one lockstep fleet (lane-exact, so
+    /// output is byte-identical to the default path).
+    pub fleet: bool,
 }
 
 /// Parses the arguments after `scenario`.
 pub fn parse_scenario_args(args: &[String]) -> Result<ScenarioArgs, String> {
-    let mut parsed =
-        ScenarioArgs { paths: Vec::new(), kernel: Kernel::Cycle, jobs: 0, bench: None };
+    let mut parsed = ScenarioArgs {
+        paths: Vec::new(),
+        kernel: Kernel::Cycle,
+        jobs: 0,
+        bench: None,
+        fleet: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -67,9 +75,10 @@ pub fn parse_scenario_args(args: &[String]) -> Result<ScenarioArgs, String> {
             "--bench" => {
                 parsed.bench = Some(it.next().ok_or("`--bench` requires a file argument")?.clone());
             }
+            "--fleet" => parsed.fleet = true,
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unknown scenario flag `{flag}`: expected --kernel, --jobs or --bench"
+                    "unknown scenario flag `{flag}`: expected --kernel, --jobs, --bench or --fleet"
                 ))
             }
             path => parsed.paths.push(path.to_owned()),
@@ -124,8 +133,11 @@ pub fn run_scenario_command(args: &[String]) -> Result<(String, bool), CommandEr
     let parsed = parse_scenario_args(args).map_err(CommandError::Usage)?;
     let files = collect_scenario_files(&parsed.paths).map_err(CommandError::Failure)?;
     let scenarios = load_scenarios(&files).map_err(CommandError::Failure)?;
-    let report = scenario::run_plan(&scenarios, parsed.kernel, parsed.jobs)
-        .map_err(CommandError::Failure)?;
+    let report = if parsed.fleet {
+        scenario::run_plan_fleet(&scenarios).map_err(CommandError::Failure)?
+    } else {
+        scenario::run_plan(&scenarios, parsed.kernel, parsed.jobs).map_err(CommandError::Failure)?
+    };
     if let Some(bench_path) = &parsed.bench {
         write_bench(bench_path, &scenarios, &report, parsed.kernel)
             .map_err(CommandError::Failure)?;
@@ -134,7 +146,7 @@ pub fn run_scenario_command(args: &[String]) -> Result<(String, bool), CommandEr
     eprintln!(
         "ran {} scenario(s) under the {} kernel: {}",
         scenarios.len(),
-        parsed.kernel.name(),
+        if parsed.fleet { "fleet-packed cycle" } else { parsed.kernel.name() },
         if ok { "all as expected" } else { "unexpected verdicts" },
     );
     Ok((report.to_json().render() + "\n", ok))
@@ -274,12 +286,15 @@ mod tests {
                 kernel: Kernel::Fast,
                 jobs: 2,
                 bench: Some("b.json".into()),
+                fleet: false,
             }
         );
         let parsed = parse_scenario_args(&args(&["scenarios", "--kernel", "tlm"])).expect("valid");
         assert_eq!(parsed.kernel, Kernel::Tlm);
         let parsed = parse_scenario_args(&args(&["scenarios"])).expect("valid");
         assert_eq!(parsed.kernel, Kernel::Cycle, "default is the reference kernel");
+        let parsed = parse_scenario_args(&args(&["scenarios", "--fleet"])).expect("valid");
+        assert!(parsed.fleet, "--fleet switches to the packed executor");
     }
 
     #[test]

@@ -281,22 +281,43 @@ struct Confirmation {
     violations: Vec<String>,
 }
 
-/// Simulates one candidate and compares measurement to prediction.
-fn confirm(sc: &Scenario, cand: &Candidate, kernel: Kernel) -> Result<Confirmation, String> {
-    let outcome = run_scenario(&candidate_scenario(sc, cand), kernel)?;
-    let measured = whole_run_shares(&outcome);
+/// Compares one candidate's confirmation run to its prediction.
+fn confirmation(cand: &Candidate, outcome: &Outcome) -> Confirmation {
+    let measured = whole_run_shares(outcome);
     let share_error = cand
         .predicted
         .iter()
         .zip(&measured)
         .map(|(p, &m)| (p.share - m).abs())
         .fold(0.0f64, f64::max);
-    Ok(Confirmation {
+    Confirmation {
         confirmed: outcome.passed,
         measured_shares: measured,
         share_error,
         violations: outcome.violations.iter().map(|v| v.message.clone()).collect(),
-    })
+    }
+}
+
+/// Runs the confirmation simulations for the first `confirm`
+/// short-listed candidates. Under the cycle kernel the whole
+/// short-list is packed into one lockstep fleet
+/// ([`scenario::run_scenarios_fleet`], lane-exact, so the JSON stays
+/// byte-identical to per-candidate runs); other kernels confirm one
+/// scenario at a time.
+fn confirm_outcomes(
+    sc: &Scenario,
+    candidates: &[Candidate],
+    confirm: usize,
+    kernel: Kernel,
+) -> Result<Vec<Outcome>, String> {
+    let runs: Vec<Scenario> =
+        candidates.iter().take(confirm).map(|cand| candidate_scenario(sc, cand)).collect();
+    if kernel == Kernel::Cycle {
+        let refs: Vec<&Scenario> = runs.iter().collect();
+        scenario::run_scenarios_fleet(&refs)
+    } else {
+        runs.iter().map(|candidate| run_scenario(candidate, kernel)).collect()
+    }
 }
 
 fn candidate_json(cand: &Candidate, conf: Option<&Confirmation>) -> Json {
@@ -370,13 +391,15 @@ pub fn run_search_command(args: &[String]) -> Result<(String, bool), CommandErro
         report.candidates.len(),
     );
 
+    let outcomes = confirm_outcomes(&sc, &report.candidates, parsed.confirm, parsed.kernel)
+        .map_err(CommandError::Failure)?;
     let mut confirmations: Vec<Option<Confirmation>> = Vec::new();
     for (i, cand) in report.candidates.iter().enumerate() {
-        if i >= parsed.confirm {
+        let Some(outcome) = outcomes.get(i) else {
             confirmations.push(None);
             continue;
-        }
-        let conf = confirm(&sc, cand, parsed.kernel).map_err(CommandError::Failure)?;
+        };
+        let conf = confirmation(cand, outcome);
         eprintln!(
             "confirm {:?} burst={} scale={}: {} (max share error {:.4})",
             cand.weights,

@@ -35,10 +35,13 @@
 //!   and a saturated workload, probe the TLM kernel (byte-exactness
 //!   plus speedup on the low-utilization workload, measured error
 //!   bounds on the saturated one), run the saturated hot-path lineup
-//!   (steady-state cycles/sec per protocol), and write the wall-clock
-//!   report to FILE (the `BENCH_PR7.json` artifact: parallel speedup,
-//!   metrics overhead, kernel speedups, the `tlm` probe section,
-//!   per-phase breakdown, and per-protocol hot-path throughput).
+//!   (steady-state cycles/sec per protocol), pack the same lineup as
+//!   one SoA lockstep fleet and time it against the summed scalar runs
+//!   (lane exactness hard-asserted, aggregate speedup reported), and
+//!   write the wall-clock report to FILE (the `BENCH_PR9.json`
+//!   artifact: parallel speedup, metrics overhead, kernel speedups,
+//!   the `tlm` probe section, per-phase breakdown, per-protocol
+//!   hot-path throughput, and the `fleet` section).
 //!
 //! Timing telemetry always goes to **stderr** so stdout stays a clean,
 //! diffable result stream.
@@ -238,6 +241,22 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         );
     }
 
+    // The fleet probe: the same saturated lineup packed as six lanes of
+    // one SoA lockstep fleet, timed against the sum of the six scalar
+    // runs. Lane exactness is a hard in-binary assert; the aggregate
+    // speedup is the ≥5x PR-9 acceptance number gated (softly) by
+    // tools/bench_regression.py.
+    let fleet = fleet_probe(&probe);
+    eprintln!(
+        "fleet: {} lanes, {:.2}x aggregate vs scalar ({:.4}s vs {:.4}s, \
+         {:.2}M lane-cycles/s)",
+        fleet.lanes,
+        fleet.aggregate_speedup,
+        fleet.fleet_wall_secs,
+        fleet.scalar_wall_secs,
+        fleet.lane_cycles_per_sec / 1e6,
+    );
+
     let report = experiments::json::Json::obj()
         .field("quick", opts.quick)
         .field("host_parallelism", socsim::pool::available_jobs())
@@ -264,6 +283,7 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         )
         .field("analytic", analytic_probe.to_json())
         .field("hot", experiments::hotpath::hot_json(&hot))
+        .field("fleet", fleet.to_json())
         .field("sim_phases", sim_phases_json(&profiler))
         .field("serial", serial.telemetry.to_json())
         .field("parallel", parallel.telemetry.to_json());
@@ -445,6 +465,147 @@ fn tlm_error_probe(
         bandwidth_share_max_abs_error,
         p50_latency_max_ratio_error,
         p99_latency_max_ratio_error,
+    }
+}
+
+/// The fleet probe: the saturated batching lineup packed as lanes of
+/// one SoA lockstep fleet, timed against the summed wall clock of the
+/// equivalent scalar cycle-kernel runs. Every lane's stats are
+/// hard-asserted byte-identical to its scalar run before any number is
+/// reported.
+struct FleetProbe {
+    lanes: usize,
+    cycles_per_lane: u64,
+    fleet_wall_secs: f64,
+    scalar_wall_secs: f64,
+    aggregate_speedup: f64,
+    lane_cycles_per_sec: f64,
+}
+
+/// Burst length (and bus `max_burst`) of the fleet probe's workload:
+/// DMA-style long tenures, where the fleet's exact tenure batching
+/// amortizes per-cycle stepping and the aggregate speedup target
+/// (>5x, gated by `tools/bench_regression.py`) is meaningful. The
+/// short-burst regime is covered by the `hot` probe above.
+const FLEET_WORDS: u32 = 64;
+
+/// The fleet probe's lane lineup: every built-in protocol whose grants
+/// can span a multi-cycle tenure. TDMA is deliberately absent — its
+/// wheel issues single-word grants and re-arbitrates *every* cycle, so
+/// no kernel (fleet or scalar) has a tenure interior to batch and the
+/// lane would only re-measure per-cycle stepping, which the `hot`
+/// probe already covers across all six protocols. TDMA lanes stay
+/// under the fleet's exactness gates (the equivalence matrix, the
+/// property tests and the golden pack all include it).
+const FLEET_PROTOCOLS: [&str; 5] =
+    ["static-priority", "round-robin", "deficit-rr", "lottery-static", "lottery-dynamic"];
+
+impl FleetProbe {
+    fn to_json(&self) -> experiments::json::Json {
+        use experiments::json::Json;
+        let protocols: Vec<Json> = FLEET_PROTOCOLS.iter().map(|&p| Json::from(p)).collect();
+        Json::obj()
+            .field("lanes", self.lanes)
+            .field("protocols", Json::Arr(protocols))
+            .field("masters", experiments::hotpath::HOT_MASTERS)
+            .field("words", u64::from(FLEET_WORDS))
+            .field("cycles_per_lane", self.cycles_per_lane)
+            .field("fleet_wall_secs", self.fleet_wall_secs)
+            .field("scalar_wall_secs", self.scalar_wall_secs)
+            .field("aggregate_speedup", self.aggregate_speedup)
+            .field("lane_cycles_per_sec", self.lane_cycles_per_sec)
+            .field("lane_exact", true)
+    }
+}
+
+fn fleet_probe(settings: &experiments::RunSettings) -> FleetProbe {
+    use experiments::hotpath::{hot_arbiter, HOT_MASTERS};
+    use socsim::fleet::{Fleet, LaneBuilder};
+    use traffic_gen::{SaturateSource, SourceKind};
+
+    let bus = socsim::BusConfig { max_burst: FLEET_WORDS, ..settings.bus };
+
+    // Scalar baseline: one cycle-kernel system per protocol, walls
+    // summed within a repetition, best repetition reported.
+    let mut scalar_wall_secs = f64::INFINITY;
+    let mut scalar_stats = Vec::new();
+    for _ in 0..3 {
+        let mut total = 0.0;
+        let mut stats = Vec::new();
+        for protocol in FLEET_PROTOCOLS {
+            let mut builder = socsim::SystemBuilder::new(bus);
+            for i in 0..HOT_MASTERS {
+                builder = builder.master(
+                    format!("C{}", i + 1),
+                    SourceKind::from(SaturateSource::new(0, FLEET_WORDS)),
+                );
+            }
+            let mut system = builder
+                .arbiter(hot_arbiter(protocol, settings.seed))
+                .build()
+                .expect("fleet-probe system is valid");
+            system.warm_up(settings.warmup);
+            let start = std::time::Instant::now();
+            system.run(settings.measure);
+            total += start.elapsed().as_secs_f64();
+            stats.push(system.stats().clone());
+        }
+        scalar_wall_secs = scalar_wall_secs.min(total);
+        scalar_stats = stats;
+    }
+
+    // The same six systems as lanes of one fleet, advanced together.
+    let mut fleet_wall_secs = f64::INFINITY;
+    let mut fleet_stats = Vec::new();
+    for _ in 0..3 {
+        let lanes = FLEET_PROTOCOLS
+            .iter()
+            .map(|protocol| {
+                let mut lane: LaneBuilder<arbiters::ArbiterKind, SourceKind> =
+                    LaneBuilder::new(bus);
+                for i in 0..HOT_MASTERS {
+                    lane = lane.master(
+                        format!("C{}", i + 1),
+                        SourceKind::from(SaturateSource::new(0, FLEET_WORDS)),
+                    );
+                }
+                lane.arbiter(hot_arbiter(protocol, settings.seed))
+            })
+            .collect();
+        let mut fleet = Fleet::build(lanes).expect("fleet-probe lanes are valid");
+        fleet.warm_up(settings.warmup);
+        let start = std::time::Instant::now();
+        fleet.run(settings.measure);
+        fleet_wall_secs = fleet_wall_secs.min(start.elapsed().as_secs_f64());
+        fleet_stats = (0..fleet.len()).map(|i| fleet.stats(i).clone()).collect();
+    }
+
+    // Hard gate: every lane must reproduce its scalar run byte for
+    // byte before any throughput number is believed.
+    for ((protocol, lane), solo) in FLEET_PROTOCOLS.iter().zip(&fleet_stats).zip(&scalar_stats) {
+        assert_eq!(lane, solo, "fleet lane {protocol} diverged from its scalar run");
+        assert!(
+            lane.bus_utilization() > 0.95,
+            "{protocol} fleet lane is not saturated: utilization {}",
+            lane.bus_utilization()
+        );
+    }
+
+    let lanes = FLEET_PROTOCOLS.len();
+    let aggregate_speedup =
+        if fleet_wall_secs > 0.0 { scalar_wall_secs / fleet_wall_secs } else { 1.0 };
+    let lane_cycles_per_sec = if fleet_wall_secs > 0.0 {
+        settings.measure as f64 * lanes as f64 / fleet_wall_secs
+    } else {
+        0.0
+    };
+    FleetProbe {
+        lanes,
+        cycles_per_lane: settings.measure,
+        fleet_wall_secs,
+        scalar_wall_secs,
+        aggregate_speedup,
+        lane_cycles_per_sec,
     }
 }
 

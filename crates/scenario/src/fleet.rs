@@ -1,0 +1,197 @@
+//! Fleet-packed scenario execution.
+//!
+//! [`run_scenarios_fleet`] simulates a whole set of scenarios as lanes
+//! of one SoA [`Fleet`] (see `socsim::fleet`) instead of spawning one
+//! scalar [`socsim::System`] per scenario. Lanes never interact; the
+//! pack is purely an execution structure. Verdicts are byte-identical
+//! to [`crate::run_scenario`] under any kernel: the fleet kernel is
+//! lane-exact against the scalar cycle kernel, and both paths assemble
+//! their [`Outcome`] through the same code.
+//!
+//! Scenarios whose configuration the fleet does not carry — active
+//! fault plans, retry policies, watchdog timeouts — fall back to a
+//! scalar cycle-kernel run transparently, so any scenario set can be
+//! handed to the fleet runner.
+
+use crate::model::Scenario;
+use crate::phased::PhasedSource;
+use crate::run::{assemble_outcome, build_arbiter, probe, run_scenario, Outcome};
+use arbiters::kind::ArbiterKind;
+use socsim::fleet::{Fleet, LaneBuilder};
+use socsim::{BusConfig, BusStats, Cycle, Kernel, MasterId, Slave, SlaveId};
+
+/// Whether a scenario can run as a fleet lane. Lanes carry the full
+/// phase/wedge/failover machinery (those live in sources and the
+/// arbiter chain) but not fault injection, retry policies or watchdog
+/// timeouts — scenarios using those run on the scalar system.
+pub fn fleet_eligible(sc: &Scenario) -> bool {
+    !sc.fault.is_active() && sc.retry.is_none() && sc.timeout.is_none()
+}
+
+/// Builds the fleet lane for one (eligible) scenario, mirroring the
+/// scalar runner's system assembly exactly.
+fn lane_builder(sc: &Scenario) -> Result<LaneBuilder<ArbiterKind, PhasedSource>, String> {
+    let config = BusConfig { max_burst: sc.burst, ..BusConfig::new() };
+    let mut lane: LaneBuilder<ArbiterKind, PhasedSource> = LaneBuilder::new(config);
+    for (i, s) in sc.slaves.iter().enumerate() {
+        lane = lane.slave(Slave::with_wait_states(SlaveId::new(i), s.name.clone(), s.wait));
+    }
+    for (i, m) in sc.masters.iter().enumerate() {
+        lane = lane.master(m.name.clone(), PhasedSource::build(i, m, &sc.phases, sc.seed));
+    }
+    Ok(lane.metrics_window(sc.metrics_window).arbiter(build_arbiter(sc)?))
+}
+
+/// Runs every scenario and returns its verdict, in input order,
+/// packing all fleet-eligible scenarios into one lockstep [`Fleet`].
+/// Ineligible scenarios (active faults, retry, timeout) run through
+/// the scalar cycle kernel. All verdicts are byte-identical to
+/// [`crate::run_scenario`] on the same scenario.
+///
+/// # Errors
+///
+/// Returns the first validation or build error, formatted like the
+/// scalar runner's.
+pub fn run_scenarios_fleet(scs: &[&Scenario]) -> Result<Vec<Outcome>, String> {
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; scs.len()];
+    let mut lanes: Vec<LaneBuilder<ArbiterKind, PhasedSource>> = Vec::new();
+    let mut lane_scenario: Vec<usize> = Vec::new();
+    for (i, sc) in scs.iter().enumerate() {
+        sc.validate()?;
+        if fleet_eligible(sc) {
+            lanes.push(lane_builder(sc)?);
+            lane_scenario.push(i);
+        } else {
+            outcomes[i] = Some(run_scenario(sc, Kernel::Cycle)?);
+        }
+    }
+    let mut fleet = Fleet::build(lanes)
+        .map_err(|e| format!("scenario `{}`: {}", scs[lane_scenario[e.lane]].name, e.error))?;
+
+    // Each lane snapshots its statistics at its own phase boundaries.
+    // Drive the whole fleet through the sorted union of boundaries so
+    // lanes advance in lockstep regardless of differing schedules.
+    let boundaries: Vec<Vec<u64>> = lane_scenario
+        .iter()
+        .map(|&i| {
+            scs[i]
+                .phases
+                .iter()
+                .scan(0u64, |acc, p| {
+                    *acc += p.duration;
+                    Some(*acc)
+                })
+                .collect()
+        })
+        .collect();
+    let mut union: Vec<u64> = boundaries.iter().flatten().copied().collect();
+    union.sort_unstable();
+    union.dedup();
+
+    let mut snaps: Vec<Vec<BusStats>> = vec![Vec::new(); lane_scenario.len()];
+    let mut probes: Vec<Vec<(u64, u64)>> = vec![Vec::new(); lane_scenario.len()];
+    let mut next: Vec<usize> = vec![0; lane_scenario.len()];
+    for &t in &union {
+        for (lane, bounds) in boundaries.iter().enumerate() {
+            // Never advance a lane past its own schedule end: its
+            // backlog and port counters must freeze exactly where the
+            // scalar runner's do.
+            let cap = *bounds.last().expect("at least one phase");
+            fleet.run_lane_until(lane, Cycle::new(t.min(cap)));
+            while next[lane] < bounds.len() && bounds[next[lane]] == t {
+                snaps[lane].push(fleet.stats(lane).clone());
+                probes[lane].push(probe(fleet.arbiter(lane)));
+                next[lane] += 1;
+            }
+        }
+    }
+    fleet.flush_metrics();
+
+    for (lane, &i) in lane_scenario.iter().enumerate() {
+        let sc = scs[i];
+        let samples = fleet.metrics(lane).map(|m| m.samples().to_vec()).unwrap_or_default();
+        let counts: Vec<(u64, u64)> = (0..sc.masters.len())
+            .map(|m| {
+                let port = fleet.master(lane, MasterId::new(m));
+                (port.issued_transactions(), port.backlog_transactions() as u64)
+            })
+            .collect();
+        outcomes[i] = Some(assemble_outcome(sc, &snaps[lane], &probes[lane], &samples, &counts));
+    }
+    Ok(outcomes.into_iter().map(|o| o.expect("every scenario ran")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Scenario {
+        Scenario::parse(text).expect("valid scenario")
+    }
+
+    #[test]
+    fn fleet_pack_matches_scalar_verdicts_byte_for_byte() {
+        let a = parse(
+            "scenario pack-a\n\
+             seed = 11\n\
+             arbiter = lottery\n\
+             master cpu load=0.4 weight=3 size=8 poisson\n\
+             master dma load=0.2 weight=1 size=16 burst\n\
+             phase warm duration=4000\n\
+             phase surge duration=3000 scale=2.0\n\
+             sla losses max=0\n",
+        );
+        let b = parse(
+            "scenario pack-b\n\
+             seed = 5\n\
+             arbiter = rr\n\
+             master a load=0.8 weight=1 size=4\n\
+             master b load=0.8 weight=1 size=4\n\
+             master c load=0.8 weight=1 size=4\n\
+             phase steady duration=9000\n\
+             sla utilization min=0.3\n",
+        );
+        // Faulted: must take the scalar fallback, still byte-identical.
+        let c = parse(
+            "scenario pack-c\n\
+             seed = 3\n\
+             arbiter = priority\n\
+             master hi load=0.5 weight=4 size=8\n\
+             master lo load=0.5 weight=1 size=8\n\
+             fault slave-error rate=0.01\n\
+             retry max=3 base=4 factor=2\n\
+             phase steady duration=5000\n\
+             sla losses max=1000000\n",
+        );
+        assert!(fleet_eligible(&a));
+        assert!(fleet_eligible(&b));
+        assert!(!fleet_eligible(&c));
+        let packed = run_scenarios_fleet(&[&a, &b, &c]).expect("fleet runs");
+        for (sc, fleet_outcome) in [&a, &b, &c].into_iter().zip(&packed) {
+            let scalar = run_scenario(sc, Kernel::Cycle).expect("scalar runs");
+            assert_eq!(
+                fleet_outcome.to_json().render(),
+                scalar.to_json().render(),
+                "verdict for `{}` diverges",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn single_lane_fleet_equals_scalar() {
+        let sc = parse(
+            "scenario solo\n\
+             seed = 77\n\
+             arbiter = tdma\n\
+             master cpu load=0.6 weight=2 size=8\n\
+             master dsp load=0.3 weight=1 size=8 burst\n\
+             phase one duration=2500\n\
+             phase two duration=2500 scale=0.5\n\
+             sla losses max=0\n",
+        );
+        let packed = run_scenarios_fleet(&[&sc]).expect("fleet runs");
+        let scalar = run_scenario(&sc, Kernel::Cycle).expect("scalar runs");
+        assert_eq!(packed[0].to_json().render(), scalar.to_json().render());
+    }
+}

@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 
+pub mod fleet;
 pub mod fuzz;
 pub mod model;
 pub mod parse;
@@ -42,6 +43,7 @@ pub mod run;
 pub mod sla;
 pub mod wedge;
 
+pub use fleet::{fleet_eligible, run_scenarios_fleet};
 pub use fuzz::{fuzz, shrink, Finding, FuzzConfig, FuzzReport};
 pub use model::{
     ArbiterSel, Arrival, DepCondition, Dependency, Expectation, FailoverDecl, MasterDecl,
@@ -49,7 +51,7 @@ pub use model::{
 };
 pub use parse::ScenarioError;
 pub use phased::PhasedSource;
-pub use plan::{run_plan, PlanOutcome, PlanReport};
+pub use plan::{run_plan, run_plan_fleet, PlanOutcome, PlanReport};
 pub use run::{build_arbiter, run_scenario, run_scenario_profiled, Outcome, PhaseReport};
 pub use sla::Violation;
 pub use wedge::WedgingArbiter;

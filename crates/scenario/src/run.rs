@@ -182,7 +182,7 @@ pub fn build_arbiter(sc: &Scenario) -> Result<ArbiterKind, String> {
 }
 
 /// Cumulative (failovers, recoveries) of the arbiter chain.
-fn probe(arb: &ArbiterKind) -> (u64, u64) {
+pub(crate) fn probe(arb: &ArbiterKind) -> (u64, u64) {
     match arb {
         ArbiterKind::Failover(f) => (f.failovers(), f.recoveries()),
         other => (other.failovers(), 0),
@@ -251,22 +251,39 @@ fn run_scenario_inner(
     }
     system.flush_metrics();
     let samples = system.metrics().map(|m| m.samples().to_vec()).unwrap_or_default();
+    let counts: Vec<(u64, u64)> = (0..sc.masters.len())
+        .map(|i| {
+            let port = system.master(MasterId::new(i));
+            (port.issued_transactions(), port.backlog_transactions() as u64)
+        })
+        .collect();
+    let outcome = assemble_outcome(sc, &snaps, &probes, &samples, &counts);
+    Ok((outcome, system.profiler().total_wall()))
+}
 
-    let mut violations =
-        evaluate(&EvalInput { sc, snaps: &snaps, probes: &probes, samples: &samples });
-    conservation_check(sc, &system, &mut violations);
-
+/// Evaluates the SLAs and the conservation check and assembles the
+/// verdict from a finished run's observations: per-phase statistics
+/// snapshots, arbiter probes, windowed metrics samples and per-master
+/// `(issued, backlog)` transaction counts. Shared by the scalar runner
+/// and the fleet runner ([`crate::fleet`]) so both assemble verdicts
+/// through the identical code path.
+pub(crate) fn assemble_outcome(
+    sc: &Scenario,
+    snaps: &[BusStats],
+    probes: &[(u64, u64)],
+    samples: &[socsim::WindowSample],
+    counts: &[(u64, u64)],
+) -> Outcome {
+    let mut violations = evaluate(&EvalInput { sc, snaps, probes, samples });
     let last = snaps.last().expect("at least one phase");
-    let issued: u64 =
-        (0..sc.masters.len()).map(|i| system.master(MasterId::new(i)).issued_transactions()).sum();
-    let backlog: u64 = (0..sc.masters.len())
-        .map(|i| system.master(MasterId::new(i)).backlog_transactions() as u64)
-        .sum();
+    conservation_check(sc, last, counts, &mut violations);
+    let issued: u64 = counts.iter().map(|&(issued, _)| issued).sum();
+    let backlog: u64 = counts.iter().map(|&(_, backlog)| backlog).sum();
     let completed: u64 = last.masters().iter().map(|m| m.transactions).sum();
     let (failovers, recoveries) = *probes.last().expect("at least one phase");
-    let phases = phase_reports(sc, &snaps, &probes);
+    let phases = phase_reports(sc, snaps, probes);
     let passed = violations.is_empty();
-    let outcome = Outcome {
+    Outcome {
         name: sc.name.clone(),
         expected: sc.expect,
         passed,
@@ -279,8 +296,7 @@ fn run_scenario_inner(
         recoveries,
         violations,
         phases,
-    };
-    Ok((outcome, system.profiler().total_wall()))
+    }
 }
 
 /// Issued must equal completed + aborted + backlog, per master. A
@@ -288,14 +304,14 @@ fn run_scenario_inner(
 /// and the verdict can't be trusted.
 fn conservation_check(
     sc: &Scenario,
-    system: &System<ArbiterKind, PhasedSource>,
+    last: &BusStats,
+    counts: &[(u64, u64)],
     out: &mut Vec<Violation>,
 ) {
     for (i, m) in sc.masters.iter().enumerate() {
-        let port = system.master(MasterId::new(i));
-        let stats = system.stats().master(MasterId::new(i));
-        let issued = port.issued_transactions();
-        let accounted = stats.transactions + stats.aborted + port.backlog_transactions() as u64;
+        let stats = last.master(MasterId::new(i));
+        let (issued, backlog) = counts[i];
+        let accounted = stats.transactions + stats.aborted + backlog;
         if issued != accounted {
             out.push(Violation {
                 sla: "conservation".to_owned(),

@@ -58,6 +58,7 @@ pub mod cycle;
 pub mod error;
 pub mod fastforward;
 pub mod fault;
+pub mod fleet;
 pub mod ids;
 pub mod master;
 pub mod metrics;
@@ -79,6 +80,7 @@ pub use cycle::Cycle;
 pub use error::BuildSystemError;
 pub use fastforward::{Kernel, NextEvent};
 pub use fault::{FaultConfig, FaultEvent, FaultKind, FaultLog, FaultPlan, RetryPolicy};
+pub use fleet::{Fleet, FleetBuildError, LaneBuilder};
 pub use ids::{MasterId, SlaveId};
 pub use master::{MasterPort, RetryOutcome};
 pub use metrics::{BusMetrics, WindowSample};

@@ -51,6 +51,26 @@ pub trait TrafficSource {
     fn next_event(&self, now: Cycle) -> Cycle {
         now
     }
+
+    /// Whether polling this source is a guaranteed no-op while its master
+    /// still has work queued.
+    ///
+    /// Returning `true` is a contract with the batched kernels (the
+    /// fleet's tenure batching in [`crate::fleet`]): whenever the port's
+    /// backlog is `>= 1`, [`TrafficSource::poll_with_backlog`] returns
+    /// `None` **without mutating any internal state**, and
+    /// [`TrafficSource::next_event`] returns its argument unchanged (the
+    /// conservative every-cycle default). Under that contract a kernel
+    /// may elide the per-cycle poll for the whole stretch a backlog is
+    /// known to persist — every elided poll is a provable no-op, so
+    /// states and statistics stay byte-identical to polling every cycle.
+    ///
+    /// The default is `false`, which is always correct: the source is
+    /// polled every cycle. Only stateless backlog-gated sources (e.g.
+    /// `SaturateSource` in the `traffic-gen` crate) should override this.
+    fn pure_while_backlogged(&self) -> bool {
+        false
+    }
 }
 
 impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
@@ -64,6 +84,10 @@ impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
 
     fn next_event(&self, now: Cycle) -> Cycle {
         (**self).next_event(now)
+    }
+
+    fn pure_while_backlogged(&self) -> bool {
+        (**self).pure_while_backlogged()
     }
 }
 

@@ -64,6 +64,11 @@ impl TrafficSource for SourceKind {
     fn next_event(&self, now: Cycle) -> Cycle {
         for_each_source!(self, inner => inner.next_event(now))
     }
+
+    #[inline]
+    fn pure_while_backlogged(&self) -> bool {
+        for_each_source!(self, inner => inner.pure_while_backlogged())
+    }
 }
 
 impl From<StochasticSource> for SourceKind {

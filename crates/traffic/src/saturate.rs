@@ -61,6 +61,13 @@ impl TrafficSource for SaturateSource {
 
     // `next_event` keeps the conservative default (`now`): the source
     // must be polled every cycle and is never fast-forwarded over.
+
+    fn pure_while_backlogged(&self) -> bool {
+        // With a backlog, `poll_with_backlog` returns `None` and touches
+        // no state, and `next_event` keeps the identity default — exactly
+        // the contract the fleet kernel's tenure batching requires.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -14,8 +14,9 @@
 //!
 //! [`SaturateSource`]: lotterybus_repro::traffic::SaturateSource
 
+use lotterybus_repro::arbiters::ArbiterKind;
 use lotterybus_repro::experiments::hotpath::{hot_arbiter, HOT_PROTOCOLS};
-use lotterybus_repro::socsim::{BusConfig, SystemBuilder};
+use lotterybus_repro::socsim::{BusConfig, Fleet, LaneBuilder, SystemBuilder};
 use lotterybus_repro::traffic::{SaturateSource, SourceKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -105,4 +106,45 @@ fn steady_state_makes_zero_allocations_for_every_lineup_protocol() {
             "{protocol}: {allocs} heap allocation(s) in a 20k-cycle steady-state window"
         );
     }
+}
+
+#[test]
+fn fleet_steady_state_makes_zero_allocations_across_all_lineup_protocols() {
+    // The whole lineup packed as one lockstep fleet — one lane per
+    // protocol, each saturated. Past warm-up, advancing every lane must
+    // be as allocation-free as the scalar kernel; the SoA batching may
+    // move no per-cycle work onto the heap.
+    let lanes = HOT_PROTOCOLS
+        .iter()
+        .map(|&protocol| {
+            let mut lane: LaneBuilder<ArbiterKind, SourceKind> =
+                LaneBuilder::new(BusConfig::default());
+            for i in 0..4 {
+                lane =
+                    lane.master(format!("C{}", i + 1), SourceKind::from(SaturateSource::new(0, 8)));
+            }
+            lane.arbiter(hot_arbiter(protocol, 0xC0FFEE))
+        })
+        .collect();
+    let mut fleet = Fleet::build(lanes).expect("probe fleet is valid");
+    fleet.warm_up(2_000);
+    ALLOCS.with(|allocs| allocs.set(0));
+    COUNTING.with(|counting| counting.set(true));
+    fleet.run(20_000);
+    COUNTING.with(|counting| counting.set(false));
+    let counted = ALLOCS.with(|allocs| allocs.get());
+    for (lane, protocol) in HOT_PROTOCOLS.iter().enumerate() {
+        assert!(
+            fleet.stats(lane).bus_utilization() > 0.95,
+            "{protocol} fleet lane is not saturated: utilization {}",
+            fleet.stats(lane).bus_utilization()
+        );
+    }
+    assert_eq!(
+        counted,
+        0,
+        "{counted} heap allocation(s) in a 20k-cycle fleet steady-state window \
+         across {} lanes",
+        HOT_PROTOCOLS.len()
+    );
 }

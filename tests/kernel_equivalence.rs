@@ -376,6 +376,169 @@ fn dispatch_outputs<S: TrafficSource>(
     (system.stats().clone(), events, waveform)
 }
 
+// ---------------------------------------------------------------------------
+// Fleet lockstep kernel vs scalar kernels (PR 9).
+//
+// The SoA fleet kernel advances N independent systems per cycle over
+// contiguous state. It must be *lane-exact*: every lane's statistics,
+// trace stream, and windowed metrics byte-identical to the same system
+// run solo through the scalar cycle kernel. The matrix covers every
+// suite experiment workload shape, the committed scenario library, and
+// a full-observability mixed fleet.
+// ---------------------------------------------------------------------------
+
+use lotterybus_repro::experiments::fleet::{run_systems_fleet, FleetJob};
+use lotterybus_repro::socsim::{Fleet, LaneBuilder, Slave, SlaveId};
+
+/// The suite's three workload shapes: saturated, mostly idle, and a
+/// weighted Bernoulli mix (the load-sweep cell at 85% offered load).
+fn suite_workloads() -> Vec<(&'static str, Vec<GeneratorSpec>)> {
+    let weighted: Vec<GeneratorSpec> = [1u32, 2, 3, 4]
+        .iter()
+        .map(|&w| GeneratorSpec::poisson(0.85 * f64::from(w) / 10.0 / 16.0, SizeDist::fixed(16)))
+        .collect();
+    vec![
+        ("saturating", lotterybus_repro::traffic::classes::saturating_specs(4)),
+        ("low-utilization", experiments::common::low_utilization_specs(4)),
+        ("weighted-poisson", weighted),
+    ]
+}
+
+#[test]
+fn fleet_matrix_every_suite_workload_lane_matches_its_scalar_run() {
+    // All (protocol × workload) combinations of the suite's experiment
+    // matrix as lanes of ONE fleet, each compared to its solo scalar
+    // cycle-kernel run.
+    let settings = short();
+    let cells: Vec<(usize, &'static str, Vec<GeneratorSpec>)> = (0..5)
+        .flat_map(|p| suite_workloads().into_iter().map(move |(name, specs)| (p, name, specs)))
+        .collect();
+    let jobs: Vec<FleetJob> = cells
+        .iter()
+        .map(|(p, _, specs)| {
+            (specs.clone(), experiments::common::protocol_arbiter(*p, settings.seed))
+        })
+        .collect();
+    let packed = run_systems_fleet(jobs, &settings);
+    for ((p, name, specs), lane_stats) in cells.iter().zip(&packed) {
+        let solo = experiments::common::run_system(
+            specs,
+            experiments::common::protocol_arbiter(*p, settings.seed),
+            &settings,
+        );
+        assert_eq!(
+            *lane_stats, solo,
+            "protocol {p} on the {name} workload: fleet lane diverged from its scalar run"
+        );
+    }
+}
+
+#[test]
+fn fleet_lanes_reproduce_scalar_traces_and_metrics_byte_for_byte() {
+    // A full-observability mixed fleet: every lane traces into a ring
+    // and samples windowed metrics, with heterogeneous sources, wait
+    // states, and master counts. Stats, trace events, and metric
+    // samples must all match the solo scalar run.
+    let seed = 0xFEE7u64;
+    // Sources carry RNG state and are not `Clone`, so each shape is a
+    // recipe evaluated once for the fleet lane and once for the solo run.
+    let sources = |shape: usize| -> Vec<SourceKind> {
+        match shape {
+            0 => vec![
+                GeneratorSpec::periodic(60, 3, SizeDist::fixed(8)).build_kind(seed),
+                GeneratorSpec::poisson(0.02, SizeDist::fixed(16)).build_kind(seed + 1),
+                SourceKind::from(SaturateSource::new(0, 4)),
+            ],
+            1 => vec![
+                SourceKind::from(SaturateSource::new(0, 8)),
+                SourceKind::from(SaturateSource::new(0, 8)),
+            ],
+            _ => vec![
+                GeneratorSpec::periodic(200, 0, SizeDist::fixed(4)).build_kind(seed + 2),
+                GeneratorSpec::periodic(170, 11, SizeDist::fixed(6)).build_kind(seed + 3),
+            ],
+        }
+    };
+    let shapes = [(0usize, 0u32, "mixed"), (1, 2, "stalled-saturate"), (2, 0, "idle-heavy")];
+    let lane_for = |&(shape, wait, _): &(usize, u32, &str)| {
+        let mut lane: LaneBuilder<ArbiterKind, SourceKind> = LaneBuilder::new(BusConfig::default());
+        lane = lane
+            .slave(Slave::with_wait_states(SlaveId::new(0), "mem", wait))
+            .trace_capacity(1 << 14)
+            .metrics_window(256);
+        for (i, source) in sources(shape).into_iter().enumerate() {
+            lane = lane.master(format!("M{}", i + 1), source);
+        }
+        lane.arbiter(hot_arbiter(HOT_PROTOCOLS[1], seed))
+    };
+    let mut fleet =
+        Fleet::build(shapes.iter().map(lane_for).collect()).expect("matrix lanes are valid");
+    fleet.warm_up(300);
+    fleet.run(12_000);
+    fleet.flush_metrics();
+    for (lane, &(shape, wait, name)) in shapes.iter().enumerate() {
+        let mut builder: SystemBuilder<ArbiterKind, SourceKind> =
+            SystemBuilder::new(BusConfig::default())
+                .slave(Slave::with_wait_states(SlaveId::new(0), "mem", wait))
+                .trace_capacity(1 << 14)
+                .metrics_window(256);
+        for (i, source) in sources(shape).into_iter().enumerate() {
+            builder = builder.master(format!("M{}", i + 1), source);
+        }
+        let mut solo = builder.arbiter(hot_arbiter(HOT_PROTOCOLS[1], seed)).build().expect("valid");
+        solo.warm_up(300);
+        solo.run(12_000);
+        solo.flush_metrics();
+        assert_eq!(fleet.stats(lane), solo.stats(), "{name}: statistics diverged");
+        assert_eq!(
+            fleet.trace(lane).events(),
+            solo.trace().events(),
+            "{name}: trace streams diverged"
+        );
+        assert_eq!(
+            fleet.metrics(lane).expect("metrics on").samples(),
+            solo.metrics().expect("metrics on").samples(),
+            "{name}: metrics time series diverged"
+        );
+        assert_eq!(fleet.now(lane), solo.now(), "{name}: clocks diverged");
+    }
+}
+
+#[test]
+fn fleet_scenario_library_matrix_matches_scalar_verdicts() {
+    // The whole committed scenario library through the fleet runner:
+    // every scenario's verdict JSON must be byte-identical to its solo
+    // scalar cycle-kernel run (ineligible scenarios take the scalar
+    // fallback inside the runner and must *also* match).
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("scenarios/ exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scenario"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 23, "the library ships at least 23 scenarios, found {}", files.len());
+    let library: Vec<scenario::Scenario> = files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(f).expect("readable");
+            scenario::Scenario::parse(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", f.display()))
+        })
+        .collect();
+    let refs: Vec<&scenario::Scenario> = library.iter().collect();
+    let packed = scenario::run_scenarios_fleet(&refs).expect("fleet pack runs");
+    for (sc, fleet_outcome) in library.iter().zip(&packed) {
+        let scalar = scenario::run_scenario(sc, Kernel::Cycle).expect("scalar run");
+        assert_eq!(
+            fleet_outcome.to_json().render(),
+            scalar.to_json().render(),
+            "scenario `{}`: fleet verdict diverged from the scalar cycle kernel",
+            sc.name
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -41,6 +41,16 @@ TLM_MAX_UTILIZATION_ABS_ERROR = 0.30
 TLM_MAX_SHARE_ABS_ERROR = 0.25
 TLM_MAX_P99_RATIO_ERROR = 1.5
 
+# Fleet gates (the `fleet` section, PR-9). The SoA lockstep fleet must
+# beat the summed scalar cycle-kernel runs of the same lanes by at
+# least this factor on the saturated long-burst probe (the PR-9
+# acceptance target; measured ~12x), with every lane hard-asserted
+# byte-identical to its scalar run inside the suite binary.
+FLEET_MIN_SPEEDUP = 5.0
+# Aggregate lane throughput may drop this far against the baseline
+# before warning (same noise budget as the hot lineup).
+FLEET_NOISE_TOLERANCE = 0.25
+
 # Analytic-model gates (the `analytic` section, PR-8). Validation-grid
 # error ceilings leave headroom over the measured quick-suite numbers
 # (share max ~0.014 / mean ~0.003; latency rel max ~0.51 / mean ~0.16 —
@@ -158,6 +168,35 @@ def check_analytic(analytic, warn):
         )
 
 
+def check_fleet(fleet, baseline_fleet, warn):
+    """Gate the fleet probe's exactness flag and aggregate speedup."""
+    if fleet.get("lane_exact") is not True:
+        warn("fleet.lane_exact is not true")
+    speedup = fleet.get("aggregate_speedup")
+    lanes = fleet.get("lanes", "?")
+    if speedup is None:
+        warn("fleet section lacks aggregate_speedup")
+    elif speedup < FLEET_MIN_SPEEDUP:
+        warn(
+            f"fleet aggregate speedup is {speedup:.2f}x over {lanes} lanes "
+            f"(want >= {FLEET_MIN_SPEEDUP:.1f}x vs independent scalar runs)"
+        )
+    else:
+        print(f"ok: fleet aggregate speedup {speedup:.2f}x over {lanes} lanes (lane-exact)")
+
+    now = fleet.get("lane_cycles_per_sec")
+    if now is None:
+        warn("fleet section lacks lane_cycles_per_sec")
+        return
+    was = (baseline_fleet or {}).get("lane_cycles_per_sec")
+    if was is None:
+        print(f"info: fleet {now / 1e6:.2f}M lane-cycles/s (no baseline)")
+    elif was > 0 and now < was * (1 - FLEET_NOISE_TOLERANCE):
+        warn(f"fleet throughput regressed: {was / 1e6:.2f}M -> {now / 1e6:.2f}M lane-cycles/s")
+    else:
+        print(f"ok: fleet {was / 1e6:.2f}M -> {now / 1e6:.2f}M lane-cycles/s")
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -242,6 +281,14 @@ def main(argv):
         print("note: report has no analytic section (pre-PR8 format)")
     else:
         check_analytic(analytic, warn)
+
+    fleet = current.get("fleet")
+    if fleet is None:
+        # Pre-PR9 reports (e.g. the PR8 baseline re-checked in CI) have
+        # no fleet section; only warn for fresh reports that should.
+        print("note: report has no fleet section (pre-PR9 format)")
+    else:
+        check_fleet(fleet, (baseline or {}).get("fleet"), warn)
 
     hot = current.get("hot", {}).get("protocols")
     if hot is None:
