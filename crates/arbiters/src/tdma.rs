@@ -124,6 +124,21 @@ impl TdmaArbiter {
         assert!(position < self.wheel.len(), "wheel position out of range");
         self.position = position;
     }
+
+    /// The number of masters the wheel serves.
+    pub(crate) fn masters(&self) -> usize {
+        self.masters
+    }
+
+    /// The slot-reclaim round-robin pointer.
+    pub(crate) fn rr(&self) -> usize {
+        self.rr
+    }
+
+    /// Overwrites the reclaim pointer (SoA kernel writeback).
+    pub(crate) fn set_rr(&mut self, rr: usize) {
+        self.rr = rr;
+    }
 }
 
 fn contiguous_wheel(slots: &[u32]) -> Vec<MasterId> {

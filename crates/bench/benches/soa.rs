@@ -1,0 +1,88 @@
+//! Scalar vs grouped-SoA decision throughput for every [`ArbiterKind`]
+//! protocol: a pack of identically-configured lanes decided one
+//! `arbitrate` call at a time against the same pack lowered into one
+//! SoA decision kernel and decided slot by slot. The kernels must win
+//! (or tie) for the fleet's grouped-arbitration lowering to pay off.
+
+use arbiters::{
+    ArbiterKind, DeficitRoundRobinArbiter, RoundRobinArbiter, StaticPriorityArbiter, TdmaArbiter,
+    WheelLayout,
+};
+use bench::saturated_requests;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lotterybus::{DynamicLotteryArbiter, StaticLotteryArbiter, TicketAssignment};
+use socsim::{Arbiter, Cycle};
+use std::hint::black_box;
+
+/// Lanes per pack: enough slots that shared-table reuse shows, small
+/// enough that each decision stays cache-resident like a real fleet.
+const SLOTS: usize = 8;
+
+fn pack(protocol: &str) -> Vec<ArbiterKind> {
+    let tickets = || TicketAssignment::new(vec![1, 2, 3, 4]).unwrap();
+    (0..SLOTS)
+        .map(|slot| {
+            let seed = 7 + slot as u32;
+            match protocol {
+                "static-priority" => StaticPriorityArbiter::new(vec![1, 2, 3, 4]).unwrap().into(),
+                "round-robin" => RoundRobinArbiter::new(4).unwrap().into(),
+                "deficit-rr" => DeficitRoundRobinArbiter::new(&[1, 2, 3, 4], 8).unwrap().into(),
+                "tdma-2level" => {
+                    TdmaArbiter::new(&[6, 12, 18, 24], WheelLayout::Contiguous).unwrap().into()
+                }
+                "lottery-static" => {
+                    StaticLotteryArbiter::with_seed(tickets(), seed).unwrap().into()
+                }
+                "lottery-dynamic" => {
+                    DynamicLotteryArbiter::with_seed(tickets(), seed).unwrap().into()
+                }
+                other => panic!("unknown protocol {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn scalar_vs_soa_decisions(c: &mut Criterion) {
+    for protocol in [
+        "static-priority",
+        "round-robin",
+        "deficit-rr",
+        "tdma-2level",
+        "lottery-static",
+        "lottery-dynamic",
+    ] {
+        let mut group = c.benchmark_group(&format!("decide8_{protocol}"));
+        let requests = saturated_requests(4);
+
+        let mut scalars = pack(protocol);
+        let mut cycle = 0u64;
+        group.bench_function("scalar", |b| {
+            b.iter(|| {
+                cycle += 1;
+                let now = Cycle::new(cycle);
+                for arbiter in scalars.iter_mut() {
+                    black_box(arbiter.arbitrate(black_box(&requests), now));
+                }
+            })
+        });
+
+        let lanes = pack(protocol);
+        let peers: Vec<&ArbiterKind> = lanes.iter().collect();
+        let mut kernel =
+            <ArbiterKind as Arbiter>::lower_group(&peers).expect("every builtin protocol lowers");
+        let mut cycle = 0u64;
+        group.bench_function("soa", |b| {
+            b.iter(|| {
+                cycle += 1;
+                let now = Cycle::new(cycle);
+                for slot in 0..SLOTS {
+                    black_box(kernel.arbitrate_slot(slot, black_box(&requests), now));
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, scalar_vs_soa_decisions);
+criterion_main!(benches);

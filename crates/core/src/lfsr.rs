@@ -57,6 +57,54 @@ const fn mask(taps: &[u32]) -> u32 {
     m
 }
 
+/// Precomputed effect of eight Galois steps as a function of the low
+/// register byte.
+///
+/// The Galois step `s ← (s >> 1) ^ (s & 1)·mask` is linear over GF(2),
+/// so eight steps factor as `L⁸(s) = (s >> 8) ^ L⁸(s & 0xff)`: the high
+/// bits only shift down (their low eight bits are zero, so no feedback
+/// fires on their account), and the low byte's contribution — both the
+/// eight output bits and the feedback XORs it injects — is a pure
+/// function of that byte. One table per width (the mask differs), built
+/// once and cached in a `OnceLock` (inline storage, no heap).
+struct StepTable {
+    /// `state[b]` = the register after eight steps from state `b`.
+    state: [u32; 256],
+    /// `out[b]` = the eight output bits, MSB-first (first bit out in
+    /// bit 7), matching `next_bits`'s accumulation order.
+    out: [u8; 256],
+}
+
+impl StepTable {
+    fn build(mask: u32) -> Self {
+        let mut table = StepTable { state: [0; 256], out: [0; 256] };
+        for b in 0..256u32 {
+            let mut s = b;
+            let mut o = 0u8;
+            for _ in 0..8 {
+                let bit = s & 1;
+                s >>= 1;
+                if bit == 1 {
+                    s ^= mask;
+                }
+                o = (o << 1) | bit as u8;
+            }
+            table.state[b as usize] = s;
+            table.out[b as usize] = o;
+        }
+        table
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_TABLE: std::sync::OnceLock<StepTable> = std::sync::OnceLock::new();
+static STEP_TABLES: [std::sync::OnceLock<StepTable>; 31] = [EMPTY_TABLE; 31];
+
+fn step_table(width: u32) -> &'static StepTable {
+    let slot = (width - 2) as usize;
+    STEP_TABLES[slot].get_or_init(|| StepTable::build(MAX_LEN_MASKS[slot]))
+}
+
 /// A Galois LFSR of configurable width with maximal-length feedback.
 ///
 /// ```
@@ -124,7 +172,20 @@ impl Lfsr {
     pub fn next_bits(&mut self, bits: u32) -> u32 {
         assert!((1..=32).contains(&bits), "can collect 1..=32 bits");
         let mut value: u32 = 0;
-        for _ in 0..bits {
+        let mut remaining = bits;
+        if remaining >= 8 {
+            // Table-stepped fast path: eight steps per lookup, exact by
+            // the linearity argument on [`StepTable`]. Output order is
+            // identical to the per-bit loop (MSB-first).
+            let table = step_table(self.width);
+            while remaining >= 8 {
+                let b = (self.state & 0xff) as usize;
+                value = (value << 8) | u32::from(table.out[b]);
+                self.state = (self.state >> 8) ^ table.state[b];
+                remaining -= 8;
+            }
+        }
+        for _ in 0..remaining {
             value = (value << 1) | self.step();
         }
         value
@@ -189,5 +250,28 @@ mod tests {
     #[should_panic(expected = "width must be in")]
     fn width_one_rejected() {
         let _ = Lfsr::new(1, 1);
+    }
+
+    #[test]
+    fn table_stepped_next_bits_matches_the_per_bit_loop() {
+        // The >= 8 bit path goes through the precomputed step tables;
+        // replay every draw against a per-bit reference on a clone.
+        for width in 2..=32u32 {
+            let mut fast = Lfsr::new(width, 0xACE1_F00D ^ width);
+            let mut slow = fast.clone();
+            for round in 0..200u32 {
+                let bits = 1 + (round * 7 + width) % 32;
+                let mut reference = 0u32;
+                for _ in 0..bits {
+                    reference = (reference << 1) | slow.step();
+                }
+                assert_eq!(
+                    fast.next_bits(bits),
+                    reference,
+                    "width {width} bits {bits} diverge"
+                );
+                assert_eq!(fast.state(), slow.state(), "width {width} register diverges");
+            }
+        }
     }
 }

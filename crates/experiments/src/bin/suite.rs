@@ -241,12 +241,12 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         );
     }
 
-    // The fleet probe: the same saturated lineup packed as six lanes of
-    // one SoA lockstep fleet, timed against the sum of the six scalar
-    // runs. Lane exactness is a hard in-binary assert; the aggregate
-    // speedup is the ≥5x PR-9 acceptance number gated (softly) by
-    // tools/bench_regression.py.
-    let fleet = fleet_probe(&probe);
+    // The fleet probes: saturated lineups packed as lanes of one SoA
+    // lockstep fleet with grouped (lowered) arbitration, timed against
+    // the sum of the equivalent scalar runs. Lane exactness is a hard
+    // in-binary assert; the aggregate speedups are the PR-9/PR-10
+    // acceptance numbers gated by tools/bench_regression.py.
+    let fleet = fleet_probe(&probe, &FLEET_PROTOCOLS);
     eprintln!(
         "fleet: {} lanes, {:.2}x aggregate vs scalar ({:.4}s vs {:.4}s, \
          {:.2}M lane-cycles/s)",
@@ -255,6 +255,17 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         fleet.fleet_wall_secs,
         fleet.scalar_wall_secs,
         fleet.lane_cycles_per_sec / 1e6,
+    );
+    let fleet_tdma = fleet_probe(&probe, &FLEET_TDMA_PACK);
+    eprintln!(
+        "fleet_arb tdma: {} lanes sharing {} wheel kernel(s), {:.2}x aggregate vs scalar \
+         ({:.4}s vs {:.4}s, {:.2}M lane-cycles/s)",
+        fleet_tdma.lanes,
+        fleet_tdma.kernels,
+        fleet_tdma.aggregate_speedup,
+        fleet_tdma.fleet_wall_secs,
+        fleet_tdma.scalar_wall_secs,
+        fleet_tdma.lane_cycles_per_sec / 1e6,
     );
 
     let report = experiments::json::Json::obj()
@@ -284,6 +295,12 @@ fn run_bench(opts: &SuiteOptions, workers: usize, bench_path: &str) -> String {
         .field("analytic", analytic_probe.to_json())
         .field("hot", experiments::hotpath::hot_json(&hot))
         .field("fleet", fleet.to_json())
+        .field(
+            "fleet_arb",
+            experiments::json::Json::obj()
+                .field("probe", fleet.to_json())
+                .field("tdma", fleet_tdma.to_json()),
+        )
         .field("sim_phases", sim_phases_json(&profiler))
         .field("serial", serial.telemetry.to_json())
         .field("parallel", parallel.telemetry.to_json());
@@ -468,13 +485,16 @@ fn tlm_error_probe(
     }
 }
 
-/// The fleet probe: the saturated batching lineup packed as lanes of
-/// one SoA lockstep fleet, timed against the summed wall clock of the
+/// One fleet probe: a saturated protocol lineup packed as lanes of one
+/// SoA lockstep fleet, timed against the summed wall clock of the
 /// equivalent scalar cycle-kernel runs. Every lane's stats are
 /// hard-asserted byte-identical to its scalar run before any number is
 /// reported.
 struct FleetProbe {
+    protocols: &'static [&'static str],
     lanes: usize,
+    lanes_lowered: usize,
+    kernels: usize,
     cycles_per_lane: u64,
     fleet_wall_secs: f64,
     scalar_wall_secs: f64,
@@ -485,28 +505,34 @@ struct FleetProbe {
 /// Burst length (and bus `max_burst`) of the fleet probe's workload:
 /// DMA-style long tenures, where the fleet's exact tenure batching
 /// amortizes per-cycle stepping and the aggregate speedup target
-/// (>5x, gated by `tools/bench_regression.py`) is meaningful. The
+/// (gated by `tools/bench_regression.py`) is meaningful. The
 /// short-burst regime is covered by the `hot` probe above.
 const FLEET_WORDS: u32 = 64;
 
-/// The fleet probe's lane lineup: every built-in protocol whose grants
-/// can span a multi-cycle tenure. TDMA is deliberately absent — its
-/// wheel issues single-word grants and re-arbitrates *every* cycle, so
-/// no kernel (fleet or scalar) has a tenure interior to batch and the
-/// lane would only re-measure per-cycle stepping, which the `hot`
-/// probe already covers across all six protocols. TDMA lanes stay
-/// under the fleet's exactness gates (the equivalence matrix, the
-/// property tests and the golden pack all include it).
+/// The flagship fleet lineup: every built-in protocol whose grants can
+/// span a multi-cycle tenure, one lane each, every lane lowered into
+/// its (singleton) SoA decision kernel. TDMA is measured by its own
+/// pack ([`FLEET_TDMA_PACK`]) instead — its wheel issues single-word
+/// grants, so its fleet win comes from the arithmetic slot-position
+/// walk rather than tenure batching, a different mechanism worth its
+/// own number.
 const FLEET_PROTOCOLS: [&str; 5] =
     ["static-priority", "round-robin", "deficit-rr", "lottery-static", "lottery-dynamic"];
+
+/// The TDMA lane pack: identically-configured TDMA lanes that lower
+/// into one SoA kernel sharing a single timing-wheel table, each lane
+/// replayed by the arithmetic slot-position walk.
+const FLEET_TDMA_PACK: [&str; 5] = ["tdma"; 5];
 
 impl FleetProbe {
     fn to_json(&self) -> experiments::json::Json {
         use experiments::json::Json;
-        let protocols: Vec<Json> = FLEET_PROTOCOLS.iter().map(|&p| Json::from(p)).collect();
+        let protocols: Vec<Json> = self.protocols.iter().map(|&p| Json::from(p)).collect();
         Json::obj()
             .field("lanes", self.lanes)
             .field("protocols", Json::Arr(protocols))
+            .field("lanes_lowered", self.lanes_lowered)
+            .field("kernels", self.kernels)
             .field("masters", experiments::hotpath::HOT_MASTERS)
             .field("words", u64::from(FLEET_WORDS))
             .field("cycles_per_lane", self.cycles_per_lane)
@@ -518,7 +544,10 @@ impl FleetProbe {
     }
 }
 
-fn fleet_probe(settings: &experiments::RunSettings) -> FleetProbe {
+fn fleet_probe(
+    settings: &experiments::RunSettings,
+    protocols: &'static [&'static str],
+) -> FleetProbe {
     use experiments::hotpath::{hot_arbiter, HOT_MASTERS};
     use socsim::fleet::{Fleet, LaneBuilder};
     use traffic_gen::{SaturateSource, SourceKind};
@@ -532,7 +561,7 @@ fn fleet_probe(settings: &experiments::RunSettings) -> FleetProbe {
     for _ in 0..3 {
         let mut total = 0.0;
         let mut stats = Vec::new();
-        for protocol in FLEET_PROTOCOLS {
+        for &protocol in protocols {
             let mut builder = socsim::SystemBuilder::new(bus);
             for i in 0..HOT_MASTERS {
                 builder = builder.master(
@@ -554,11 +583,14 @@ fn fleet_probe(settings: &experiments::RunSettings) -> FleetProbe {
         scalar_stats = stats;
     }
 
-    // The same six systems as lanes of one fleet, advanced together.
+    // The same systems as lanes of one fleet, advanced together with
+    // grouped (SoA-lowered) arbitration.
     let mut fleet_wall_secs = f64::INFINITY;
     let mut fleet_stats = Vec::new();
+    let mut lanes_lowered = 0;
+    let mut kernels = 0;
     for _ in 0..3 {
-        let lanes = FLEET_PROTOCOLS
+        let lanes = protocols
             .iter()
             .map(|protocol| {
                 let mut lane: LaneBuilder<arbiters::ArbiterKind, SourceKind> =
@@ -573,16 +605,23 @@ fn fleet_probe(settings: &experiments::RunSettings) -> FleetProbe {
             })
             .collect();
         let mut fleet = Fleet::build(lanes).expect("fleet-probe lanes are valid");
+        lanes_lowered = fleet.lowered_lanes();
+        kernels = fleet.kernel_count();
         fleet.warm_up(settings.warmup);
         let start = std::time::Instant::now();
         fleet.run(settings.measure);
         fleet_wall_secs = fleet_wall_secs.min(start.elapsed().as_secs_f64());
         fleet_stats = (0..fleet.len()).map(|i| fleet.stats(i).clone()).collect();
     }
+    assert_eq!(
+        lanes_lowered,
+        protocols.len(),
+        "every probe lane must lower into an SoA decision kernel"
+    );
 
     // Hard gate: every lane must reproduce its scalar run byte for
     // byte before any throughput number is believed.
-    for ((protocol, lane), solo) in FLEET_PROTOCOLS.iter().zip(&fleet_stats).zip(&scalar_stats) {
+    for ((protocol, lane), solo) in protocols.iter().zip(&fleet_stats).zip(&scalar_stats) {
         assert_eq!(lane, solo, "fleet lane {protocol} diverged from its scalar run");
         assert!(
             lane.bus_utilization() > 0.95,
@@ -591,7 +630,7 @@ fn fleet_probe(settings: &experiments::RunSettings) -> FleetProbe {
         );
     }
 
-    let lanes = FLEET_PROTOCOLS.len();
+    let lanes = protocols.len();
     let aggregate_speedup =
         if fleet_wall_secs > 0.0 { scalar_wall_secs / fleet_wall_secs } else { 1.0 };
     let lane_cycles_per_sec = if fleet_wall_secs > 0.0 {
@@ -600,7 +639,10 @@ fn fleet_probe(settings: &experiments::RunSettings) -> FleetProbe {
         0.0
     };
     FleetProbe {
+        protocols,
         lanes,
+        lanes_lowered,
+        kernels,
         cycles_per_lane: settings.measure,
         fleet_wall_secs,
         scalar_wall_secs,

@@ -58,7 +58,7 @@
 //! [`System`]: crate::System
 //! [`TrafficSource::pure_while_backlogged`]: crate::TrafficSource::pure_while_backlogged
 
-use crate::arbiter::{Arbiter, IntoArbiter};
+use crate::arbiter::{Arbiter, IntoArbiter, SoaKernel};
 use crate::config::BusConfig;
 use crate::cycle::Cycle;
 use crate::error::BuildSystemError;
@@ -201,8 +201,27 @@ pub struct Fleet<A = Box<dyn Arbiter>, S = Box<dyn TrafficSource>> {
     /// and remaining burst words (`Bursting` when nonzero with no
     /// stall). A lane is idle iff `stall_left == 0 && words_left == 0`.
     words_left: Vec<u32>,
-    /// Per-lane arbiters, contiguous.
+    /// Per-lane arbiters, contiguous. A lowered lane's scalar arbiter
+    /// is *stale* while its SoA kernel slot is live; [`Fleet::arbiter`]
+    /// and [`Fleet::arbiter_mut`] write the kernel state back before
+    /// exposing it.
     arbiters: Vec<A>,
+    /// Cross-lane SoA decision kernels, one per lowered same-protocol
+    /// group (see [`Arbiter::lower_group`]).
+    kernels: Vec<Box<dyn SoaKernel>>,
+    /// Per-lane kernel membership: `Some((kernel, slot))` routes the
+    /// lane's arbitration through `kernels[kernel]`, `None` keeps the
+    /// scalar arbiter (heterogeneous packs, never-lowered protocols,
+    /// lanes dissolved by [`Fleet::arbiter_mut`]).
+    lowered: Vec<Option<(u32, u32)>>,
+    /// Whether the lane may take the fused arbitrate-plus-batch fast
+    /// path at all: tracing off and no metrics registry (both sample
+    /// per-cycle detail the fused path elides).
+    fast_ok: Vec<bool>,
+    /// Whether every possible grant on this lane has a zero setup
+    /// stall (no arbitration overhead, no wait states anywhere) — a
+    /// precondition of the arithmetic TDMA wheel walk.
+    zero_stall: Vec<bool>,
     /// Per-lane statistics.
     stats: Vec<BusStats>,
     /// Per-lane traces (disabled unless a capacity was set).
@@ -253,6 +272,10 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
             stall_words: vec![0; lanes.len()],
             words_left: vec![0; lanes.len()],
             arbiters: Vec::with_capacity(lanes.len()),
+            kernels: Vec::new(),
+            lowered: vec![None; lanes.len()],
+            fast_ok: Vec::with_capacity(lanes.len()),
+            zero_stall: Vec::with_capacity(lanes.len()),
             stats: Vec::with_capacity(lanes.len()),
             traces: Vec::with_capacity(lanes.len()),
             metrics: Vec::with_capacity(lanes.len()),
@@ -289,10 +312,16 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
                 fleet.poll_horizon.push(Cycle::ZERO);
             }
             fleet.offsets.push(fleet.ports.len());
+            fleet.zero_stall.push(
+                spec.config.arbitration_overhead == 0
+                    && spec.config.slave_wait_states == 0
+                    && spec.slaves.iter().all(|s| s.wait_states() == 0),
+            );
             fleet.slaves.extend(spec.slaves);
             fleet.slave_offsets.push(fleet.slaves.len());
             fleet.configs.push(spec.config);
             fleet.arbiters.push(arbiter);
+            fleet.fast_ok.push(spec.trace_capacity == 0 && spec.metrics_window.is_none());
             fleet.stats.push(BusStats::new(n));
             fleet.traces.push(if spec.trace_capacity > 0 {
                 BusTrace::enabled(spec.trace_capacity)
@@ -301,7 +330,34 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
             });
             fleet.metrics.push(spec.metrics_window.map(|w| BusMetrics::new(w, n)));
         }
+        fleet.lower_groups();
         Ok(fleet)
+    }
+
+    /// Detects same-protocol lane groups (by [`Arbiter::soa_signature`])
+    /// and lowers each group into one shared SoA decision kernel.
+    /// Singleton groups lower too — they gain no table sharing, but
+    /// they do gain the kernels' batch machinery (the TDMA arithmetic
+    /// wheel walk in particular). Lanes whose protocol declines to
+    /// lower keep the scalar path.
+    fn lower_groups(&mut self) {
+        let mut groups: std::collections::BTreeMap<u64, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (lane, arbiter) in self.arbiters.iter().enumerate() {
+            if let Some(signature) = arbiter.soa_signature() {
+                groups.entry(signature).or_default().push(lane);
+            }
+        }
+        for lanes in groups.values() {
+            let peers: Vec<&A> = lanes.iter().map(|&l| &self.arbiters[l]).collect();
+            if let Some(kernel) = A::lower_group(&peers) {
+                let index = self.kernels.len() as u32;
+                for (slot, &lane) in lanes.iter().enumerate() {
+                    self.lowered[lane] = Some((index, slot as u32));
+                }
+                self.kernels.push(kernel);
+            }
+        }
     }
 
     /// Number of lanes.
@@ -351,14 +407,48 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
         &self.lane_ports(lane)[id.index()]
     }
 
+    /// Copies a lowered lane's live kernel state back into its scalar
+    /// arbiter, so external observers see exactly what scalar execution
+    /// would have produced. No-op for scalar lanes.
+    fn sync_lane_arbiter(&mut self, lane: usize) {
+        if let Some((kernel, slot)) = self.lowered[lane] {
+            let kernel = self.kernels[kernel as usize].as_ref();
+            self.arbiters[lane].writeback_from(kernel, slot as usize);
+        }
+    }
+
     /// The arbiter of lane `lane`, for protocols with runtime knobs.
+    ///
+    /// Mutating the returned arbiter **dissolves** the lane's SoA
+    /// kernel membership (after writing the kernel state back): the
+    /// kernel's copy can no longer be trusted, so the lane reverts to
+    /// the scalar path for the rest of the run. Lanes that were never
+    /// lowered are unaffected.
     pub fn arbiter_mut(&mut self, lane: usize) -> &mut A {
+        self.sync_lane_arbiter(lane);
+        self.lowered[lane] = None;
         &mut self.arbiters[lane]
     }
 
-    /// The arbiter of lane `lane`.
-    pub fn arbiter(&self, lane: usize) -> &A {
+    /// The arbiter of lane `lane`. Takes `&mut self` because a lowered
+    /// lane's scalar arbiter is refreshed from its SoA kernel slot
+    /// first (the lane stays lowered).
+    pub fn arbiter(&mut self, lane: usize) -> &A {
+        self.sync_lane_arbiter(lane);
         &self.arbiters[lane]
+    }
+
+    /// Number of lanes currently lowered into a grouped SoA decision
+    /// kernel; the remaining lanes arbitrate through their scalar
+    /// arbiter (heterogeneous packs, custom sources, dissolved lanes).
+    pub fn lowered_lanes(&self) -> usize {
+        self.lowered.iter().filter(|slot| slot.is_some()).count()
+    }
+
+    /// Number of grouped SoA decision kernels backing the lowered
+    /// lanes (one per same-protocol group of two or more lanes).
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
     }
 
     /// Closes partial metrics windows on every lane at its current
@@ -457,7 +547,11 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
             let horizon = self.idle_horizon_lane(lane).min(target);
             if horizon > self.now[lane] {
                 self.skip_lane_to(lane, horizon);
-            } else if !(self.lane_busy(lane) && self.skip_tenure_lane(lane, target)) {
+            } else if self.lane_busy(lane) {
+                if !self.skip_tenure_lane(lane, target) {
+                    self.step_lane(lane);
+                }
+            } else if !self.fast_arbitrate_lane(lane, target) {
                 self.step_lane(lane);
             }
         }
@@ -485,7 +579,11 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
                 return now;
             }
         }
-        fold_horizon(horizon, self.arbiters[lane].next_event(now), now)
+        let arbiter_horizon = match self.lowered[lane] {
+            Some((kernel, slot)) => self.kernels[kernel as usize].next_event_slot(slot as usize, now),
+            None => self.arbiters[lane].next_event(now),
+        };
+        fold_horizon(horizon, arbiter_horizon, now)
     }
 
     /// Jumps lane `lane` from its current cycle to `target`, replicating
@@ -495,7 +593,10 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
         let delta = target - now;
         let (lo, hi) = (self.offsets[lane], self.offsets[lane + 1]);
         self.traces[lane].record_idle_span(now, delta);
-        self.arbiters[lane].skip_idle(delta);
+        match self.lowered[lane] {
+            Some((kernel, slot)) => self.kernels[kernel as usize].skip_idle_slot(slot as usize, delta),
+            None => self.arbiters[lane].skip_idle(delta),
+        }
         self.stats[lane].record_cycles(delta);
         self.stats[lane].failovers = self.arbiters[lane].failovers() - self.failover_baseline[lane];
         if let Some(metrics) = self.metrics[lane].as_mut() {
@@ -601,6 +702,241 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
         consumed
     }
 
+    /// Fuses an idle lane's arbitration cycle with the tenure batch it
+    /// starts, eliding the per-cycle poll/step machinery when every
+    /// elided poll is a provable no-op (the same legality scan as
+    /// [`Fleet::skip_tenure_lane`]). Exact because the elided pieces
+    /// are exactly the pieces proven elidable there, the arbitration
+    /// itself runs unchanged, and [`Fleet::batch_tenure`] replays the
+    /// armed tenure — including the grant cycle's own stall payment or
+    /// first word — with identical accounting. Lanes with tracing or
+    /// metrics (which observe per-cycle detail) never take this path.
+    ///
+    /// Wheel-lowered lanes with every master pending divert into the
+    /// arithmetic slot walk ([`Fleet::wheel_batch_lane`]) instead,
+    /// covering many single-word TDMA tenures per call.
+    ///
+    /// Returns whether any cycles were consumed; `false` sends the
+    /// caller to a per-cycle step.
+    fn fast_arbitrate_lane(&mut self, lane: usize, end: Cycle) -> bool {
+        if !self.fast_ok[lane] {
+            return false;
+        }
+        let now = self.now[lane];
+        let (lo, hi) = (self.offsets[lane], self.offsets[lane + 1]);
+        let mut limit = end;
+        for i in lo..hi {
+            let cached = self.poll_horizon[i];
+            if cached > now {
+                limit = limit.min(cached);
+                continue;
+            }
+            if !(self.pure_backlog[i] && self.ports[i].backlog_transactions() > 0) {
+                return false;
+            }
+        }
+        if limit <= now {
+            return false;
+        }
+        self.scratch.reset_for(hi - lo);
+        let mut all_pending = true;
+        for port in &self.ports[lo..hi] {
+            if port.is_requesting() {
+                self.scratch.set_pending(port.id(), port.pending_words());
+            } else {
+                all_pending = false;
+            }
+        }
+        if all_pending && self.zero_stall[lane] {
+            if let Some((kernel, slot)) = self.lowered[lane] {
+                if self.kernels[kernel as usize].wheel_walk(slot as usize).is_some() {
+                    return self.wheel_batch_lane(lane, now, limit);
+                }
+            }
+        }
+        // Serve tenures back to back until the legality window closes.
+        // The scan above holds for every cycle in `[now, limit)`: bounded
+        // sources never come due before `limit`, and elided due polls
+        // stay no-ops as long as their backlog survives — which only the
+        // granted master's completion can change, so only its entry is
+        // re-validated (and its scratch slot refreshed) between tenures.
+        // No other port changes state: elided polls enqueue nothing and
+        // non-owners transfer nothing.
+        let mut cursor = now;
+        let mut consumed_total = 0u64;
+        loop {
+            if self.scratch.pending_count() >= 2 {
+                self.stats[lane].record_contended_arbitration();
+            }
+            let decision = match self.lowered[lane] {
+                Some((kernel, slot)) => {
+                    self.kernels[kernel as usize].arbitrate_slot(slot as usize, &self.scratch, cursor)
+                }
+                None => self.arbiters[lane].arbitrate(&self.scratch, cursor),
+            };
+            let Some(grant) = decision else {
+                // An idle decision consumes exactly one cycle; the elided
+                // polls are no-ops and tracing is off on this path. Hand
+                // the (rare) idle lane back to the horizon machinery.
+                consumed_total += 1;
+                cursor = cursor + 1;
+                break;
+            };
+            debug_assert!(
+                (self.scratch.bits() >> grant.master.index()) & 1 == 1,
+                "arbiter `{}` granted idle master {}",
+                self.arbiters[lane].name(),
+                grant.master
+            );
+            debug_assert!(grant.max_words > 0, "arbiter granted zero words");
+            let winner = grant.master;
+            let port = &mut self.ports[lo + winner.index()];
+            let words =
+                grant.max_words.min(self.configs[lane].max_burst).min(port.pending_words());
+            self.stats[lane].record_grant(winner);
+            port.note_grant(cursor);
+            // A zero-stall lane (no arbitration overhead, every slave at
+            // zero wait states) makes the slave lookup dead: grant_stall
+            // is zero for any wait-state value it could resolve.
+            let stall = if self.zero_stall[lane] {
+                0
+            } else {
+                let slave = port.head_slave().expect("pending master has head");
+                let (slo, shi) = (self.slave_offsets[lane], self.slave_offsets[lane + 1]);
+                let wait_states = self.slaves[slo..shi]
+                    .iter()
+                    .find(|s| s.id() == slave)
+                    .map_or(self.configs[lane].slave_wait_states, Slave::wait_states);
+                self.configs[lane].grant_stall(wait_states)
+            };
+            self.owner[lane] = winner.index() as u32;
+            // Arm the whole tenure *including* the grant cycle's own
+            // work: paying `stall` from `stall_left` records the same
+            // stall cycles as the scalar's 1 + (stall - 1) split, and a
+            // zero-stall grant's first word is just the first word of
+            // the armed burst. A stall-free burst that fits the window
+            // replays inline — `batch_tenure` with the stall arm and
+            // the leftover-words round-trip folded away, and the trace
+            // call elided because `fast_ok` proved tracing off.
+            let consumed = if stall == 0 && u64::from(words) <= limit - cursor {
+                self.stats[lane].record_words(winner, words);
+                let last = cursor + (u64::from(words) - 1);
+                if let Some(done) = self.ports[lo + winner.index()].transfer(words, last) {
+                    self.stats[lane].record_completion(winner, &done);
+                }
+                u64::from(words)
+            } else {
+                if stall > 0 {
+                    self.stall_left[lane] = stall;
+                    self.stall_words[lane] = words;
+                } else {
+                    self.words_left[lane] = words;
+                }
+                self.batch_tenure(lane, cursor, limit - cursor)
+            };
+            debug_assert!(consumed > 0, "fused arbitration must consume cycles");
+            consumed_total += consumed;
+            cursor = cursor + consumed;
+            if cursor >= limit || self.stall_left[lane] > 0 || self.words_left[lane] > 0 {
+                // Window exhausted (possibly mid-tenure, which the busy
+                // path resumes next window).
+                break;
+            }
+            // The winner's completion may have drained the backlog that
+            // proved its due poll elidable; anyone else is untouched. A
+            // no-longer-elidable poll is simply *run* — exactly as the
+            // stepped poll phase would at `cursor` — so back-to-back
+            // tenures keep fusing across transaction refills.
+            let wi = lo + winner.index();
+            if self.poll_horizon[wi] <= cursor
+                && !(self.pure_backlog[wi] && self.ports[wi].backlog_transactions() > 0)
+            {
+                let port = &mut self.ports[wi];
+                let source = &mut self.sources[wi];
+                if let Some(txn) = source.poll_with_backlog(cursor, port.backlog_transactions()) {
+                    port.enqueue(txn);
+                }
+                self.poll_horizon[wi] = source.next_event(cursor + 1);
+                // Further fusing needs the entry scan's proof for this
+                // master: elidable no-op polls, or no poll due inside
+                // the window (shrinking it to the fresh horizon).
+                if !(self.pure_backlog[wi] && port.backlog_transactions() > 0) {
+                    if self.poll_horizon[wi] > cursor {
+                        limit = limit.min(self.poll_horizon[wi]);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let port = &self.ports[wi];
+            if port.is_requesting() {
+                self.scratch.set_pending(winner, port.pending_words());
+            } else {
+                self.scratch.clear_pending(winner);
+            }
+        }
+        self.stats[lane].record_cycles(consumed_total);
+        self.stats[lane].failovers = self.arbiters[lane].failovers() - self.failover_baseline[lane];
+        self.now[lane] = cursor;
+        true
+    }
+
+    /// Replays a window of an all-pending TDMA lane arithmetically: with
+    /// every master pending, the grant sequence from the current wheel
+    /// position is exactly the wheel sequence (the owner is always
+    /// pending, so slot reclaim never fires and the round-robin reclaim
+    /// pointer is untouched), every grant moves one word with zero
+    /// setup stall, and every cycle is busy and contended. The walk is
+    /// cut at the first head-transaction completion, so at most one
+    /// completion occurs, at the batch's final cycle — identical to the
+    /// per-cycle path's bookkeeping.
+    fn wheel_batch_lane(&mut self, lane: usize, now: Cycle, limit: Cycle) -> bool {
+        let (lo, hi) = (self.offsets[lane], self.offsets[lane + 1]);
+        let masters = hi - lo;
+        let (kernel, slot) = self.lowered[lane].expect("wheel lanes are lowered");
+        let (kernel, slot) = (kernel as usize, slot as usize);
+        let walk = self.kernels[kernel].wheel_walk(slot).expect("wheel kernel");
+        // The batch ends at the window bound or one cycle past the
+        // earliest completion, whichever is sooner. Masters owning no
+        // wheel slots are never granted while everyone is pending (the
+        // paths that could reach them all go through reclaim), so they
+        // transfer nothing and impose no bound — exactly like scalar.
+        let mut span = limit - now;
+        for m in 0..masters {
+            let remaining = u64::from(self.ports[lo + m].pending_words());
+            if let Some(offset) = walk.occurrence_offset(m, remaining) {
+                span = span.min(offset + 1);
+            }
+        }
+        debug_assert!(span > 0);
+        for m in 0..masters {
+            let granted = walk.count_in(m, span);
+            if granted == 0 {
+                continue;
+            }
+            let id = MasterId::new(m);
+            // `granted` never exceeds the head's remaining words: the
+            // span is cut at the earliest completion, so it fits u32.
+            let first = now + walk.occurrence_offset(m, 1).expect("granted > 0");
+            let last = now + walk.occurrence_offset(m, granted).expect("granted > 0");
+            self.stats[lane].record_grants(id, granted);
+            self.stats[lane].record_words(id, granted as u32);
+            let port = &mut self.ports[lo + m];
+            port.note_grant(first);
+            if let Some(done) = port.transfer(granted as u32, last) {
+                self.stats[lane].record_completion(id, &done);
+            }
+        }
+        if masters >= 2 {
+            self.stats[lane].record_contended_arbitrations(span);
+        }
+        self.kernels[kernel].advance_wheel(slot, span);
+        self.stats[lane].record_cycles(span);
+        self.stats[lane].failovers = self.arbiters[lane].failovers() - self.failover_baseline[lane];
+        self.now[lane] = now + span;
+        true
+    }
+
     /// Simulates one cycle of lane `lane`, replicating
     /// [`crate::System::step`] exactly (poll phase with cached horizons,
     /// bus phase, accounting phase).
@@ -668,7 +1004,13 @@ impl<A: Arbiter, S: TrafficSource> Fleet<A, S> {
         if self.scratch.pending_count() >= 2 {
             self.stats[lane].record_contended_arbitration();
         }
-        match self.arbiters[lane].arbitrate(&self.scratch, now) {
+        let decision = match self.lowered[lane] {
+            Some((kernel, slot)) => {
+                self.kernels[kernel as usize].arbitrate_slot(slot as usize, &self.scratch, now)
+            }
+            None => self.arbiters[lane].arbitrate(&self.scratch, now),
+        };
+        match decision {
             Some(grant) => {
                 assert!(
                     (self.scratch.bits() >> grant.master.index()) & 1 == 1,
@@ -1011,6 +1353,76 @@ mod tests {
         let err = Fleet::build(vec![ok, bad]).unwrap_err();
         assert_eq!(err.lane, 1, "error names the offending lane");
         assert!(matches!(err.error, BuildSystemError::InvalidConfig(_)));
+    }
+
+    /// `shape`'s lane with trace and metrics off — the configuration
+    /// under which `fast_arbitrate_lane` is legal (`fast_ok`).
+    fn untraced_lane_for(shape: &LaneShape) -> LaneBuilder<FixedOrderArbiter, TestSource> {
+        let mut lane = LaneBuilder::new(BusConfig::default())
+            .slave(Slave::with_wait_states(SlaveId::new(0), "s0", shape.wait_states));
+        for m in 0..shape.masters {
+            lane = lane.master(format!("m{m}"), source_for(shape, m));
+        }
+        lane.arbiter(FixedOrderArbiter::new(shape.masters))
+    }
+
+    /// The scalar twin of [`untraced_lane_for`].
+    fn untraced_scalar_for(shape: &LaneShape) -> System<FixedOrderArbiter, TestSource> {
+        let mut builder = SystemBuilder::new(BusConfig::default())
+            .slave(Slave::with_wait_states(SlaveId::new(0), "s0", shape.wait_states));
+        for m in 0..shape.masters {
+            builder = builder.master(format!("m{m}"), source_for(shape, m));
+        }
+        builder.arbiter(FixedOrderArbiter::new(shape.masters)).build().expect("valid system")
+    }
+
+    #[test]
+    fn untraced_saturated_lane_takes_the_fused_path_and_stays_exact() {
+        // wait_states=0 additionally exercises the zero-stall grant
+        // shortcut and the fused loop's in-loop winner poll;
+        // wait_states=1 routes fused decisions through the stall arm.
+        for wait_states in [0u32, 1] {
+            let shape = LaneShape {
+                masters: 4,
+                words: 8,
+                threshold: 0,
+                saturated: true,
+                wait_states,
+                metrics: None,
+            };
+            let mut fleet =
+                Fleet::build(vec![untraced_lane_for(&shape)]).expect("valid fleet");
+            assert!(fleet.fast_ok[0], "untraced, metric-less lane must qualify for fusing");
+            assert_eq!(fleet.zero_stall[0], wait_states == 0);
+            let mut scalar = untraced_scalar_for(&shape);
+            // Odd slice lengths land window limits mid-tenure and
+            // mid-stall; exactness must survive every resume.
+            for slice in [1u64, 5, 63, 2, 640, 9, 3000, 17, 1000] {
+                fleet.run(slice);
+                scalar.run(slice);
+                assert_lane_matches_scalar(&fleet, 0, &scalar);
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_mixed_fleet_interleaves_fused_and_step_lanes_exactly() {
+        // Saturated lanes fuse whole multi-tenure windows while hash
+        // lanes (impure sources, every-cycle horizons) decline the
+        // fast path and single-step; both must agree with their solo
+        // scalar twins at every slice boundary.
+        let shapes = shapes();
+        let fleet_lanes = shapes.iter().map(untraced_lane_for).collect();
+        let mut fleet = Fleet::build(fleet_lanes).expect("valid fleet");
+        assert!(fleet.fast_ok.iter().all(|&ok| ok), "every untraced lane qualifies");
+        let mut scalars: Vec<_> = shapes.iter().map(untraced_scalar_for).collect();
+        for slice in [7u64, 1, 500, 64, 3, 2000, 11] {
+            fleet.run(slice);
+            for (lane, scalar) in scalars.iter_mut().enumerate() {
+                scalar.run(slice);
+                assert_lane_matches_scalar(&fleet, lane, scalar);
+            }
+        }
     }
 
     #[test]

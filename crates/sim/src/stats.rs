@@ -333,6 +333,15 @@ impl BusStats {
         self.per_master[id.index()].grants += 1;
     }
 
+    /// Records `n` grants to `id` in one step — the batched form of
+    /// [`BusStats::record_grant`] used by the fleet's arithmetic TDMA
+    /// wheel walk. Equivalent to calling it `n` times.
+    #[inline]
+    pub fn record_grants(&mut self, id: MasterId, n: u64) {
+        self.grants += n;
+        self.per_master[id.index()].grants += n;
+    }
+
     /// Records `words` transferred by `id` (each word = one busy cycle).
     #[inline]
     pub fn record_words(&mut self, id: MasterId, words: u32) {
@@ -404,6 +413,13 @@ impl BusStats {
     #[inline]
     pub fn record_contended_arbitration(&mut self) {
         self.contended_arbitrations += 1;
+    }
+
+    /// Records `n` contended arbitration decisions in one step — the
+    /// batched form of [`BusStats::record_contended_arbitration`].
+    #[inline]
+    pub fn record_contended_arbitrations(&mut self, n: u64) {
+        self.contended_arbitrations += n;
     }
 
     /// Counts one elapsed simulation cycle. Called once per [`crate::System::step`],

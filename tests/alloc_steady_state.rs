@@ -148,3 +148,48 @@ fn fleet_steady_state_makes_zero_allocations_across_all_lineup_protocols() {
         HOT_PROTOCOLS.len()
     );
 }
+
+#[test]
+fn grouped_arbitration_steady_state_makes_zero_allocations() {
+    // Grouped (shared-table) arbitration: four identically-configured
+    // lanes per protocol, so each protocol's lanes lower into ONE SoA
+    // decision kernel. Batched draws, shared ticket tables and the
+    // TDMA wheel walk must all run off pre-built state — no per-cycle
+    // or per-decision heap traffic.
+    let pack: Vec<&str> = ["lottery-static", "tdma"]
+        .into_iter()
+        .flat_map(|protocol| std::iter::repeat(protocol).take(4))
+        .collect();
+    let lanes = pack
+        .iter()
+        .map(|&protocol| {
+            let mut lane: LaneBuilder<ArbiterKind, SourceKind> =
+                LaneBuilder::new(BusConfig::default());
+            for i in 0..4 {
+                lane =
+                    lane.master(format!("C{}", i + 1), SourceKind::from(SaturateSource::new(0, 8)));
+            }
+            lane.arbiter(hot_arbiter(protocol, 0xC0FFEE))
+        })
+        .collect();
+    let mut fleet = Fleet::build(lanes).expect("grouped fleet is valid");
+    assert_eq!(fleet.lowered_lanes(), pack.len(), "every lane lowers into a kernel");
+    assert_eq!(fleet.kernel_count(), 2, "identical lanes share one kernel per protocol");
+    fleet.warm_up(2_000);
+    ALLOCS.with(|allocs| allocs.set(0));
+    COUNTING.with(|counting| counting.set(true));
+    fleet.run(20_000);
+    COUNTING.with(|counting| counting.set(false));
+    let counted = ALLOCS.with(|allocs| allocs.get());
+    for (lane, protocol) in pack.iter().enumerate() {
+        assert!(
+            fleet.stats(lane).bus_utilization() > 0.95,
+            "{protocol} grouped lane {lane} is not saturated: utilization {}",
+            fleet.stats(lane).bus_utilization()
+        );
+    }
+    assert_eq!(
+        counted, 0,
+        "{counted} heap allocation(s) in a 20k-cycle grouped-arbitration window"
+    );
+}

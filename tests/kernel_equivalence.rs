@@ -517,7 +517,7 @@ fn fleet_scenario_library_matrix_matches_scalar_verdicts() {
         .filter(|p| p.extension().is_some_and(|ext| ext == "scenario"))
         .collect();
     files.sort();
-    assert!(files.len() >= 23, "the library ships at least 23 scenarios, found {}", files.len());
+    assert!(files.len() >= 25, "the library ships at least 25 scenarios, found {}", files.len());
     let library: Vec<scenario::Scenario> = files
         .iter()
         .map(|f| {

@@ -51,12 +51,31 @@ FLEET_MIN_SPEEDUP = 5.0
 # before warning (same noise budget as the hot lineup).
 FLEET_NOISE_TOLERANCE = 0.25
 
+# Fleet grouped-arbitration gates (the `fleet_arb` section, PR-10).
+# The flagship 5-protocol 64-word probe, now with every lane lowered
+# into an SoA decision kernel and back-to-back tenures fused inside one
+# poll-legality window, must beat the PR-9 baseline's aggregate fleet
+# speedup by this factor (target ≈16.8x over the recorded 11.2x).
+FLEET_ARB_MIN_GAIN_OVER_BASELINE = 1.5
+# The TDMA lane pack — identically-configured wheels sharing one SoA
+# table, replayed by the arithmetic slot-position walk — must beat its
+# summed scalar runs at all (measured ~9x; the floor only asserts the
+# pack is a win, since single-word grants cap the batching payoff).
+FLEET_ARB_TDMA_MIN_SPEEDUP = 1.0
+
 # Analytic-model gates (the `analytic` section, PR-8). Validation-grid
 # error ceilings leave headroom over the measured quick-suite numbers
 # (share max ~0.014 / mean ~0.003; latency rel max ~0.51 / mean ~0.16 —
 # the worst latency cells are TDMA, whose slot-alignment wait is an
 # upper bound) without letting the model drift into a different regime.
-ANALYTIC_MAX_SHARE_ABS_ERROR = 0.05
+#
+# The share-max ceiling is deliberately tight: the committed quick
+# (60k-cycle) window measures 0.0141 — the oft-quoted 0.0068 is the
+# full 200k-cycle window's number, not a drifted one (both PR-8 and
+# PR-9 artifacts record identical 0.0141 digits) — and 0.02 means a
+# silent doubling of the quick-window error trips the gate instead of
+# hiding under a slack ceiling.
+ANALYTIC_MAX_SHARE_ABS_ERROR = 0.02
 ANALYTIC_MEAN_SHARE_ABS_ERROR = 0.02
 ANALYTIC_MAX_LATENCY_REL_ERROR = 1.0
 ANALYTIC_MEAN_LATENCY_REL_ERROR = 0.40
@@ -197,6 +216,59 @@ def check_fleet(fleet, baseline_fleet, warn):
         print(f"ok: fleet {was / 1e6:.2f}M -> {now / 1e6:.2f}M lane-cycles/s")
 
 
+def check_fleet_arb(fleet_arb, baseline, warn):
+    """Gate the grouped-arbitration fleet probes (PR-10).
+
+    The flagship probe must hold a >=1.5x gain over the *baseline
+    report's* plain fleet speedup; the TDMA pack must beat its summed
+    scalar runs at all. Pre-PR10 baselines still carry the plain
+    `fleet` section this compares against.
+    """
+    probe = fleet_arb.get("probe", {})
+    speedup = probe.get("aggregate_speedup")
+    if probe.get("lane_exact") is not True:
+        warn("fleet_arb.probe.lane_exact is not true")
+    if probe.get("lanes_lowered") != probe.get("lanes"):
+        warn(
+            f"fleet_arb probe lowered only {probe.get('lanes_lowered')} of "
+            f"{probe.get('lanes')} lanes into SoA kernels"
+        )
+    baseline_speedup = ((baseline or {}).get("fleet") or {}).get("aggregate_speedup")
+    if speedup is None:
+        warn("fleet_arb.probe lacks aggregate_speedup")
+    elif baseline_speedup is None:
+        print(f"info: fleet_arb probe {speedup:.2f}x aggregate (no fleet baseline)")
+    elif speedup < baseline_speedup * FLEET_ARB_MIN_GAIN_OVER_BASELINE:
+        warn(
+            f"fleet_arb probe aggregate speedup is {speedup:.2f}x "
+            f"(want >= {FLEET_ARB_MIN_GAIN_OVER_BASELINE:.1f}x the baseline's "
+            f"{baseline_speedup:.2f}x = {baseline_speedup * FLEET_ARB_MIN_GAIN_OVER_BASELINE:.2f}x)"
+        )
+    else:
+        print(
+            f"ok: fleet_arb probe {speedup:.2f}x aggregate >= "
+            f"{FLEET_ARB_MIN_GAIN_OVER_BASELINE:.1f}x baseline {baseline_speedup:.2f}x"
+        )
+
+    tdma = fleet_arb.get("tdma", {})
+    tdma_speedup = tdma.get("aggregate_speedup")
+    if tdma.get("lane_exact") is not True:
+        warn("fleet_arb.tdma.lane_exact is not true")
+    if tdma_speedup is None:
+        warn("fleet_arb.tdma lacks aggregate_speedup")
+    elif tdma_speedup < FLEET_ARB_TDMA_MIN_SPEEDUP:
+        warn(
+            f"fleet_arb tdma pack aggregate speedup is {tdma_speedup:.2f}x "
+            f"(want > {FLEET_ARB_TDMA_MIN_SPEEDUP:.1f}x vs summed scalar runs)"
+        )
+    else:
+        kernels = tdma.get("kernels", "?")
+        print(
+            f"ok: fleet_arb tdma pack {tdma_speedup:.2f}x aggregate over "
+            f"{tdma.get('lanes', '?')} lanes sharing {kernels} wheel kernel(s)"
+        )
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -289,6 +361,14 @@ def main(argv):
         print("note: report has no fleet section (pre-PR9 format)")
     else:
         check_fleet(fleet, (baseline or {}).get("fleet"), warn)
+
+    fleet_arb = current.get("fleet_arb")
+    if fleet_arb is None:
+        # Pre-PR10 reports (e.g. the PR9 baseline re-checked in CI)
+        # have no grouped-arbitration section; note and skip.
+        print("note: report has no fleet_arb section (pre-PR10 format)")
+    else:
+        check_fleet_arb(fleet_arb, baseline, warn)
 
     hot = current.get("hot", {}).get("protocols")
     if hot is None:

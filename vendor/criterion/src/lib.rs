@@ -46,11 +46,34 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `routine` once and records its duration.
+    /// Times `routine` and records its per-call duration. The batch
+    /// size grows until one batch runs long enough for the monotonic
+    /// clock to resolve it well above its own overhead, then the best
+    /// of three batches is reported — a single raw invocation would
+    /// measure mostly timer resolution and scheduler noise.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        let start = Instant::now();
-        black_box(routine());
-        self.elapsed_ns = start.elapsed().as_nanos();
+        let floor = std::time::Duration::from_millis(10);
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= floor || batch >= (1 << 30) {
+                let mut best = elapsed.as_nanos();
+                for _ in 0..2 {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    best = best.min(start.elapsed().as_nanos());
+                }
+                self.elapsed_ns = best / u128::from(batch);
+                return;
+            }
+            batch = batch.saturating_mul(8);
+        }
     }
 }
 
